@@ -1,0 +1,65 @@
+// Command fireflybench regenerates the paper's evaluation tables on the
+// simulated Firefly testbed and prints them beside the published values.
+//
+// Usage:
+//
+//	fireflybench                  # all tables at full paper scale
+//	fireflybench -table I,VIII    # selected tables
+//	fireflybench -quality 0.1     # 10% of the paper's call counts (fast)
+//	fireflybench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fireflyrpc/internal/exper"
+)
+
+func main() {
+	tables := flag.String("table", "all", "comma-separated table IDs (I..XII, improvements, streaming, ablations) or 'all'")
+	quality := flag.Float64("quality", 1.0, "fraction of the paper's call counts to run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	trace := flag.Bool("trace", false, "trace one Null() and one MaxResult(b) call through the simulated fast path and exit")
+	flag.Parse()
+
+	if *trace {
+		traceCalls(*seed)
+		return
+	}
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exper.Options{Quality: *quality, Seed: *seed}
+
+	var selected []exper.Experiment
+	if strings.EqualFold(*tables, "all") {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*tables, ",") {
+			e, ok := exper.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fireflybench: unknown table %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("Performance of Firefly RPC — reproduction (quality %.2f, seed %d)\n\n", *quality, *seed)
+	for _, e := range selected {
+		start := time.Now()
+		tb := e.Run(opts)
+		fmt.Print(tb.Render())
+		fmt.Printf("  [%s in %.1fs wall]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/simstack"
+)
+
+// traceCalls prints the event timeline of one Null() and one MaxResult(b)
+// call through the simulated fast path — the narrative of §3.1 with
+// timestamps attached. One warm-up call precedes the traced one so the
+// fast-path precondition ("server threads are waiting for the call") holds.
+func traceCalls(seed uint64) {
+	for _, which := range []string{"Null()", "MaxResult(b)"} {
+		cfg := costmodel.NewConfig()
+		cfg.TimingJitter = 0 // a clean, exactly-reproducible timeline
+		w := simstack.NewWorld(&cfg, seed)
+		var spec *simstack.ProcSpec
+		if which == "Null()" {
+			spec = simstack.NullSpec(&cfg)
+		} else {
+			spec = simstack.MaxResultSpec(&cfg)
+		}
+
+		client := w.BindTest()
+		var log []string
+		simstack.TraceSink = &log
+
+		result := make([]byte, spec.ResultBytes)
+		var start, end float64
+		w.Caller.Sched.SpawnProc("tracer", func(p *firefly.Proc) {
+			// Warm up, then trace the steady-state call.
+			if err := client.Call(p, spec, nil, result); err != nil {
+				log = append(log, "warmup failed: "+err.Error())
+				w.K.Stop()
+				return
+			}
+			simstack.DebugActivity = client.Activity()
+			start = p.Now().Micros()
+			if err := client.Call(p, spec, nil, result); err != nil {
+				log = append(log, "traced call failed: "+err.Error())
+			}
+			end = p.Now().Micros()
+			simstack.DebugActivity = 0
+			w.K.Stop()
+		})
+		w.K.Run()
+		simstack.TraceSink = nil
+
+		fmt.Printf("=== one %s call through the simulated fast path (seed %d) ===\n", which, seed)
+		for _, line := range log {
+			fmt.Println(line)
+		}
+		fmt.Printf("caller-observed latency: %.0f µs (call entered at %.1f µs)\n\n", end-start, start)
+	}
+}

@@ -1,0 +1,101 @@
+// Command rpcclient measures the real UDP stack the way Table I measures
+// the Firefly: K goroutines (threads) each performing sequenced calls to
+// Null() and MaxResult(b) against an rpcserver, reporting latency,
+// calls/second, and megabits/second per thread count.
+//
+//	rpcclient -server 127.0.0.1:5530 -calls 10000 -threads 1,2,3,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/stats"
+	"fireflyrpc/internal/testsvc"
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5530", "rpcserver address")
+	calls := flag.Int("calls", 10000, "total calls per measurement")
+	threadList := flag.String("threads", "1,2,3,4,8", "comma-separated caller thread counts")
+	flag.Parse()
+
+	tr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("rpcclient: %v", err)
+	}
+	node := core.NewNode(tr, proto.DefaultConfig())
+	defer node.Close()
+	remote, err := transport.ResolveUDPAddr(*server)
+	if err != nil {
+		log.Fatalf("rpcclient: %v", err)
+	}
+	binding := node.Bind(remote, testsvc.TestName, testsvc.TestVersion)
+	if err := binding.Probe(2 * time.Second); err != nil {
+		log.Fatalf("rpcclient: server %s not answering: %v", *server, err)
+	}
+
+	fmt.Printf("%-8s %-12s %-10s %-14s %-10s\n",
+		"threads", "Null µs/call", "Null/s", "Max µs/call", "Max Mb/s")
+	for _, f := range strings.Split(*threadList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			log.Fatalf("rpcclient: bad thread count %q", f)
+		}
+		nullLat, nullRate := run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
+			return c.Null()
+		})
+		maxLat, maxRate := run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
+			return c.MaxResult(buf)
+		})
+		fmt.Printf("%-8d %-12.1f %-10.0f %-14.1f %-10.2f\n",
+			n, nullLat, nullRate, maxLat,
+			maxRate*float64(wire.MaxSinglePacketPayload)*8/1e6)
+	}
+}
+
+// run drives n goroutines through total calls and returns (mean µs, calls/s).
+func run(b *core.Binding, n, total int, call func(*testsvc.TestClient, []byte) error) (float64, float64) {
+	per := total / n
+	var wg sync.WaitGroup
+	samples := make([]stats.Sample, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := testsvc.NewTestClient(b)
+			buf := make([]byte, wire.MaxSinglePacketPayload)
+			for j := 0; j < per; j++ {
+				t0 := time.Now()
+				if err := call(client, buf); err != nil {
+					log.Printf("rpcclient: call failed: %v", err)
+					return
+				}
+				samples[i].Add(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	count := 0
+	var meanSum float64
+	for i := range samples {
+		meanSum += samples[i].Mean() * float64(samples[i].N())
+		count += samples[i].N()
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return meanSum / float64(count), stats.Rate(int64(count), elapsed)
+}

@@ -1,0 +1,51 @@
+// Command stubgen compiles a Modula-2-flavoured interface definition into
+// Go caller and server stubs over the fireflyrpc runtime:
+//
+//	stubgen -in test.idl -pkg testsvc -out testsvc.go
+//
+// With -out '-' (the default) the generated code goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fireflyrpc/internal/idl"
+)
+
+func main() {
+	in := flag.String("in", "", "input .idl file (required)")
+	pkg := flag.String("pkg", "stubs", "Go package name for the generated file")
+	out := flag.String("out", "-", "output .go file, or '-' for stdout")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "stubgen: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+	mod, err := idl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+	code, err := idl.Generate(mod, *pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Compute farm: many caller threads making parallel RPCs to a multithreaded
+// server — the structure behind Table I, on the real UDP stack. Shows the
+// paper's central throughput observation: a single caller thread cannot
+// saturate the path (each call waits a full round trip), but a few parallel
+// threads can.
+//
+//	go run ./examples/computefarm
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/stats"
+	"fireflyrpc/internal/transport"
+)
+
+const procChecksum = 1 // Checksum(data: ARRAY OF CHAR): LONGCARD
+
+// worker is the server: it checksums blocks shipped to it.
+func workerInterface() *core.Interface {
+	return core.NewInterface("Worker", 1).
+		Proc(procChecksum, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			data := d.AliasVarBytes() // VAR IN: read in place, no copy
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			var h uint64 = 1469598103934665603
+			for _, b := range data {
+				h ^= uint64(b)
+				h *= 1099511628211
+			}
+			return core.Reply(8, func(e *marshal.Enc) { e.PutUint64(h) })
+		})
+}
+
+func main() {
+	st, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := proto.DefaultConfig()
+	cfg.Workers = 16
+	server := core.NewNode(st, cfg)
+	caller := core.NewNode(ct, cfg)
+	defer server.Close()
+	defer caller.Close()
+	server.Export(workerInterface())
+	binding := caller.Bind(server.Addr(), "Worker", 1)
+
+	const (
+		blockSize = 1400 // single-packet argument
+		blocks    = 4000
+	)
+	block := make([]byte, blockSize)
+	for i := range block {
+		block[i] = byte(i * 7)
+	}
+
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "threads", "blocks/s", "Mb/s", "mean µs")
+	for _, threads := range []int{1, 2, 4, 8} {
+		var wg sync.WaitGroup
+		per := blocks / threads
+		samples := make([]stats.Sample, threads)
+		start := time.Now()
+		for i := 0; i < threads; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := binding.NewClient() // one activity per thread
+				for j := 0; j < per; j++ {
+					t0 := time.Now()
+					var sum uint64
+					err := client.Call(procChecksum, 4+len(block),
+						func(e *marshal.Enc) { e.PutVarBytes(block) },
+						func(d *marshal.Dec) { sum = d.Uint64() })
+					if err != nil {
+						log.Fatalf("thread %d: %v", i, err)
+					}
+					if sum == 0 {
+						log.Fatal("impossible checksum")
+					}
+					samples[i].Add(time.Since(t0))
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		done := int64(per * threads)
+		var mean float64
+		for i := range samples {
+			mean += samples[i].Mean()
+		}
+		mean /= float64(threads)
+		fmt.Printf("%-8d %-12.0f %-12.1f %-10.1f\n",
+			threads,
+			stats.Rate(done, elapsed),
+			stats.Throughput(done*blockSize, elapsed),
+			mean)
+	}
+}

@@ -1,0 +1,115 @@
+// Name service: the binding step the paper's fast path presupposes
+// ("assuming that binding to a suitable remote instance of the interface
+// has already occurred", §3.1.1 — Cedar RPC used Grapevine for this).
+//
+// The directory is itself a fireflyrpc service. Two application servers
+// register their interfaces under names; a caller discovers them, binds,
+// and calls — all over real loopback UDP, with authenticated frames.
+//
+//	go run ./examples/nameservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/registry"
+	"fireflyrpc/internal/transport"
+)
+
+var key = []byte("cluster shared key")
+
+func newNode() *core.Node {
+	tr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.NewNode(transport.WithAuth(tr, key), proto.DefaultConfig())
+}
+
+func main() {
+	// 1. The directory itself.
+	dirNode := newNode()
+	defer dirNode.Close()
+	dir := registry.NewServer()
+	dirNode.Export(dir.Export())
+	dirAddr := dirNode.Addr()
+	fmt.Printf("directory at %s\n", dirAddr)
+
+	// 2. Two application servers export interfaces and advertise them.
+	adder := newNode()
+	defer adder.Close()
+	adder.Export(core.NewInterface("Adder", 1).
+		Proc(1, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			a, b := d.Int64(), d.Int64()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			return core.Reply(8, func(e *marshal.Enc) { e.PutInt64(a + b) })
+		}))
+	registry.NewClient(adder, dirAddr).Register("Adder/v1", adder.Addr().String(), time.Minute)
+
+	shouter := newNode()
+	defer shouter.Close()
+	shouter.Export(core.NewInterface("Shouter", 1).
+		Proc(1, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			msg := d.GetText()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			up := make([]byte, msg.Len())
+			for i, c := range []byte(msg.String()) {
+				if 'a' <= c && c <= 'z' {
+					c -= 32
+				}
+				up[i] = c
+			}
+			out := marshal.NewText(string(up) + "!")
+			return core.Reply(marshal.TextWireSize(out), func(e *marshal.Enc) { e.PutText(out) })
+		}))
+	registry.NewClient(shouter, dirAddr).Register("Shouter/v1", shouter.Addr().String(), time.Minute)
+
+	// 3. A caller discovers both through the directory and uses them.
+	caller := newNode()
+	defer caller.Close()
+	reg := registry.NewClient(caller, dirAddr)
+
+	names, err := reg.List("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directory lists: %v\n", names)
+
+	addrStr, err := reg.Lookup("Adder/v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addAddr, _ := transport.ResolveUDPAddr(addrStr)
+	add := caller.Bind(addAddr, "Adder", 1).NewClient()
+	var sum int64
+	if err := add.Call(1, 16,
+		func(e *marshal.Enc) { e.PutInt64(40); e.PutInt64(2) },
+		func(d *marshal.Dec) { sum = d.Int64() }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Adder/v1 at %s says 40+2 = %d\n", addrStr, sum)
+
+	addrStr, err = reg.Lookup("Shouter/v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shoutAddr, _ := transport.ResolveUDPAddr(addrStr)
+	shout := caller.Bind(shoutAddr, "Shouter", 1).NewClient()
+	in := marshal.NewText("firefly rpc lives")
+	var out *marshal.Text
+	if err := shout.Call(1, marshal.TextWireSize(in),
+		func(e *marshal.Enc) { e.PutText(in) },
+		func(d *marshal.Dec) { out = d.GetText() }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Shouter/v1 says %s\n", out.String())
+}

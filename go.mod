@@ -1,0 +1,3 @@
+module fireflyrpc
+
+go 1.22

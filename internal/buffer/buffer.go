@@ -1,0 +1,162 @@
+// Package buffer implements the RPC packet-buffer pool.
+//
+// The Firefly keeps all RPC packet buffers in memory shared among user
+// address spaces and the Nub, permanently mapped into I/O space, so stubs,
+// the Ethernet driver, and the interrupt handler all read and write packets
+// at the same addresses with no mapping or copying. Buffers are retained in
+// call-table entries for possible retransmission, and the receive interrupt
+// handler recycles the retained buffer to the controller's receive queue the
+// moment a new packet replaces it ("on-the-fly receive buffer replacement").
+//
+// This package reproduces that scheme for both the simulated and the real
+// transports: fixed-capacity buffers, a shared free pool, explicit
+// ownership, and hard failure on double-free.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"fireflyrpc/internal/wire"
+)
+
+// Buf is a packet buffer with capacity for a maximum-size Ethernet frame.
+// A Buf is always in exactly one of three places: the free pool, owned by a
+// caller, or retained in a call-table entry / controller receive ring.
+type Buf struct {
+	data [wire.MaxPacketLen]byte
+	n    int
+	pool *Pool
+	free bool // true while in the pool's freelist
+}
+
+// Bytes returns the valid portion of the buffer.
+func (b *Buf) Bytes() []byte { return b.data[:b.n] }
+
+// Cap returns the full capacity slice, for writers assembling a packet.
+func (b *Buf) Cap() []byte { return b.data[:] }
+
+// Len returns the current valid length.
+func (b *Buf) Len() int { return b.n }
+
+// SetLen sets the valid length. It panics if n exceeds the frame maximum.
+func (b *Buf) SetLen(n int) {
+	if n < 0 || n > wire.MaxPacketLen {
+		panic(fmt.Sprintf("buffer: SetLen(%d) out of range", n))
+	}
+	b.n = n
+}
+
+// CopyFrom replaces the buffer's contents with p.
+func (b *Buf) CopyFrom(p []byte) {
+	b.SetLen(len(p))
+	copy(b.data[:], p)
+}
+
+// Free returns the buffer to its pool. Freeing a buffer twice panics: the
+// Firefly scheme depends on unambiguous ownership, and a double-free there
+// would corrupt another call's packet.
+func (b *Buf) Free() {
+	b.pool.put(b)
+}
+
+// Pool is a bounded pool of packet buffers. The zero value is not usable;
+// construct with NewPool.
+//
+// Pool is safe for concurrent use: the real UDP transport shares it across
+// goroutines. (The simulator is single-threaded by construction, so the lock
+// is uncontended there.)
+type Pool struct {
+	mu    sync.Mutex
+	avail *sync.Cond
+	free  []*Buf
+	total int
+	limit int
+	inUse int
+	gets  int64
+	puts  int64
+}
+
+// NewPool creates a pool that will allocate at most limit buffers.
+// A limit of 0 means unbounded.
+func NewPool(limit int) *Pool {
+	p := &Pool{limit: limit}
+	p.avail = sync.NewCond(&p.mu)
+	return p
+}
+
+// getLocked implements Get with p.mu held.
+func (p *Pool) getLocked() *Buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.free = false
+		b.n = 0
+		p.inUse++
+		return b
+	}
+	if p.limit > 0 && p.total >= p.limit {
+		return nil
+	}
+	p.total++
+	p.inUse++
+	return &Buf{pool: p}
+}
+
+// Get takes a buffer from the pool, allocating if none is free and the limit
+// permits. It returns nil if the pool is exhausted — callers on the fast path
+// treat that as a lost packet, exactly as the Firefly does when the receive
+// queue runs dry.
+func (p *Pool) Get() *Buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gets++
+	return p.getLocked()
+}
+
+// GetWait takes a buffer, blocking until one is available. Used by the real
+// transport's senders, which prefer to wait rather than drop.
+func (p *Pool) GetWait() *Buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gets++
+	for {
+		if b := p.getLocked(); b != nil {
+			return b
+		}
+		p.avail.Wait()
+	}
+}
+
+func (p *Pool) put(b *Buf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.free {
+		panic("buffer: double free")
+	}
+	if b.pool != p {
+		panic("buffer: freed to wrong pool")
+	}
+	p.puts++
+	p.inUse--
+	b.free = true
+	p.free = append(p.free, b)
+	p.avail.Signal()
+}
+
+// Stats reports pool counters.
+type Stats struct {
+	Total int   // buffers ever allocated
+	InUse int   // currently checked out
+	Free  int   // currently in the freelist
+	Gets  int64 // successful + failed Get calls
+	Puts  int64 // Free calls
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Total: p.total, InUse: p.inUse, Free: len(p.free), Gets: p.gets, Puts: p.puts}
+}

@@ -1,0 +1,202 @@
+// Package core is the Firefly RPC runtime for the real (non-simulated)
+// stack: interface export and binding, per-thread activities, and the
+// helpers that automatically generated stubs call.
+//
+// The structure mirrors the paper's: the transport mechanism is chosen at
+// bind time (a Node is built over UDP, the in-process exchange, or any other
+// transport.Transport); the caller stub marshals arguments into a call
+// packet and blocks while the packet-exchange protocol does a send+receive
+// in each direction; the server side keeps a pool of workers waiting for
+// calls to dispatch through the interface registry.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+// Errors.
+var (
+	ErrNoSuchInterface = errors.New("core: no such interface exported")
+	ErrNoSuchProc      = errors.New("core: no such procedure in interface")
+	ErrMarshal         = errors.New("core: argument marshalling failed")
+)
+
+// ProcFunc is a server-side procedure stub: it unmarshals arguments from
+// args, invokes the implementation, and returns the marshalled results.
+type ProcFunc func(src transport.Addr, args *marshal.Dec) ([]byte, error)
+
+// Interface is an exportable set of procedures, identified on the wire by a
+// hash of its name and version (as the stub compiler assigns).
+type Interface struct {
+	Name    string
+	Version uint32
+	ID      uint32
+	procs   map[uint16]ProcFunc
+}
+
+// NewInterface creates an interface; register procedures with Proc.
+func NewInterface(name string, version uint32) *Interface {
+	return &Interface{
+		Name:    name,
+		Version: version,
+		ID:      wire.InterfaceID(name, version),
+		procs:   make(map[uint16]ProcFunc),
+	}
+}
+
+// Proc registers a procedure stub under its wire ID.
+func (i *Interface) Proc(id uint16, fn ProcFunc) *Interface {
+	if _, dup := i.procs[id]; dup {
+		panic(fmt.Sprintf("core: duplicate proc %d in %s", id, i.Name))
+	}
+	i.procs[id] = fn
+	return i
+}
+
+// Node is one RPC endpoint: it can export interfaces (server role) and bind
+// to remote ones (caller role) over a single transport.
+type Node struct {
+	conn *proto.Conn
+
+	mu     sync.RWMutex
+	ifaces map[uint32]*Interface
+}
+
+// NewNode builds an endpoint over tr. The protocol configuration carries
+// the retransmission policy and server worker count.
+func NewNode(tr transport.Transport, cfg proto.Config) *Node {
+	n := &Node{ifaces: make(map[uint32]*Interface)}
+	n.conn = proto.NewConn(tr, cfg, n.dispatch)
+	return n
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() transport.Addr { return n.conn.LocalAddr() }
+
+// Conn exposes the protocol connection (for Ping and Stats).
+func (n *Node) Conn() *proto.Conn { return n.conn }
+
+// Close shuts the node down.
+func (n *Node) Close() error { return n.conn.Close() }
+
+// Export makes an interface callable by remote nodes.
+func (n *Node) Export(iface *Interface) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ifaces[iface.ID] = iface
+}
+
+// dispatch is the proto.Handler: find the interface and procedure, run it.
+func (n *Node) dispatch(src transport.Addr, ifaceID uint32, proc uint16, args []byte) ([]byte, error) {
+	n.mu.RLock()
+	iface := n.ifaces[ifaceID]
+	n.mu.RUnlock()
+	if iface == nil {
+		return nil, ErrNoSuchInterface
+	}
+	fn := iface.procs[proc]
+	if fn == nil {
+		return nil, ErrNoSuchProc
+	}
+	return fn(src, marshal.NewDec(args))
+}
+
+// Binding is the result of binding to a remote instance of an interface:
+// the bundle of transport procedures the caller stub will use.
+type Binding struct {
+	node   *Node
+	remote transport.Addr
+	iface  uint32
+}
+
+// Bind names a remote interface instance. (No packets are exchanged at bind
+// time on the fast path; use Probe to verify liveness.)
+func (n *Node) Bind(remote transport.Addr, name string, version uint32) *Binding {
+	return &Binding{node: n, remote: remote, iface: wire.InterfaceID(name, version)}
+}
+
+// Probe checks the remote end is answering.
+func (b *Binding) Probe(timeout time.Duration) error {
+	return b.node.conn.Ping(b.remote, timeout)
+}
+
+// Client is a per-thread handle on a binding: one activity whose calls are
+// sequenced. A Client must not be used from multiple goroutines at once —
+// make one per calling goroutine, as the Firefly made one activity per
+// thread.
+type Client struct {
+	b        *Binding
+	activity uint64
+	seq      atomic.Uint32
+}
+
+// NewClient allocates an activity on the binding.
+func (b *Binding) NewClient() *Client {
+	return &Client{b: b, activity: b.node.conn.NewActivity()}
+}
+
+// Call performs a remote call. argSize is the exact marshalled size of the
+// arguments; enc fills them; dec (which may be nil) consumes the results.
+// Generated stubs compute argSize from the signature so the call packet is
+// allocated exactly once, like the Starter's packet buffer.
+func (c *Client) Call(proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
+	var args []byte
+	if argSize > 0 {
+		args = make([]byte, argSize)
+		e := marshal.NewEnc(args)
+		if enc != nil {
+			enc(e)
+		}
+		if e.Err() != nil {
+			return fmt.Errorf("%w: %v", ErrMarshal, e.Err())
+		}
+		args = e.Bytes()
+	} else if enc != nil {
+		enc(marshal.NewEnc(nil))
+	}
+	seq := c.seq.Add(1)
+	res, err := c.b.node.conn.Call(c.b.remote, c.activity, seq, c.b.iface, proc, args)
+	if err != nil {
+		return err
+	}
+	if dec != nil {
+		d := marshal.NewDec(res)
+		dec(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	return nil
+}
+
+// CheckLen validates a fixed-length array argument against its IDL-declared
+// size; generated stubs call it before marshalling.
+func CheckLen(name string, got, want int) error {
+	if got != want {
+		return fmt.Errorf("core: argument %s has %d bytes, interface declares %d", name, got, want)
+	}
+	return nil
+}
+
+// Reply is the server-stub helper: allocate a result buffer of exactly
+// size bytes and fill it.
+func Reply(size int, enc func(*marshal.Enc)) ([]byte, error) {
+	buf := make([]byte, size)
+	e := marshal.NewEnc(buf)
+	if enc != nil {
+		enc(e)
+	}
+	if e.Err() != nil {
+		return nil, e.Err()
+	}
+	return e.Bytes(), nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/transport"
+)
+
+// arith is a tiny hand-written interface: Add(a, b int32) int32 and
+// Concat(s Text) Text — the kind of stubs the IDL compiler generates.
+func arithInterface(t *testing.T) *Interface {
+	return NewInterface("Arith", 1).
+		Proc(1, func(src transport.Addr, d *marshal.Dec) ([]byte, error) {
+			a, b := d.Int32(), d.Int32()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			return Reply(4, func(e *marshal.Enc) { e.PutInt32(a + b) })
+		}).
+		Proc(2, func(src transport.Addr, d *marshal.Dec) ([]byte, error) {
+			txt := d.GetText()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			out := marshal.NewText(txt.String() + txt.String())
+			return Reply(marshal.TextWireSize(out), func(e *marshal.Enc) { e.PutText(out) })
+		})
+}
+
+func testNodes(t *testing.T) (caller, server *Node) {
+	t.Helper()
+	ex := transport.NewExchange()
+	cfg := proto.Config{RetransInterval: 20 * time.Millisecond, MaxRetries: 6, Workers: 4}
+	caller = NewNode(ex.Port("caller"), cfg)
+	server = NewNode(ex.Port("server"), cfg)
+	server.Export(arithInterface(t))
+	t.Cleanup(func() { caller.Close(); server.Close() })
+	return caller, server
+}
+
+func TestCallAdd(t *testing.T) {
+	caller, server := testNodes(t)
+	b := caller.Bind(server.Addr(), "Arith", 1)
+	c := b.NewClient()
+	var sum int32
+	err := c.Call(1, 8,
+		func(e *marshal.Enc) { e.PutInt32(20); e.PutInt32(22) },
+		func(d *marshal.Dec) { sum = d.Int32() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d, want 42", sum)
+	}
+}
+
+func TestCallText(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "Arith", 1).NewClient()
+	in := marshal.NewText("fire")
+	var out *marshal.Text
+	err := c.Call(2, marshal.TextWireSize(in),
+		func(e *marshal.Enc) { e.PutText(in) },
+		func(d *marshal.Dec) { out = d.GetText() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "firefire" {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestUnknownInterface(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "NoSuch", 1).NewClient()
+	err := c.Call(1, 0, nil, nil)
+	if err != proto.ErrRejected {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestUnknownProc(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "Arith", 1).NewClient()
+	err := c.Call(99, 0, nil, nil)
+	if err != proto.ErrRejected {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestWrongVersionRejected(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "Arith", 2).NewClient()
+	if err := c.Call(1, 8, func(e *marshal.Enc) { e.PutInt64(0) }, nil); err != proto.ErrRejected {
+		t.Fatalf("err = %v, want ErrRejected (version mismatch)", err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	caller, server := testNodes(t)
+	b := caller.Bind(server.Addr(), "Arith", 1)
+	if err := b.Probe(time.Second); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+}
+
+func TestMarshalErrorSurfaces(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "Arith", 1).NewClient()
+	// argSize too small for what enc writes: overflow must surface.
+	err := c.Call(1, 4, func(e *marshal.Enc) { e.PutInt32(1); e.PutInt32(2) }, nil)
+	if err == nil {
+		t.Fatal("marshal overflow not reported")
+	}
+}
+
+func TestShortResultSurfaces(t *testing.T) {
+	caller, server := testNodes(t)
+	c := caller.Bind(server.Addr(), "Arith", 1).NewClient()
+	err := c.Call(1, 8,
+		func(e *marshal.Enc) { e.PutInt32(1); e.PutInt32(2) },
+		func(d *marshal.Dec) { d.Int64(); d.Int64() }) // reads 16, result is 4
+	if err != marshal.ErrShort {
+		t.Fatalf("err = %v, want marshal.ErrShort", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	caller, server := testNodes(t)
+	b := caller.Bind(server.Addr(), "Arith", 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := b.NewClient()
+			for i := 0; i < 50; i++ {
+				var sum int32
+				err := c.Call(1, 8,
+					func(e *marshal.Enc) { e.PutInt32(int32(g)); e.PutInt32(int32(i)) },
+					func(d *marshal.Dec) { sum = d.Int32() })
+				if err != nil {
+					t.Errorf("g%d i%d: %v", g, i, err)
+					return
+				}
+				if sum != int32(g+i) {
+					t.Errorf("g%d i%d: sum %d", g, i, sum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDuplicateProcPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate proc did not panic")
+		}
+	}()
+	NewInterface("X", 1).Proc(1, nil).Proc(1, nil)
+}
+
+func TestOverUDP(t *testing.T) {
+	st, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback UDP:", err)
+	}
+	ct, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := proto.DefaultConfig()
+	server := NewNode(st, cfg)
+	caller := NewNode(ct, cfg)
+	defer server.Close()
+	defer caller.Close()
+	server.Export(arithInterface(t))
+
+	c := caller.Bind(server.Addr(), "Arith", 1).NewClient()
+	var sum int32
+	err = c.Call(1, 8,
+		func(e *marshal.Enc) { e.PutInt32(-5); e.PutInt32(15) },
+		func(d *marshal.Dec) { sum = d.Int32() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestOverAuthenticatedTransport(t *testing.T) {
+	ex := transport.NewExchange()
+	key := []byte("rpc shared secret")
+	cfg := proto.Config{RetransInterval: 15 * time.Millisecond, MaxRetries: 3, Workers: 2}
+	caller := NewNode(transport.WithAuth(ex.Port("caller"), key), cfg)
+	server := NewNode(transport.WithAuth(ex.Port("server"), key), cfg)
+	defer caller.Close()
+	defer server.Close()
+	server.Export(arithInterface(t))
+
+	c := caller.Bind(transport.AddrOf("server"), "Arith", 1).NewClient()
+	var sum int32
+	err := c.Call(1, 8,
+		func(e *marshal.Enc) { e.PutInt32(40); e.PutInt32(2) },
+		func(d *marshal.Dec) { sum = d.Int32() })
+	if err != nil || sum != 42 {
+		t.Fatalf("authenticated call: sum=%d err=%v", sum, err)
+	}
+
+	// A caller with the wrong key is indistinguishable from packet loss:
+	// every frame is dropped and the call times out.
+	rogue := NewNode(transport.WithAuth(ex.Port("rogue"), []byte("wrong")), cfg)
+	defer rogue.Close()
+	rc := rogue.Bind(transport.AddrOf("server"), "Arith", 1).NewClient()
+	if err := rc.Call(1, 8, func(e *marshal.Enc) { e.PutInt64(0) }, nil); err != proto.ErrTimeout {
+		t.Fatalf("rogue err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package costmodel holds the Firefly RPC latency model: every per-step cost
+// the paper reports (Tables II–VII and IX), the hardware parameters of the
+// measured configuration, the §4.2 improvement toggles, and a small number of
+// calibrated queueing constants documented in DESIGN.md §5.
+//
+// All costs are expressed in microseconds of 1989 MicroVAX II time and
+// returned as time.Duration for use with the simulator's virtual clock.
+package costmodel
+
+import "time"
+
+func us(n float64) time.Duration { return time.Duration(n * float64(time.Microsecond)) }
+
+// Packet size constants echoed from the wire format (kept numeric here so the
+// model is self-contained and obviously matches the paper's two columns).
+const (
+	SmallPacketBytes = 74   // Null() call and result packets
+	LargePacketBytes = 1514 // MaxResult(b) result packet
+)
+
+// InterruptImpl selects the implementation of the Ethernet interrupt
+// routine's main path (Table IX).
+type InterruptImpl int
+
+const (
+	// InterruptAssembly is the shipped VAX assembly version: 177 µs.
+	InterruptAssembly InterruptImpl = iota
+	// InterruptFinalModula is the best Modula-2+ version: 547 µs.
+	InterruptFinalModula
+	// InterruptOriginalModula is the first careful Modula-2+ version: 758 µs.
+	InterruptOriginalModula
+)
+
+// Cost returns the main-path execution time of the interrupt routine.
+func (i InterruptImpl) Cost() time.Duration {
+	switch i {
+	case InterruptFinalModula:
+		return us(547)
+	case InterruptOriginalModula:
+		return us(758)
+	default:
+		return us(177)
+	}
+}
+
+// String names the implementation as Table IX does.
+func (i InterruptImpl) String() string {
+	switch i {
+	case InterruptFinalModula:
+		return "Final Modula-2+"
+	case InterruptOriginalModula:
+		return "Original Modula-2+"
+	default:
+		return "Assembly language"
+	}
+}
+
+// Config describes one simulated configuration: the machine, the software
+// variant, and any §4.2 hypothetical improvements. NewConfig returns the
+// configuration the paper measured.
+type Config struct {
+	// CallerCPUs and ServerCPUs are the processors available to the
+	// scheduler on each machine (Tables X, XI vary these; 5 is standard).
+	CallerCPUs int
+	ServerCPUs int
+
+	// CPUSpeedup divides every software cost (§4.2.3 uses 3).
+	CPUSpeedup float64
+
+	// NetworkMbps is the Ethernet bit rate (§4.2.2 uses 100).
+	NetworkMbps float64
+
+	// QBusMbps is the I/O bus transfer rate through the DEQNA (16).
+	QBusMbps float64
+
+	// UDPChecksums enables software end-to-end checksums (§4.2.4 omits).
+	UDPChecksums bool
+
+	// OverlapController models a controller that fully overlaps QBus and
+	// Ethernet transfers (§4.2.1): per-packet controller latency becomes
+	// max(QBus, Ethernet) rather than their sum.
+	OverlapController bool
+
+	// RedesignedHeader models the easier-to-interpret RPC header and better
+	// hash (§4.2.5): saves 100 µs per send+receive.
+	RedesignedHeader bool
+
+	// RawEthernet omits the IP and UDP layers (§4.2.6): saves 50 µs per
+	// send+receive while retaining checksums.
+	RawEthernet bool
+
+	// BusyWait makes caller and server threads spin for incoming packets
+	// (§4.2.7), eliminating the 220 µs wakeup at each end.
+	BusyWait bool
+
+	// RecodedRuntime models rewriting the RPC runtime (not stubs) in
+	// machine code (§4.2.8): the 422 µs of Table VII runtime drops 3×.
+	RecodedRuntime bool
+
+	// Interrupt selects the Table IX interrupt-routine implementation.
+	Interrupt InterruptImpl
+
+	// ExerciserStubs uses the RPC Exerciser's hand-produced stubs (§5):
+	// 140 µs faster than standard stubs and no marshalling copies.
+	ExerciserStubs bool
+
+	// ServerThreads is the number of server threads kept waiting in the
+	// call table (the fast path requires one per concurrent call).
+	ServerThreads int
+
+	// TimingJitter is the fractional variability (±) applied to software
+	// execution times by the machine model: real handlers vary with cache
+	// and memory contention, and without this the simulator's perfectly
+	// deterministic threads convoy in lockstep, which real multithreaded
+	// runs do not.
+	TimingJitter float64
+
+	// TraditionalDemux abandons the §3.2 optimization of demultiplexing RPC
+	// packets in the Ethernet interrupt routine: instead the handler wakes a
+	// datalink thread which demultiplexes and then wakes the RPC thread,
+	// doubling the wakeups per packet ("the traditional approach lowers the
+	// amount of processing in the interrupt handler, but doubles the number
+	// of wakeups required for an RPC").
+	TraditionalDemux bool
+
+	// SecureBuffers abandons the §3.2 shared packet-buffer pool: packets are
+	// copied between protection domains instead of being read in place, as a
+	// time-sharing system would require ("the more secure buffer management
+	// required would introduce extra mapping or copying operations").
+	SecureBuffers bool
+
+	// SwappedLines applies the §5 fix: a few statements reordered to repair
+	// uniprocessor performance, at ~100 µs extra multiprocessor latency per
+	// call. Without it, uniprocessor machines lose about a packet a second
+	// and pay the 600 ms retransmission penalty. Tables X and XI were
+	// measured with the fix installed; the other tables without.
+	SwappedLines bool
+}
+
+// NewConfig returns the configuration of the measured system: 5 CPUs per
+// machine, 10 Mb/s Ethernet, UDP checksums on, assembly interrupt routine,
+// standard automatically generated stubs.
+func NewConfig() Config {
+	return Config{
+		CallerCPUs:    5,
+		ServerCPUs:    5,
+		CPUSpeedup:    1,
+		NetworkMbps:   10,
+		QBusMbps:      16,
+		UDPChecksums:  true,
+		Interrupt:     InterruptAssembly,
+		ServerThreads: 8,
+		TimingJitter:  0.05,
+	}
+}
+
+// sw scales a software cost by the CPU speedup.
+func (c *Config) sw(usec float64) time.Duration {
+	if c.CPUSpeedup > 1 {
+		usec /= c.CPUSpeedup
+	}
+	return us(usec)
+}
+
+// ---------------------------------------------------------------------------
+// Table VI: the send+receive operation.
+// ---------------------------------------------------------------------------
+
+// FinishUDPHeader is the Sender's header completion time (59 µs), less the
+// §4.2.5/§4.2.6 savings if configured.
+func (c *Config) FinishUDPHeader() time.Duration {
+	v := 59.0
+	if c.RedesignedHeader {
+		v -= 50 // half the 100 µs per-send+receive saving lands here
+	}
+	if c.RawEthernet {
+		v -= 25
+	}
+	if v < 5 {
+		v = 5
+	}
+	return c.sw(v)
+}
+
+// ChecksumCost is the software UDP checksum time for a packet of the given
+// total length: 45 µs at 74 bytes and 440 µs at 1514 bytes, interpolated
+// linearly in the checksummed bytes. Zero when checksums are off.
+func (c *Config) ChecksumCost(packetLen int) time.Duration {
+	if !c.UDPChecksums {
+		return 0
+	}
+	v := interp(packetLen, 45, 440)
+	return c.sw(v)
+}
+
+// interp linearly interpolates/extrapolates a cost between the paper's
+// 74-byte and 1514-byte columns.
+func interp(packetLen int, at74, at1514 float64) float64 {
+	return at74 + (at1514-at74)*float64(packetLen-SmallPacketBytes)/
+		float64(LargePacketBytes-SmallPacketBytes)
+}
+
+// HandleTrap is the kernel-trap entry/exit cost (37 µs).
+func (c *Config) HandleTrap() time.Duration { return c.sw(37) }
+
+// QueuePacket is the driver's cost to queue a packet for transmission (39 µs).
+func (c *Config) QueuePacket() time.Duration { return c.sw(39) }
+
+// IPILatency is the interprocessor-interrupt delivery delay to CPU 0 (10 µs,
+// estimated in the paper). It is a hardware latency, not CPU work.
+func (c *Config) IPILatency() time.Duration { return us(10) }
+
+// HandleIPI is CPU 0's interprocessor-interrupt handling (76 µs).
+func (c *Config) HandleIPI() time.Duration { return c.sw(76) }
+
+// ActivateController prods the DEQNA into action (22 µs, on CPU 0).
+func (c *Config) ActivateController() time.Duration { return c.sw(22) }
+
+// QBusTransmit is the controller's QBus read latency before transmission:
+// 70 µs at 74 bytes, 815 µs at 1514 bytes (no cut-through), scaled if the
+// QBus rate is changed from 16 Mb/s.
+func (c *Config) QBusTransmit(packetLen int) time.Duration {
+	v := interp(packetLen, 70, 815)
+	v *= 16 / c.QBusMbps
+	return us(v)
+}
+
+// EthernetTransmit is the wire time: 60 µs at 74 bytes, 1230 µs at 1514
+// bytes on the 10 Mb/s Ethernet, scaled by the configured bit rate.
+func (c *Config) EthernetTransmit(packetLen int) time.Duration {
+	v := interp(packetLen, 60, 1230)
+	v *= 10 / c.NetworkMbps
+	return us(v)
+}
+
+// QBusReceive is the controller's QBus write latency after reception:
+// 80 µs at 74 bytes, 835 µs at 1514 bytes.
+func (c *Config) QBusReceive(packetLen int) time.Duration {
+	v := interp(packetLen, 80, 835)
+	v *= 16 / c.QBusMbps
+	return us(v)
+}
+
+// ControllerTxLatency is the total controller delay from activation to the
+// last bit on the wire. Without overlap (the DEQNA) it is QBus + Ethernet;
+// the §4.2.1 controller overlaps them.
+func (c *Config) ControllerTxLatency(packetLen int) time.Duration {
+	q, e := c.QBusTransmit(packetLen), c.EthernetTransmit(packetLen)
+	if c.OverlapController {
+		if q > e {
+			return q
+		}
+		return e
+	}
+	return q + e
+}
+
+// ControllerRxLatency is the delay from last bit received to the packet in
+// memory. With the overlapping controller the QBus write overlaps reception,
+// leaving only a small residue.
+func (c *Config) ControllerRxLatency(packetLen int) time.Duration {
+	q := c.QBusReceive(packetLen)
+	if c.OverlapController {
+		return q / 8 // residual flush after cut-through
+	}
+	return q
+}
+
+// GeneralIOInterrupt is the generic interrupt-dispatch prologue (14 µs).
+func (c *Config) GeneralIOInterrupt() time.Duration { return c.sw(14) }
+
+// HandleReceivedPacket is the Ethernet interrupt routine's main path
+// (Table IX; 177 µs in assembly), less §4.2.5/§4.2.6 savings.
+func (c *Config) HandleReceivedPacket() time.Duration {
+	v := float64(c.Interrupt.Cost()) / float64(time.Microsecond)
+	if c.RedesignedHeader {
+		v -= 50
+	}
+	if c.RawEthernet {
+		v -= 25
+	}
+	if v < 20 {
+		v = 20
+	}
+	return c.sw(v)
+}
+
+// WakeupThread is the scheduler cost to awaken the waiting RPC thread from
+// the interrupt routine (220 µs). Busy-waiting threads (§4.2.7) skip it.
+func (c *Config) WakeupThread() time.Duration {
+	if c.BusyWait {
+		return c.sw(20) // flag set + spinning thread notices
+	}
+	return c.sw(220)
+}
+
+// SendReceiveTotal sums Table VI for a packet of the given length — 954 µs
+// at 74 bytes and 4414 µs at 1514 bytes in the measured configuration.
+func (c *Config) SendReceiveTotal(packetLen int) time.Duration {
+	return c.FinishUDPHeader() +
+		c.ChecksumCost(packetLen) +
+		c.HandleTrap() +
+		c.QueuePacket() +
+		c.IPILatency() +
+		c.HandleIPI() +
+		c.ActivateController() +
+		c.QBusTransmit(packetLen) +
+		c.EthernetTransmit(packetLen) +
+		c.QBusReceive(packetLen) +
+		c.GeneralIOInterrupt() +
+		c.HandleReceivedPacket() +
+		c.ChecksumCost(packetLen) +
+		c.WakeupThread()
+}
+
+// Step is one named row of Table VI or VII.
+type Step struct {
+	Name  string
+	Cost  time.Duration
+	Where string // "sender", "wire", "receiver", "caller", "server"
+}
+
+// SendReceiveSteps returns Table VI's rows for a packet of the given length.
+func (c *Config) SendReceiveSteps(packetLen int) []Step {
+	return []Step{
+		{"Finish UDP header (Sender)", c.FinishUDPHeader(), "sender"},
+		{"Calculate UDP checksum", c.ChecksumCost(packetLen), "sender"},
+		{"Handle trap to Nub", c.HandleTrap(), "sender"},
+		{"Queue packet for transmission", c.QueuePacket(), "sender"},
+		{"Interprocessor interrupt to CPU 0", c.IPILatency(), "sender"},
+		{"Handle interprocessor interrupt", c.HandleIPI(), "sender"},
+		{"Activate Ethernet controller", c.ActivateController(), "sender"},
+		{"QBus/Controller transmit latency", c.QBusTransmit(packetLen), "wire"},
+		{"Transmission time on Ethernet", c.EthernetTransmit(packetLen), "wire"},
+		{"QBus/Controller receive latency", c.QBusReceive(packetLen), "wire"},
+		{"General I/O interrupt handler", c.GeneralIOInterrupt(), "receiver"},
+		{"Handle interrupt for received pkt", c.HandleReceivedPacket(), "receiver"},
+		{"Calculate UDP checksum", c.ChecksumCost(packetLen), "receiver"},
+		{"Wakeup RPC thread", c.WakeupThread(), "receiver"},
+	}
+}

@@ -1,0 +1,264 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func TestSendReceiveTotalsMatchTableVI(t *testing.T) {
+	c := NewConfig()
+	if got := usec(c.SendReceiveTotal(74)); got != 954 {
+		t.Errorf("send+receive 74B = %v µs, want 954 (Table VI)", got)
+	}
+	if got := usec(c.SendReceiveTotal(1514)); got != 4414 {
+		t.Errorf("send+receive 1514B = %v µs, want 4414 (Table VI)", got)
+	}
+}
+
+func TestSendReceiveStepsMatchTableVI(t *testing.T) {
+	c := NewConfig()
+	want74 := []float64{59, 45, 37, 39, 10, 76, 22, 70, 60, 80, 14, 177, 45, 220}
+	want1514 := []float64{59, 440, 37, 39, 10, 76, 22, 815, 1230, 835, 14, 177, 440, 220}
+	s74 := c.SendReceiveSteps(74)
+	s1514 := c.SendReceiveSteps(1514)
+	if len(s74) != len(want74) {
+		t.Fatalf("%d steps, want %d", len(s74), len(want74))
+	}
+	for i := range want74 {
+		if usec(s74[i].Cost) != want74[i] {
+			t.Errorf("step %q 74B = %v µs, want %v", s74[i].Name, usec(s74[i].Cost), want74[i])
+		}
+		if usec(s1514[i].Cost) != want1514[i] {
+			t.Errorf("step %q 1514B = %v µs, want %v", s1514[i].Name, usec(s1514[i].Cost), want1514[i])
+		}
+	}
+}
+
+func TestStubRuntimeTotalMatchesTableVII(t *testing.T) {
+	c := NewConfig()
+	if got := usec(c.StubRuntimeTotal()); got != 606 {
+		t.Errorf("stub+runtime total = %v µs, want 606 (Table VII)", got)
+	}
+	want := []float64{16, 90, 128, 27, 158, 68, 10, 27, 49, 33}
+	steps := c.StubRuntimeSteps()
+	for i, s := range steps {
+		if usec(s.Cost) != want[i] {
+			t.Errorf("step %q = %v µs, want %v", s.Name, usec(s.Cost), want[i])
+		}
+	}
+}
+
+func TestCompositionMatchesTableVIII(t *testing.T) {
+	c := NewConfig()
+	null := c.StubRuntimeTotal() + c.SendReceiveTotal(74) + c.SendReceiveTotal(74)
+	if got := usec(null); got != 2514 {
+		t.Errorf("Null() composed latency = %v µs, want 2514 (Table VIII)", got)
+	}
+	max := c.StubRuntimeTotal() + c.MarshalVarArray(1440) +
+		c.SendReceiveTotal(74) + c.SendReceiveTotal(1514)
+	if got := usec(max); got != 6524 {
+		t.Errorf("MaxResult(b) composed latency = %v µs, want 6524 (Table VIII)", got)
+	}
+}
+
+func TestMarshalIntsMatchesTableII(t *testing.T) {
+	c := NewConfig()
+	for _, n := range []int{1, 2, 4} {
+		if got := usec(c.MarshalInts(n)); got != float64(8*n) {
+			t.Errorf("MarshalInts(%d) = %v µs, want %d (Table II)", n, got, 8*n)
+		}
+	}
+}
+
+func TestMarshalFixedArrayMatchesTableIII(t *testing.T) {
+	c := NewConfig()
+	if got := usec(c.MarshalFixedArray(4)); got != 20 {
+		t.Errorf("fixed 4B = %v µs, want 20", got)
+	}
+	if got := usec(c.MarshalFixedArray(400)); got != 140 {
+		t.Errorf("fixed 400B = %v µs, want 140", got)
+	}
+}
+
+func TestMarshalVarArrayMatchesTableIV(t *testing.T) {
+	c := NewConfig()
+	if got := usec(c.MarshalVarArray(1)); got != 115 {
+		t.Errorf("var 1B = %v µs, want 115", got)
+	}
+	if got := usec(c.MarshalVarArray(1440)); got != 550 {
+		t.Errorf("var 1440B = %v µs, want 550", got)
+	}
+}
+
+func TestMarshalTextMatchesTableV(t *testing.T) {
+	c := NewConfig()
+	if got := usec(c.MarshalText(0, true)); got != 89 {
+		t.Errorf("NIL text = %v µs, want 89", got)
+	}
+	if got := usec(c.MarshalText(1, false)); got != 378 {
+		t.Errorf("1B text = %v µs, want 378", got)
+	}
+	if got := usec(c.MarshalText(128, false)); got != 659 {
+		t.Errorf("128B text = %v µs, want 659", got)
+	}
+}
+
+func TestInterruptImplMatchesTableIX(t *testing.T) {
+	cases := []struct {
+		impl InterruptImpl
+		cost float64
+		name string
+	}{
+		{InterruptOriginalModula, 758, "Original Modula-2+"},
+		{InterruptFinalModula, 547, "Final Modula-2+"},
+		{InterruptAssembly, 177, "Assembly language"},
+	}
+	for _, cse := range cases {
+		if usec(cse.impl.Cost()) != cse.cost {
+			t.Errorf("%v cost = %v, want %v", cse.impl, usec(cse.impl.Cost()), cse.cost)
+		}
+		if cse.impl.String() != cse.name {
+			t.Errorf("name = %q, want %q", cse.impl.String(), cse.name)
+		}
+	}
+}
+
+// §4.2.4: omitting UDP checksums saves 180 µs on Null (4×45) and
+// 970-1000 µs on MaxResult.
+func TestOmitChecksumSavings(t *testing.T) {
+	on, off := NewConfig(), NewConfig()
+	off.UDPChecksums = false
+	nullSave := usec(on.SendReceiveTotal(74)+on.SendReceiveTotal(74)) -
+		usec(off.SendReceiveTotal(74)+off.SendReceiveTotal(74))
+	if nullSave != 180 {
+		t.Errorf("Null checksum saving = %v µs, want 180 (§4.2.4)", nullSave)
+	}
+	maxSave := usec(on.SendReceiveTotal(74)+on.SendReceiveTotal(1514)) -
+		usec(off.SendReceiveTotal(74)+off.SendReceiveTotal(1514))
+	if maxSave != 970 {
+		t.Errorf("MaxResult checksum saving = %v µs, want 970 (§4.2.4 says ~1000)", maxSave)
+	}
+}
+
+// §4.2.2: a 100 Mb/s network saves ~110 µs on Null and ~1160 µs on MaxResult.
+func TestFastNetworkSavings(t *testing.T) {
+	slow, fast := NewConfig(), NewConfig()
+	fast.NetworkMbps = 100
+	nullSave := usec(slow.EthernetTransmit(74))*2 - usec(fast.EthernetTransmit(74))*2
+	if nullSave < 100 || nullSave > 120 {
+		t.Errorf("Null fast-net saving = %v µs, want ~110 (§4.2.2)", nullSave)
+	}
+	maxSave := usec(slow.EthernetTransmit(74)) + usec(slow.EthernetTransmit(1514)) -
+		usec(fast.EthernetTransmit(74)) - usec(fast.EthernetTransmit(1514))
+	if maxSave < 1100 || maxSave > 1220 {
+		t.Errorf("MaxResult fast-net saving = %v µs, want ~1160 (§4.2.2)", maxSave)
+	}
+}
+
+// §4.2.1: an overlapping controller saves ~300 µs on Null and ~1800 µs on
+// MaxResult.
+func TestOverlapControllerSavings(t *testing.T) {
+	std, ovl := NewConfig(), NewConfig()
+	ovl.OverlapController = true
+	perPkt := func(c Config, n int) float64 {
+		return usec(c.ControllerTxLatency(n) + c.ControllerRxLatency(n))
+	}
+	nullSave := 2 * (perPkt(std, 74) - perPkt(ovl, 74))
+	if nullSave < 200 || nullSave > 350 {
+		t.Errorf("Null overlap saving = %v µs, want ~300 (§4.2.1)", nullSave)
+	}
+	maxSave := (perPkt(std, 74) - perPkt(ovl, 74)) + (perPkt(std, 1514) - perPkt(ovl, 1514))
+	if maxSave < 1600 || maxSave > 2000 {
+		t.Errorf("MaxResult overlap saving = %v µs, want ~1800 (§4.2.1)", maxSave)
+	}
+}
+
+// §4.2.7: busy waiting saves ~440 µs per RPC (two wakeups).
+func TestBusyWaitSavings(t *testing.T) {
+	std, bw := NewConfig(), NewConfig()
+	bw.BusyWait = true
+	save := 2 * (usec(std.WakeupThread()) - usec(bw.WakeupThread()))
+	if save != 400 {
+		t.Errorf("busy-wait saving = %v µs, want 400 (§4.2.7 says ~440)", save)
+	}
+}
+
+// §4.2.8: recoding the runtime saves ~280 µs per RPC (422 µs sped up 3×).
+func TestRecodedRuntimeSavings(t *testing.T) {
+	std, rec := NewConfig(), NewConfig()
+	rec.RecodedRuntime = true
+	save := usec(std.StubRuntimeTotal()) - usec(rec.StubRuntimeTotal())
+	if save < 270 || save > 290 {
+		t.Errorf("recoded-runtime saving = %v µs, want ~281 (§4.2.8)", save)
+	}
+}
+
+// §4.2.3: 3× CPUs cut Null's composed software time by ~1380 µs.
+func TestFastCPUSavings(t *testing.T) {
+	std, fast := NewConfig(), NewConfig()
+	fast.CPUSpeedup = 3
+	null := func(c Config) float64 {
+		return usec(c.StubRuntimeTotal() + c.SendReceiveTotal(74)*2)
+	}
+	save := null(std) - null(fast)
+	if save < 1300 || save > 1450 {
+		t.Errorf("3× CPU saving on Null = %v µs, want ~1380 (§4.2.3)", save)
+	}
+}
+
+// §4.2.5 + §4.2.6: header redesign saves ~200 µs/RPC; raw Ethernet ~100 µs.
+func TestHeaderSavings(t *testing.T) {
+	std := NewConfig()
+	hdr := NewConfig()
+	hdr.RedesignedHeader = true
+	raw := NewConfig()
+	raw.RawEthernet = true
+	perRPC := func(c Config) float64 { return 2 * usec(c.SendReceiveTotal(74)) }
+	if save := perRPC(std) - perRPC(hdr); save != 200 {
+		t.Errorf("redesigned-header saving = %v µs, want 200 (§4.2.5)", save)
+	}
+	if save := perRPC(std) - perRPC(raw); save != 100 {
+		t.Errorf("raw-ethernet saving = %v µs, want 100 (§4.2.6)", save)
+	}
+}
+
+// §5: Exerciser hand stubs are 140 µs faster for Null.
+func TestExerciserStubSavings(t *testing.T) {
+	std, ex := NewConfig(), NewConfig()
+	ex.ExerciserStubs = true
+	save := usec(std.StubRuntimeTotal()) - usec(ex.StubRuntimeTotal())
+	if save != 140 {
+		t.Errorf("exerciser stub saving = %v µs, want 140 (§5)", save)
+	}
+	if ex.MarshalVarArray(1440) != 0 {
+		t.Error("exerciser stubs must not marshal")
+	}
+}
+
+func TestCPUSpeedupScalesSoftwareOnly(t *testing.T) {
+	fast := NewConfig()
+	fast.CPUSpeedup = 2
+	std := NewConfig()
+	if fast.EthernetTransmit(1514) != std.EthernetTransmit(1514) {
+		t.Error("CPU speedup must not change wire time")
+	}
+	if fast.QBusTransmit(1514) != std.QBusTransmit(1514) {
+		t.Error("CPU speedup must not change QBus time")
+	}
+	if fast.HandleTrap() >= std.HandleTrap() {
+		t.Error("CPU speedup must scale software costs")
+	}
+	if fast.IPILatency() != std.IPILatency() {
+		t.Error("IPI delivery is hardware latency")
+	}
+}
+
+func TestChecksumInterpolation(t *testing.T) {
+	c := NewConfig()
+	mid := usec(c.ChecksumCost(794)) // halfway between 74 and 1514
+	if mid != 242.5 {
+		t.Errorf("checksum at midpoint = %v µs, want 242.5", mid)
+	}
+}

@@ -1,0 +1,156 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOverlapControllerLatencies(t *testing.T) {
+	std, ovl := NewConfig(), NewConfig()
+	ovl.OverlapController = true
+	// Without overlap: tx = QBus + Ethernet; with: max of the two.
+	if std.ControllerTxLatency(1514) != std.QBusTransmit(1514)+std.EthernetTransmit(1514) {
+		t.Fatal("standard controller must serialize QBus and Ethernet")
+	}
+	if ovl.ControllerTxLatency(1514) != ovl.EthernetTransmit(1514) {
+		t.Fatal("overlap controller tx must be the Ethernet time (the longer)")
+	}
+	// For tiny packets the QBus leg can dominate the overlap maximum.
+	fast := NewConfig()
+	fast.OverlapController = true
+	fast.NetworkMbps = 1000
+	if fast.ControllerTxLatency(74) != fast.QBusTransmit(74) {
+		t.Fatal("overlap controller must take the max leg")
+	}
+	if ovl.ControllerRxLatency(1514) >= std.ControllerRxLatency(1514) {
+		t.Fatal("overlap controller rx must shrink")
+	}
+}
+
+func TestRawEthernetAndHeaderFloors(t *testing.T) {
+	c := NewConfig()
+	c.RedesignedHeader = true
+	c.RawEthernet = true
+	c.CPUSpeedup = 100 // drive everything toward the floors
+	if c.FinishUDPHeader() <= 0 {
+		t.Fatal("header cost must stay positive")
+	}
+	if c.HandleReceivedPacket() <= 0 {
+		t.Fatal("interrupt cost must stay positive")
+	}
+}
+
+func TestBusyWaitWakeup(t *testing.T) {
+	c, std := NewConfig(), NewConfig()
+	c.BusyWait = true
+	if c.WakeupThread() >= std.WakeupThread() {
+		t.Fatal("busy wait must shrink the wakeup cost")
+	}
+}
+
+func TestQBusScaling(t *testing.T) {
+	std, fast := NewConfig(), NewConfig()
+	fast.QBusMbps = 32
+	if fast.QBusTransmit(1514) != std.QBusTransmit(1514)/2 {
+		t.Fatalf("doubling QBus rate must halve transfer time: %v vs %v",
+			fast.QBusTransmit(1514), std.QBusTransmit(1514))
+	}
+	if fast.QBusReceive(1514) != std.QBusReceive(1514)/2 {
+		t.Fatal("QBus receive must scale too")
+	}
+}
+
+func TestSwappedLinesPenalty(t *testing.T) {
+	c := NewConfig()
+	if c.SwappedLinesPenalty(5) != 0 {
+		t.Fatal("no penalty without the fix installed")
+	}
+	c.SwappedLines = true
+	if c.SwappedLinesPenalty(5) != 50*time.Microsecond {
+		t.Fatal("multiprocessor penalty must be 50 µs per machine")
+	}
+	if c.SwappedLinesPenalty(1) != 0 {
+		t.Fatal("uniprocessors skip the multiprocessor penalty")
+	}
+}
+
+func TestUnswappedDropProb(t *testing.T) {
+	c := NewConfig()
+	if c.UnswappedUniprocDropProb(1) != 1.0/500 {
+		t.Fatal("unswapped uniprocessor must drop ~1/500")
+	}
+	if c.UnswappedUniprocDropProb(5) != 0 {
+		t.Fatal("multiprocessors do not exhibit the bug")
+	}
+	c.SwappedLines = true
+	if c.UnswappedUniprocDropProb(1) != 0 {
+		t.Fatal("the fix eliminates the drops")
+	}
+}
+
+func TestSecureBufferCopy(t *testing.T) {
+	c := NewConfig()
+	if c.SecureBufferCopy(1514) != 0 {
+		t.Fatal("no copy cost with shared buffers")
+	}
+	c.SecureBuffers = true
+	small, big := c.SecureBufferCopy(74), c.SecureBufferCopy(1514)
+	if small <= 0 || big <= small {
+		t.Fatalf("copy cost must grow with size: %v, %v", small, big)
+	}
+	// ~40 + 0.3/byte: 74 B ≈ 62 µs, 1514 B ≈ 494 µs.
+	if usec(big) < 480 || usec(big) > 510 {
+		t.Fatalf("1514-byte copy = %v µs, want ~494", usec(big))
+	}
+}
+
+func TestRetransAndScheduleConstants(t *testing.T) {
+	c := NewConfig()
+	if c.RetransTimeout() != 600*time.Millisecond {
+		t.Fatal("retransmission timeout must be the paper's ~600 ms")
+	}
+	if c.MaxRetransmits() <= 0 {
+		t.Fatal("retransmit bound must be positive")
+	}
+	if c.DispatchSlop() <= 0 || c.SlowWakeupExtra() <= 0 ||
+		c.ContextSwitch() <= 0 || c.UniprocCallerExtra() <= 0 {
+		t.Fatal("scheduler constants must be positive")
+	}
+	if c.UniprocServerExtra() < 0 || c.NubDeferredSend() <= 0 ||
+		c.NubDeferredWakeup() <= 0 || c.ControllerRecovery() <= 0 {
+		t.Fatal("calibration constants out of range")
+	}
+	if c.IdleLoadFraction() != 0.15 {
+		t.Fatal("idle load must be the paper's ~0.15 CPUs")
+	}
+	if c.DatalinkDemux() <= 0 || c.LocalTransportHalf() <= 0 {
+		t.Fatal("transport constants must be positive")
+	}
+}
+
+func TestMarshalFixedArrayFloor(t *testing.T) {
+	c := NewConfig()
+	if c.MarshalFixedArray(0) < 0 {
+		t.Fatal("marshal cost must not go negative")
+	}
+}
+
+func TestExerciserZeroesMarshalling(t *testing.T) {
+	c := NewConfig()
+	c.ExerciserStubs = true
+	if c.MarshalInts(4) != 0 || c.MarshalFixedArray(400) != 0 ||
+		c.MarshalVarArray(1440) != 0 || c.MarshalText(128, false) != 0 {
+		t.Fatal("exerciser stubs do no marshalling")
+	}
+}
+
+func TestLocalNullFootnoteIdentity(t *testing.T) {
+	// 937 µs = Table VII (minus the 16 µs loop) + two local transport
+	// halves + two dispatch slops.
+	c := NewConfig()
+	total := usec(c.StubRuntimeTotal()) - usec(c.CallerLoop()) +
+		2*usec(c.LocalTransportHalf()) + 2*usec(c.DispatchSlop())
+	if total != 937 {
+		t.Fatalf("local Null model = %v µs, want 937 (footnote)", total)
+	}
+}

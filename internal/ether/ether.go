@@ -1,0 +1,116 @@
+// Package ether simulates a private 10 megabit/second Ethernet segment: a
+// single shared medium to which station controllers attach. Transmissions
+// are serialized FIFO (carrier-sense deference; the measured configuration
+// was a private Ethernet with two stations, so collisions are negligible and
+// are not modeled). Delivery happens when the last bit is transmitted.
+package ether
+
+import (
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+// Segment is a shared Ethernet.
+type Segment struct {
+	k        *sim.Kernel
+	medium   *sim.Resource
+	stations map[wire.MAC]*Port
+	order    []*Port // attachment order, for deterministic broadcast
+
+	// Stats
+	frames    int64
+	bytes     int64
+	dropNoDst int64
+
+	// LossRate drops a fraction of frames at delivery time, for protocol
+	// fault-injection tests. Zero on the fast path.
+	LossRate float64
+}
+
+// NewSegment creates an empty segment on the kernel's clock.
+func NewSegment(k *sim.Kernel) *Segment {
+	return &Segment{
+		k:        k,
+		medium:   sim.NewResource(k, "ethernet", 1),
+		stations: make(map[wire.MAC]*Port),
+	}
+}
+
+// Port is one station's attachment to the segment.
+type Port struct {
+	seg     *Segment
+	mac     wire.MAC
+	deliver func(frame []byte)
+}
+
+// Attach connects a station. deliver is invoked (in event context) when a
+// frame addressed to mac — or broadcast — finishes transmission.
+func (s *Segment) Attach(mac wire.MAC, deliver func(frame []byte)) *Port {
+	if _, dup := s.stations[mac]; dup {
+		panic("ether: duplicate MAC " + mac.String())
+	}
+	p := &Port{seg: s, mac: mac, deliver: deliver}
+	s.stations[mac] = p
+	s.order = append(s.order, p)
+	return p
+}
+
+// MAC returns the port's address.
+func (p *Port) MAC() wire.MAC { return p.mac }
+
+// Transmit sends a frame taking txTime on the wire (computed by the caller
+// from its bit-rate model, so the §4.2.2 faster-network variant needs no
+// changes here). onSent fires when the last bit leaves the transmitter;
+// delivery to the destination port happens at the same instant.
+//
+// The frame slice must not be modified by the caller after Transmit; the
+// destination receives the same backing array (the simulator models DMA, not
+// a copying network stack).
+func (p *Port) Transmit(frame []byte, txTime sim.Duration, onSent func()) {
+	s := p.seg
+	s.medium.Submit(txTime, func() {
+		s.frames++
+		s.bytes += int64(len(frame))
+		if onSent != nil {
+			onSent()
+		}
+		if s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate {
+			return // frame lost on the wire
+		}
+		hdr, _, err := wire.UnmarshalEthernet(frame)
+		if err != nil {
+			return
+		}
+		if hdr.Dst == wire.Broadcast {
+			for _, dst := range s.order { // attachment order: deterministic
+				if dst.mac != p.mac {
+					dst.deliver(frame)
+				}
+			}
+			return
+		}
+		if dst, ok := s.stations[hdr.Dst]; ok {
+			dst.deliver(frame)
+		} else {
+			s.dropNoDst++
+		}
+	})
+}
+
+// Stats reports traffic counters.
+type Stats struct {
+	Frames      int64
+	Bytes       int64
+	DropNoDst   int64
+	Utilization float64
+}
+
+// Stats returns a snapshot of segment counters.
+func (s *Segment) Stats() Stats {
+	return Stats{
+		Frames:      s.frames,
+		Bytes:       s.bytes,
+		DropNoDst:   s.dropNoDst,
+		Utilization: s.medium.Utilization(),
+	}
+}

@@ -1,0 +1,305 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs experiments fast enough for tests.
+var quick = Options{Quality: 0.1, Seed: 1}
+
+// cell parses a numeric table cell (possibly "x (y)" formatted — takes x).
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.Fields(s)[0]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// within asserts |got-want| <= tol*|want| (absolute floor abs).
+func within(t *testing.T, name string, got, want, relTol, absFloor float64) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	lim := relTol * want
+	if lim < 0 {
+		lim = -lim
+	}
+	if lim < absFloor {
+		lim = absFloor
+	}
+	if diff > lim {
+		t.Errorf("%s: got %v, want %v ± %v", name, got, want, lim)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run(quick)
+			if tb.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Headers) {
+					t.Fatalf("row %v has %d cells, headers %d", row, len(row), len(tb.Headers))
+				}
+			}
+			out := tb.Render()
+			if !strings.Contains(out, "Table "+e.ID) {
+				t.Error("render missing title")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("viii"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestTableIShapeHolds(t *testing.T) {
+	tb := TableI(Options{Quality: 0.3, Seed: 1})
+	// Row 0: 1 thread. Null latency 2.66 s/1000... i.e. 26.6 s/10000.
+	within(t, "Null 1-thread s/10k", cell(t, tb.Rows[0][1]), 26.61, 0.06, 0)
+	within(t, "Max 1-thread Mb/s", cell(t, tb.Rows[0][7]), 1.82, 0.10, 0)
+	// Saturation: threads 6-8 around 700-740 calls/s.
+	within(t, "Null 7-thread rate", cell(t, tb.Rows[6][3]), 741, 0.12, 0)
+	within(t, "Max 5-thread Mb/s", cell(t, tb.Rows[4][7]), 4.69, 0.12, 0)
+	// Monotone non-decreasing rates with thread count (within noise).
+	prev := 0.0
+	for i, row := range tb.Rows {
+		rate := cell(t, row[3])
+		if rate+60 < prev {
+			t.Errorf("Null rate decreased sharply at %d threads: %v -> %v", i+1, prev, rate)
+		}
+		if rate > prev {
+			prev = rate
+		}
+	}
+}
+
+func TestTableIIThroughVExact(t *testing.T) {
+	// Marshalling increments are charged from the cost model, so the
+	// reproduced values must match the paper's within rounding.
+	for _, pair := range []struct {
+		tb   Table
+		want []float64
+	}{
+		{TableII(quick), []float64{8, 16, 32}},
+		{TableIII(quick), []float64{20, 140}},
+		{TableIV(quick), []float64{115, 550}},
+		{TableV(quick), []float64{89, 378, 659}},
+	} {
+		for i, want := range pair.want {
+			within(t, pair.tb.ID+" row "+strconv.Itoa(i), cell(t, pair.tb.Rows[i][1]), want, 0, 2.5)
+		}
+	}
+}
+
+func TestTableVITotalsExact(t *testing.T) {
+	tb := TableVI(quick)
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] != "954" || last[3] != "4414" {
+		t.Fatalf("send+receive totals %v, want 954 / 4414", last)
+	}
+	// Every reproduced step must equal the paper column.
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		if row[1] != row[2] || row[3] != row[4] {
+			t.Errorf("step %q: %v/%v vs paper %v/%v", row[0], row[1], row[3], row[2], row[4])
+		}
+	}
+}
+
+func TestTableVIITotalExact(t *testing.T) {
+	tb := TableVII(quick)
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[2] != "606" {
+		t.Fatalf("stub+runtime total %v, want 606", last[2])
+	}
+}
+
+func TestTableVIIIAccountsWithinFivePercent(t *testing.T) {
+	tb := TableVIII(Options{Quality: 0.3, Seed: 1})
+	var nullModel, nullMeasured, maxModel, maxMeasured float64
+	for _, row := range tb.Rows {
+		switch row[1] {
+		case "TOTAL (model)":
+			if nullModel == 0 {
+				nullModel = cell(t, row[2])
+			} else {
+				maxModel = cell(t, row[2])
+			}
+		case "Measured (simulated end-to-end)":
+			if nullMeasured == 0 {
+				nullMeasured = cell(t, row[2])
+			} else {
+				maxMeasured = cell(t, row[2])
+			}
+		}
+	}
+	if nullModel != 2514 || maxModel != 6524 {
+		t.Fatalf("model totals %v/%v, want 2514/6524", nullModel, maxModel)
+	}
+	// The accounting identity: measured within ~5% of the model.
+	within(t, "Null measured vs model", nullMeasured, nullModel, 0.055, 0)
+	within(t, "Max measured vs model", maxMeasured, maxModel, 0.055, 0)
+}
+
+func TestTableIXOrdering(t *testing.T) {
+	tb := TableIX(quick)
+	lat := func(i int) float64 { return cell(t, tb.Rows[i][3]) }
+	if !(lat(0) > lat(1) && lat(1) > lat(2)) {
+		t.Fatalf("latency not decreasing across implementations: %v %v %v", lat(0), lat(1), lat(2))
+	}
+	// Original Modula-2+ adds ~1160 µs over assembly (two interrupts/RPC).
+	within(t, "original vs assembly", lat(0)-lat(2), 1162, 0.25, 0)
+}
+
+func TestTableXUniprocessorJump(t *testing.T) {
+	tb := TableX(Options{Quality: 0.5, Seed: 1})
+	sec := func(i int) float64 { return cell(t, tb.Rows[i][2]) }
+	// 5/5 ≈ 2.69 s, 1/5 jumps ~47%, 1/1 worst.
+	within(t, "5/5", sec(0), 2.69, 0.06, 0)
+	if sec(4) < sec(0)*1.3 {
+		t.Errorf("uniprocessor caller jump too small: %v vs %v", sec(4), sec(0))
+	}
+	if sec(8) <= sec(4) {
+		t.Errorf("1/1 (%v) not slower than 1/5 (%v)", sec(8), sec(4))
+	}
+	// 2/5 within ~10% of 5/5 ("reducing caller processors from 5 down to 2
+	// increases latency only about 10%").
+	if sec(3) > sec(0)*1.18 {
+		t.Errorf("2/5 (%v) more than ~10%% above 5/5 (%v)", sec(3), sec(0))
+	}
+}
+
+func TestTableXIUniprocessorHalves(t *testing.T) {
+	tb := TableXI(Options{Quality: 0.3, Seed: 1})
+	// Locate rows: 15 rows, [pair][thread].
+	mbps := func(pair, thread int) float64 { return cell(t, tb.Rows[pair*5+thread][2]) }
+	// 5/5 saturation ~4.6-4.7; 1/1 saturation ~2.0-2.5.
+	if m := mbps(0, 4); m < 4.0 {
+		t.Errorf("5/5 saturation %v, want ≥ 4.0", m)
+	}
+	uni := mbps(2, 4)
+	multi := mbps(0, 4)
+	if uni > multi*0.65 || uni < multi*0.30 {
+		t.Errorf("1/1 saturation %v not roughly half of 5/5 %v", uni, multi)
+	}
+	// Single-thread rows ordered: 5/5 > 1/5 > 1/1 (within noise).
+	if !(mbps(0, 0) > mbps(2, 0)) {
+		t.Errorf("single-thread ordering violated: %v %v", mbps(0, 0), mbps(2, 0))
+	}
+}
+
+func TestTableXIIHasAllSystems(t *testing.T) {
+	tb := TableXII(quick)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[5][5], "reproduced") || !strings.Contains(tb.Rows[6][5], "reproduced") {
+		t.Fatal("Firefly rows not marked reproduced")
+	}
+	// The reproduced 5x1 Firefly latency should be ~2.7 ms.
+	within(t, "Firefly 5x1 latency", cell(t, tb.Rows[6][3]), 2.7, 0.08, 0)
+}
+
+func TestImprovementsDirections(t *testing.T) {
+	tb := Improvements(Options{Quality: 0.3, Seed: 1})
+	if len(tb.Rows) != 8 {
+		t.Fatalf("%d improvement rows, want 8", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		nullSave := cell(t, row[1])
+		paperNull := paperImprovements[i].NullUs
+		// Every improvement must save time, in the right ballpark (±40%
+		// of the paper's estimate or 120 µs, whichever is larger — these
+		// were estimates, not measurements, in the paper too).
+		if nullSave <= 0 {
+			t.Errorf("%s: no saving on Null (%v)", row[0], nullSave)
+			continue
+		}
+		within(t, row[0]+" Null saving", nullSave, paperNull, 0.4, 130)
+	}
+	// §4.2.3 (faster CPUs) must be the largest Null saving, as in the paper.
+	best, bestIdx := 0.0, -1
+	for i, row := range tb.Rows {
+		if v := cell(t, row[1]); v > best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx != 2 {
+		t.Errorf("largest Null saving is row %d, want 2 (faster CPUs)", bestIdx)
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tb := Table{
+		ID: "T", Title: "test",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"xxxxxx", "1"}, {"y", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, two rows, note
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[5], "note:") {
+		t.Error("note missing")
+	}
+}
+
+func TestStreamingHypothesis(t *testing.T) {
+	tb := Streaming(Options{Quality: 0.5, Seed: 1})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tb.Rows))
+	}
+	// Rows: 0=5/5 threads, 1=5/5 streaming, 2=1/1 threads, 3=1/1 streaming.
+	multiThreads := cell(t, tb.Rows[0][4])
+	uniThreads := cell(t, tb.Rows[2][4])
+	uniStream := cell(t, tb.Rows[3][4])
+	// §5's prediction: streaming wins on the uniprocessor...
+	if uniStream < uniThreads*1.2 {
+		t.Errorf("uniproc streaming %.2f not ≥ 1.2× threads %.2f", uniStream, uniThreads)
+	}
+	// ...while parallel threads still saturate the multiprocessor.
+	if multiThreads < 4.0 {
+		t.Errorf("multiproc thread throughput %.2f, want ≥ 4.0", multiThreads)
+	}
+}
+
+func TestAblationsAllCostSomething(t *testing.T) {
+	tb := Ablations(Options{Quality: 0.3, Seed: 1})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want baseline + 3 ablations", len(tb.Rows))
+	}
+	baseNull := cell(t, tb.Rows[0][1])
+	for _, row := range tb.Rows[1:] {
+		n := cell(t, row[1])
+		if n <= baseNull {
+			t.Errorf("%s: Null %.0f not worse than baseline %.0f", row[0], n, baseNull)
+		}
+	}
+	// Removing the interrupt-level demux must cost roughly two wakeups
+	// (§3.2: "doubles the number of wakeups required for an RPC").
+	demuxDelta := cell(t, tb.Rows[1][1]) - baseNull
+	if demuxDelta < 500 || demuxDelta > 1100 {
+		t.Errorf("datalink-demux ablation costs %.0f µs, want ~800", demuxDelta)
+	}
+}

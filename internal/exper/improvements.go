@@ -1,0 +1,67 @@
+package exper
+
+import (
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/simstack"
+)
+
+// Improvements re-simulates each §4.2 hypothetical change and reports the
+// measured saving on Null() and MaxResult(b) beside the paper's estimates.
+// The paper cautions that effects are not independent and cannot simply be
+// added; re-simulation honors that by measuring each change alone.
+func Improvements(o Options) Table {
+	t := Table{
+		ID:    "improvements",
+		Title: "§4.2 estimated improvements, re-simulated one at a time",
+		Headers: []string{
+			"change",
+			"Null saved µs", "paper", "Null %", "paper",
+			"Max saved µs", "paper", "Max %", "paper",
+		},
+	}
+	calls := o.calls(1000)
+
+	measure := func(cfg costmodel.Config) (nullUs, maxUs float64) {
+		w := simstack.NewWorld(&cfg, o.Seed)
+		nullUs = w.Run(simstack.NullSpec(&cfg), 1, calls).LatencyMicros()
+		cfg2 := cfg
+		w2 := simstack.NewWorld(&cfg2, o.Seed)
+		maxUs = w2.Run(simstack.MaxResultSpec(&cfg2), 1, calls/2).LatencyMicros()
+		return
+	}
+
+	baseNull, baseMax := measure(costmodel.NewConfig())
+
+	variants := []struct {
+		name  string
+		apply func(*costmodel.Config)
+	}{
+		{"Different network controller", func(c *costmodel.Config) { c.OverlapController = true }},
+		{"Faster network (100 Mb/s)", func(c *costmodel.Config) { c.NetworkMbps = 100 }},
+		{"Faster CPUs (3x)", func(c *costmodel.Config) { c.CPUSpeedup = 3 }},
+		{"Omit UDP checksums", func(c *costmodel.Config) { c.UDPChecksums = false }},
+		{"Redesign RPC protocol", func(c *costmodel.Config) { c.RedesignedHeader = true }},
+		{"Omit layering on IP and UDP", func(c *costmodel.Config) { c.RawEthernet = true }},
+		{"Busy wait", func(c *costmodel.Config) { c.BusyWait = true }},
+		{"Recode RPC runtime (except stubs)", func(c *costmodel.Config) { c.RecodedRuntime = true }},
+	}
+
+	for i, v := range variants {
+		cfg := costmodel.NewConfig()
+		v.apply(&cfg)
+		nullUs, maxUs := measure(cfg)
+		nullSave := baseNull - nullUs
+		maxSave := baseMax - maxUs
+		p := paperImprovements[i]
+		t.Rows = append(t.Rows, []string{
+			p.Section + " " + v.name,
+			f0(nullSave), f0(p.NullUs),
+			pct(nullSave / baseNull * 100), pct(p.NullPct),
+			f0(maxSave), f0(p.MaxUs),
+			pct(maxSave / baseMax * 100), pct(p.MaxPct),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"baseline Null "+f0(baseNull)+" µs, MaxResult "+f0(baseMax)+" µs; paper estimates from §4.2 against 2660/6350 µs")
+	return t
+}

@@ -1,0 +1,165 @@
+package exper
+
+// Published values from the paper, kept as data so every regenerated table
+// can print "paper vs. reproduced" side by side.
+
+// paperTableI: per thread count, Null seconds/10000 and RPCs/sec, then
+// MaxResult seconds/10000 and megabits/sec.
+var paperTableI = []struct {
+	Threads  int
+	NullSec  float64
+	NullRate float64
+	MaxSec   float64
+	MaxMbps  float64
+}{
+	{1, 26.61, 375, 63.47, 1.82},
+	{2, 16.80, 595, 35.28, 3.28},
+	{3, 16.26, 615, 27.28, 4.25},
+	{4, 15.45, 647, 24.93, 4.65},
+	{5, 15.11, 662, 24.69, 4.69},
+	{6, 14.69, 680, 24.65, 4.70},
+	{7, 13.49, 741, 24.72, 4.69},
+	{8, 13.67, 732, 24.68, 4.69},
+}
+
+// paperTableII: marshalling time for n 4-byte by-value integers.
+var paperTableII = []struct {
+	N     int
+	Usecs float64
+}{{1, 8}, {2, 16}, {4, 32}}
+
+// paperTableIII: fixed-length array VAR OUT.
+var paperTableIII = []struct {
+	Bytes int
+	Usecs float64
+}{{4, 20}, {400, 140}}
+
+// paperTableIV: variable-length array VAR OUT.
+var paperTableIV = []struct {
+	Bytes int
+	Usecs float64
+}{{1, 115}, {1440, 550}}
+
+// paperTableV: Text.T argument.
+var paperTableV = []struct {
+	Bytes float64 // -1 encodes NIL
+	Usecs float64
+}{{-1, 89}, {1, 378}, {128, 659}}
+
+// paperTableVI: send+receive step costs at 74 and 1514 bytes.
+var paperTableVI = []struct {
+	Action string
+	At74   float64
+	At1514 float64
+}{
+	{"Finish UDP header (Sender)", 59, 59},
+	{"Calculate UDP checksum", 45, 440},
+	{"Handle trap to Nub", 37, 37},
+	{"Queue packet for transmission", 39, 39},
+	{"Interprocessor interrupt to CPU 0", 10, 10},
+	{"Handle interprocessor interrupt", 76, 76},
+	{"Activate Ethernet controller", 22, 22},
+	{"QBus/Controller transmit latency", 70, 815},
+	{"Transmission time on Ethernet", 60, 1230},
+	{"QBus/Controller receive latency", 80, 835},
+	{"General I/O interrupt handler", 14, 14},
+	{"Handle interrupt for received pkt", 177, 177},
+	{"Calculate UDP checksum", 45, 440},
+	{"Wakeup RPC thread", 220, 220},
+}
+
+// paperTableVII: stub and runtime step costs for Null().
+var paperTableVII = []struct {
+	Machine, Procedure string
+	Usecs              float64
+}{
+	{"Caller", "Calling program (loop to repeat call)", 16},
+	{"Caller", "Calling stub (call & return)", 90},
+	{"Caller", "Starter", 128},
+	{"Caller", "Transporter (send call pkt)", 27},
+	{"Server", "Receiver (receive call pkt)", 158},
+	{"Server", "Server stub (call & return)", 68},
+	{"Server", "Null (the server procedure)", 10},
+	{"Server", "Receiver (send result pkt)", 27},
+	{"Caller", "Transporter (receive result pkt)", 49},
+	{"Caller", "Ender", 33},
+}
+
+// Paper Table VIII's composition and measurements (µs).
+const (
+	paperNullComposed = 2514
+	paperNullMeasured = 2645
+	paperMaxComposed  = 6524
+	paperMaxMeasured  = 6347
+)
+
+// paperTableIX: interrupt-routine implementations.
+var paperTableIX = []struct {
+	Version string
+	Usecs   float64
+}{
+	{"Original Modula-2+", 758},
+	{"Final Modula-2+", 547},
+	{"Assembly language", 177},
+}
+
+// paperTableX: seconds for 1000 calls to Null() (Exerciser stubs).
+var paperTableX = []struct {
+	CallerCPUs, ServerCPUs int
+	Seconds                float64
+}{
+	{5, 5, 2.69}, {4, 5, 2.73}, {3, 5, 2.85}, {2, 5, 2.98},
+	{1, 5, 3.96}, {1, 4, 3.98}, {1, 3, 4.13}, {1, 2, 4.21}, {1, 1, 4.81},
+}
+
+// paperTableXI: MaxResult throughput (Mb/s) for processor pairs × threads.
+var paperTableXI = struct {
+	Pairs   []struct{ Caller, Server int }
+	Threads []int
+	Mbps    [][]float64 // [pair][thread]
+}{
+	Pairs:   []struct{ Caller, Server int }{{5, 5}, {1, 5}, {1, 1}},
+	Threads: []int{1, 2, 3, 4, 5},
+	Mbps: [][]float64{
+		{2.0, 3.4, 4.6, 4.7, 4.7},
+		{1.5, 2.3, 2.7, 2.7, 2.7},
+		{1.3, 2.0, 2.4, 2.5, 2.5},
+	},
+}
+
+// paperTableXII: published cross-system numbers.
+var paperTableXII = []struct {
+	System     string
+	Machine    string
+	MIPs       string
+	LatencyMs  float64
+	Mbps       float64
+	Reproduced bool // rows we re-measure on the simulator
+}{
+	{"Cedar", "Dorado - custom", "1 x 4", 1.1, 2.0, false},
+	{"Amoeba", "Tadpole - M68020", "1 x 1.5", 1.4, 5.3, false},
+	{"V", "Sun 3/75 - M68020", "1 x 2", 2.5, 4.4, false},
+	{"Sprite", "Sun 3/75 - M68020", "1 x 2", 2.8, 5.6, false},
+	{"Amoeba/Unix", "Sun 3/50 - M68020", "1 x 1.5", 7.0, 1.8, false},
+	{"Firefly", "FF - MicroVAX II", "1 x 1", 4.8, 2.5, true},
+	{"Firefly", "FF - MicroVAX II", "5 x 1", 2.7, 4.6, true},
+}
+
+// paperImprovements: §4.2 estimated savings for Null() and MaxResult(b).
+var paperImprovements = []struct {
+	Section string
+	Name    string
+	NullUs  float64 // estimated µs saved on Null()
+	NullPct float64
+	MaxUs   float64
+	MaxPct  float64
+}{
+	{"4.2.1", "Different network controller", 300, 11, 1800, 28},
+	{"4.2.2", "Faster network (100 Mb/s)", 110, 4, 1160, 18},
+	{"4.2.3", "Faster CPUs (3x)", 1380, 52, 2280, 36},
+	{"4.2.4", "Omit UDP checksums", 180, 7, 1000, 16},
+	{"4.2.5", "Redesign RPC protocol", 200, 8, 200, 3},
+	{"4.2.6", "Omit layering on IP and UDP", 100, 4, 100, 1.5},
+	{"4.2.7", "Busy wait", 440, 17, 440, 7},
+	{"4.2.8", "Recode RPC runtime (except stubs)", 280, 10, 280, 4},
+}

@@ -1,0 +1,116 @@
+package exper
+
+import (
+	"fmt"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/simstack"
+	"fireflyrpc/internal/wire"
+)
+
+// exerciserConfig returns the §5 measurement configuration: hand-produced
+// Exerciser stubs and the swapped-lines fix installed.
+func exerciserConfig(callerCPUs, serverCPUs int) costmodel.Config {
+	cfg := costmodel.NewConfig()
+	cfg.CallerCPUs = callerCPUs
+	cfg.ServerCPUs = serverCPUs
+	cfg.ExerciserStubs = true
+	cfg.SwappedLines = true
+	return cfg
+}
+
+// TableX reproduces the processor-count sweep: 1 thread calling Null() with
+// the RPC Exerciser's hand stubs, swapped-lines fix installed.
+func TableX(o Options) Table {
+	t := Table{
+		ID:      "X",
+		Title:   "Calls to Null() with varying numbers of processors",
+		Headers: []string{"caller CPUs", "server CPUs", "s/1000 calls", "paper"},
+	}
+	calls := o.calls(1000)
+	for _, row := range paperTableX {
+		cfg := exerciserConfig(row.CallerCPUs, row.ServerCPUs)
+		w := simstack.NewWorld(&cfg, o.Seed)
+		r := w.Run(simstack.NullSpec(&cfg), 1, calls)
+		t.Rows = append(t.Rows, []string{
+			f0(float64(row.CallerCPUs)), f0(float64(row.ServerCPUs)),
+			f2(r.SecondsPer(1000)), f2(row.Seconds),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"RPC Exerciser hand stubs (140 µs faster than Table I's standard stubs), swapped-lines fix installed")
+	return t
+}
+
+// TableXI reproduces MaxResult throughput across processor configurations
+// and caller thread counts.
+func TableXI(o Options) Table {
+	t := Table{
+		ID:      "XI",
+		Title:   "Throughput in megabits/second of MaxResult(b) with varying numbers of processors",
+		Headers: []string{"caller/server CPUs", "threads", "Mb/s", "paper"},
+	}
+	calls := o.calls(1000)
+	for pi, pair := range paperTableXI.Pairs {
+		for ti, threads := range paperTableXI.Threads {
+			cfg := exerciserConfig(pair.Caller, pair.Server)
+			w := simstack.NewWorld(&cfg, o.Seed)
+			r := w.Run(simstack.MaxResultSpec(&cfg), threads, calls*threads)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d/%d", pair.Caller, pair.Server),
+				f0(float64(threads)),
+				f1(r.MegabitsPerSecond(wire.MaxSinglePacketPayload)),
+				f1(paperTableXI.Mbps[pi][ti]),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"1000 calls per thread, Exerciser stubs; uniprocessor throughput is roughly half of 5-processor throughput, dominated by thread-to-thread context switches")
+	return t
+}
+
+// TableXII reprints the cross-system comparison and re-measures the two
+// Firefly rows on the simulator (Exerciser stubs, as the paper's §5 numbers).
+func TableXII(o Options) Table {
+	t := Table{
+		ID:      "XII",
+		Title:   "Performance of remote RPC in other systems",
+		Headers: []string{"system", "machine-processor", "~MIPs", "latency ms", "Mb/s", "source"},
+	}
+	calls := o.calls(1000)
+	for _, row := range paperTableXII {
+		if !row.Reproduced {
+			t.Rows = append(t.Rows, []string{
+				row.System, row.Machine, row.MIPs,
+				f1(row.LatencyMs), f1(row.Mbps), "published",
+			})
+			continue
+		}
+		cpus := 5
+		if row.MIPs == "1 x 1" {
+			cpus = 1
+		}
+		cfg := exerciserConfig(cpus, cpus)
+		w := simstack.NewWorld(&cfg, o.Seed)
+		lat := w.Run(simstack.NullSpec(&cfg), 1, calls).LatencyMicros() / 1000
+
+		cfg2 := exerciserConfig(cpus, cpus)
+		w2 := simstack.NewWorld(&cfg2, o.Seed)
+		threads := 4
+		if cpus == 1 {
+			threads = 3
+		}
+		mbps := w2.Run(simstack.MaxResultSpec(&cfg2), threads, calls*2).
+			MegabitsPerSecond(wire.MaxSinglePacketPayload)
+
+		t.Rows = append(t.Rows, []string{
+			row.System, row.Machine, row.MIPs,
+			f1(lat) + " (" + f1(row.LatencyMs) + ")",
+			f1(mbps) + " (" + f1(row.Mbps) + ")",
+			"reproduced (paper)",
+		})
+	}
+	t.Notes = append(t.Notes,
+		"non-Firefly rows are published numbers (10 Mb/s Ethernet except Cedar's 3 Mb/s); Firefly rows are re-measured on the simulator")
+	return t
+}

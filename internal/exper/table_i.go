@@ -1,0 +1,47 @@
+package exper
+
+import (
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/simstack"
+	"fireflyrpc/internal/wire"
+)
+
+// TableI reproduces "Time for 10000 RPCs": 1–8 caller threads calling Null()
+// and MaxResult(b) between two 5-processor Fireflies on a private Ethernet.
+func TableI(o Options) Table {
+	total := o.calls(10000)
+	t := Table{
+		ID:    "I",
+		Title: "Time for 10000 RPCs",
+		Headers: []string{
+			"threads",
+			"Null s/10k", "paper", "Null RPC/s", "paper",
+			"Max s/10k", "paper", "Max Mb/s", "paper",
+		},
+	}
+	var callerCPU, serverCPU float64
+	for _, row := range paperTableI {
+		cfgN := costmodel.NewConfig()
+		wN := simstack.NewWorld(&cfgN, o.Seed)
+		rN := wN.Run(simstack.NullSpec(&cfgN), row.Threads, total)
+
+		cfgM := costmodel.NewConfig()
+		wM := simstack.NewWorld(&cfgM, o.Seed)
+		rM := wM.Run(simstack.MaxResultSpec(&cfgM), row.Threads, total/2)
+		if row.Threads == 4 {
+			callerCPU, serverCPU = rM.CallerCPU, rM.ServerCPU
+		}
+
+		t.Rows = append(t.Rows, []string{
+			f0(float64(row.Threads)),
+			f2(rN.SecondsPer(10000)), f2(row.NullSec),
+			f0(rN.CallsPerSecond()), f0(row.NullRate),
+			f2(rM.SecondsPer(10000)), f2(row.MaxSec),
+			f2(rM.MegabitsPerSecond(wire.MaxSinglePacketPayload)), f2(row.MaxMbps),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper §2.1: ~1.2 CPUs busy on the caller at max throughput, slightly less on the server; "+
+			"reproduced: "+f2(callerCPU)+" caller, "+f2(serverCPU)+" server (4 threads)")
+	return t
+}

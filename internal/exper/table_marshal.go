@@ -1,0 +1,108 @@
+package exper
+
+import (
+	"fmt"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/simstack"
+)
+
+// localIncrement measures, over the shared-memory local transport (the
+// paper's method for Tables II–V), the incremental latency of calling spec
+// over calling Null().
+func localIncrement(o Options, make func(cfg *costmodel.Config) *simstack.ProcSpec) float64 {
+	calls := o.calls(1000)
+
+	cfg := costmodel.NewConfig()
+	cfg.TimingJitter = 0 // increments are exact; match the paper's averaging
+	w := simstack.NewWorld(&cfg, o.Seed)
+	w.RegisterLocal(4)
+	base := w.RunLocal(simstack.NullSpec(&cfg), 1, calls).LatencyMicros()
+
+	cfg2 := costmodel.NewConfig()
+	cfg2.TimingJitter = 0
+	w2 := simstack.NewWorld(&cfg2, o.Seed)
+	w2.RegisterLocal(4)
+	spec := make(&cfg2)
+	w2.RegisterProc(spec)
+	got := w2.RunLocal(spec, 1, calls).LatencyMicros()
+	return got - base
+}
+
+// TableII reproduces the marshalling cost of 4-byte integers by value.
+func TableII(o Options) Table {
+	t := Table{
+		ID:      "II",
+		Title:   "4-byte integer arguments, passed by value",
+		Headers: []string{"# of arguments", "marshalling µs", "paper µs"},
+	}
+	for _, row := range paperTableII {
+		n := row.N
+		inc := localIncrement(o, func(cfg *costmodel.Config) *simstack.ProcSpec {
+			return simstack.IntArgsSpec(cfg, n)
+		})
+		t.Rows = append(t.Rows, []string{f0(float64(n)), f0(inc), f0(row.Usecs)})
+	}
+	return t
+}
+
+// TableIII reproduces fixed-length array VAR OUT marshalling.
+func TableIII(o Options) Table {
+	t := Table{
+		ID:      "III",
+		Title:   "Fixed length array, passed by VAR OUT",
+		Headers: []string{"array bytes", "marshalling µs", "paper µs"},
+	}
+	for _, row := range paperTableIII {
+		n := row.Bytes
+		inc := localIncrement(o, func(cfg *costmodel.Config) *simstack.ProcSpec {
+			return simstack.FixedArrayOutSpec(cfg, n)
+		})
+		t.Rows = append(t.Rows, []string{f0(float64(n)), f0(inc), f0(row.Usecs)})
+	}
+	return t
+}
+
+// TableIV reproduces variable-length array VAR OUT marshalling.
+func TableIV(o Options) Table {
+	t := Table{
+		ID:      "IV",
+		Title:   "Variable length array, passed by VAR OUT",
+		Headers: []string{"array bytes", "marshalling µs", "paper µs"},
+	}
+	for _, row := range paperTableIV {
+		n := row.Bytes
+		inc := localIncrement(o, func(cfg *costmodel.Config) *simstack.ProcSpec {
+			return simstack.VarArrayOutSpec(cfg, n)
+		})
+		t.Rows = append(t.Rows, []string{f0(float64(n)), f0(inc), f0(row.Usecs)})
+	}
+	return t
+}
+
+// TableV reproduces Text.T marshalling.
+func TableV(o Options) Table {
+	t := Table{
+		ID:      "V",
+		Title:   "Text.T argument",
+		Headers: []string{"text bytes", "marshalling µs", "paper µs"},
+	}
+	for _, row := range paperTableV {
+		isNil := row.Bytes < 0
+		n := int(row.Bytes)
+		if isNil {
+			n = 0
+		}
+		inc := localIncrement(o, func(cfg *costmodel.Config) *simstack.ProcSpec {
+			return simstack.TextArgSpec(cfg, n, isNil)
+		})
+		label := f0(float64(n))
+		if isNil {
+			label = "NIL"
+		}
+		t.Rows = append(t.Rows, []string{label, f0(inc), f0(row.Usecs)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"measured as local RPC over the shared-memory transport, as in §2.2"))
+	return t
+}

@@ -1,0 +1,157 @@
+package firefly
+
+import (
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/sim"
+)
+
+// Controller models the DEQNA Ethernet controller on the QBus. It is a
+// single engine: QBus DMA transfers and Ethernet transmissions/receptions
+// are serialized through it, and — matching the measured DEQNA — a
+// transmission's QBus read and Ethernet transfer do not overlap ("no cut
+// through"). The §4.2.1 variant overlaps them.
+//
+// After each operation the controller spends a short recovery time on
+// descriptor processing before taking the next one; this throttles
+// back-to-back packets without delaying the packet just transferred.
+type Controller struct {
+	m    *Machine
+	port *ether.Port
+
+	ops  []ctlOp
+	busy bool
+
+	// recvHandler is invoked in event context once a received frame has
+	// been written to memory over the QBus; the RPC stack uses it to raise
+	// the receive interrupt on CPU 0.
+	recvHandler func(frame []byte)
+
+	// stats
+	txFrames, rxFrames int64
+	txBytes, rxBytes   int64
+	busyTime           sim.Duration
+	busySince          sim.Time
+}
+
+type ctlOp struct {
+	tx    bool
+	frame []byte
+}
+
+func newController(m *Machine, seg *ether.Segment) *Controller {
+	c := &Controller{m: m}
+	if seg != nil {
+		c.port = seg.Attach(m.MAC, c.deliver)
+	}
+	return c
+}
+
+// SetReceiveHandler installs the stack's packet-arrival callback.
+func (c *Controller) SetReceiveHandler(fn func(frame []byte)) { c.recvHandler = fn }
+
+// QueueTx queues a frame for transmission. The driver's "queue packet" CPU
+// cost is charged by the caller; the controller does not start until Prod.
+func (c *Controller) QueueTx(frame []byte) {
+	c.ops = append(c.ops, ctlOp{tx: true, frame: frame})
+}
+
+// Prod is the CPU 0 interrupt routine's "activate Ethernet controller"
+// action: it starts the controller if it is idle. A busy controller
+// continues through its queue on its own.
+func (c *Controller) Prod() {
+	if !c.busy {
+		c.startNext()
+	}
+}
+
+// deliver is called by the Ethernet segment when a frame addressed to this
+// station finishes transmission: the controller must copy it to memory over
+// the QBus before interrupting CPU 0.
+func (c *Controller) deliver(frame []byte) {
+	c.ops = append(c.ops, ctlOp{tx: false, frame: frame})
+	if !c.busy {
+		c.startNext()
+	}
+}
+
+func (c *Controller) setBusy(b bool) {
+	now := c.m.K.Now()
+	if b && !c.busy {
+		c.busySince = now
+	}
+	if !b && c.busy {
+		c.busyTime += now.Sub(c.busySince)
+	}
+	c.busy = b
+}
+
+func (c *Controller) startNext() {
+	if len(c.ops) == 0 {
+		c.setBusy(false)
+		return
+	}
+	op := c.ops[0]
+	copy(c.ops, c.ops[1:])
+	c.ops = c.ops[:len(c.ops)-1]
+	c.setBusy(true)
+	cfg := c.m.Cfg
+	k := c.m.K
+	n := len(op.frame)
+	finish := func() {
+		k.After(cfg.ControllerRecovery(), func() { c.startNext() })
+	}
+	if op.tx {
+		c.txFrames++
+		c.txBytes += int64(n)
+		eth := cfg.EthernetTransmit(n)
+		if cfg.OverlapController {
+			// Cut-through: the QBus read streams into the transmitter; the
+			// controller is held for the longer of the two, dominated by
+			// the wire time once transmission can begin.
+			c.port.Transmit(op.frame, eth, func() {
+				q := cfg.QBusTransmit(n)
+				if q > eth {
+					k.After(q-eth, finish)
+				} else {
+					finish()
+				}
+			})
+			return
+		}
+		// DEQNA: read the whole packet over the QBus, then transmit.
+		k.After(cfg.QBusTransmit(n), func() {
+			c.port.Transmit(op.frame, eth, finish)
+		})
+		return
+	}
+	// Receive: write the frame to memory over the QBus, then interrupt.
+	c.rxFrames++
+	c.rxBytes += int64(n)
+	k.After(cfg.ControllerRxLatency(n), func() {
+		if c.recvHandler != nil {
+			c.recvHandler(op.frame)
+		}
+		finish()
+	})
+}
+
+// CtlStats reports controller counters.
+type CtlStats struct {
+	TxFrames, RxFrames int64
+	TxBytes, RxBytes   int64
+	BusyTime           sim.Duration
+}
+
+// Stats returns a snapshot.
+func (c *Controller) Stats() CtlStats {
+	if c.busy {
+		now := c.m.K.Now()
+		c.busyTime += now.Sub(c.busySince)
+		c.busySince = now
+	}
+	return CtlStats{
+		TxFrames: c.txFrames, RxFrames: c.rxFrames,
+		TxBytes: c.txBytes, RxBytes: c.rxBytes,
+		BusyTime: c.busyTime,
+	}
+}

@@ -1,0 +1,329 @@
+package firefly
+
+import (
+	"testing"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+func newTestMachine(t *testing.T, cpus int) (*sim.Kernel, *Machine) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	cfg := costmodel.NewConfig()
+	cfg.TimingJitter = 0
+	seg := ether.NewSegment(k)
+	m := New(k, "ff1", &cfg, seg, 1, cpus)
+	return k, m
+}
+
+func TestComputeTakesExactTime(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	var done sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		p.Compute(sim.Micros(100))
+		done = p.Now()
+	})
+	k.Run()
+	if done != sim.Time(sim.Micros(100)) {
+		t.Fatalf("compute finished at %v, want 100µs", done)
+	}
+}
+
+func TestComputeQueuesWhenCPUsBusy(t *testing.T) {
+	k, m := newTestMachine(t, 2)
+	var finish []sim.Time
+	for i := 0; i < 3; i++ {
+		m.Sched.SpawnProc("w", func(p *Proc) {
+			p.Compute(sim.Micros(100))
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	if len(finish) != 3 {
+		t.Fatalf("%d finished", len(finish))
+	}
+	// Two run in parallel, third queues behind the first to finish and pays
+	// a thread-to-thread context switch when dispatched from the queue.
+	if finish[0] != sim.Time(sim.Micros(100)) || finish[1] != sim.Time(sim.Micros(100)) {
+		t.Errorf("first two finished at %v, %v; want 100µs", finish[0], finish[1])
+	}
+	want3 := sim.Time(sim.Micros(200)).Add(m.Cfg.ContextSwitch())
+	if finish[2] != want3 {
+		t.Errorf("third finished at %v, want %v (queued + context switch)", finish[2], want3)
+	}
+}
+
+func TestInterruptPreemptsCPU0Thread(t *testing.T) {
+	k, m := newTestMachine(t, 1) // uniprocessor: thread must be on CPU 0
+	var done sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		p.Compute(sim.Micros(100))
+		done = p.Now()
+	})
+	var intrAt sim.Time
+	k.After(sim.Micros(40), func() {
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(30), Fn: func() { intrAt = k.Now() }}})
+	})
+	k.Run()
+	if intrAt != sim.Time(sim.Micros(70)) {
+		t.Errorf("interrupt completed at %v, want 70µs (runs immediately)", intrAt)
+	}
+	if done != sim.Time(sim.Micros(130)) {
+		t.Errorf("thread finished at %v, want 130µs (100 work + 30 preempted)", done)
+	}
+	if m.Sched.Counters().Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", m.Sched.Counters().Preemptions)
+	}
+}
+
+func TestInterruptDoesNotPreemptOtherCPUs(t *testing.T) {
+	k, m := newTestMachine(t, 2) // thread prefers CPU 1
+	var done sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		p.Compute(sim.Micros(100))
+		done = p.Now()
+	})
+	k.After(sim.Micros(40), func() {
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(30)}})
+	})
+	k.Run()
+	if done != sim.Time(sim.Micros(100)) {
+		t.Errorf("thread finished at %v, want 100µs (interrupt ran on idle CPU 0)", done)
+	}
+	if m.Sched.Counters().Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0", m.Sched.Counters().Preemptions)
+	}
+}
+
+func TestQueuedInterruptChainsRunFIFO(t *testing.T) {
+	k, m := newTestMachine(t, 1)
+	var order []int
+	k.After(0, func() {
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(50), Fn: func() { order = append(order, 1) }}})
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(10), Fn: func() { order = append(order, 2) }}})
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(10), Fn: func() { order = append(order, 3) }}})
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("interrupt order %v, want [1 2 3]", order)
+	}
+	if k.Now() != sim.Time(sim.Micros(70)) {
+		t.Fatalf("chains drained at %v, want 70µs", k.Now())
+	}
+}
+
+func TestWakeupFastPath(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	cfg := m.Cfg
+	var resumed sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		w := p.PrepareWait()
+		k.After(sim.Micros(500), func() { m.Sched.Wakeup(w) })
+		p.Wait(w)
+		resumed = p.Now()
+	})
+	k.Run()
+	want := sim.Time(sim.Micros(500)).Add(cfg.DispatchSlop())
+	if resumed != want {
+		t.Fatalf("resumed at %v, want %v (wakeup + dispatch slop)", resumed, want)
+	}
+	if m.Sched.Counters().SlowWakeups != 0 {
+		t.Fatal("fast-path wakeup counted as slow")
+	}
+}
+
+func TestWakeupSlowPathWhenNoIdleCPU(t *testing.T) {
+	k, m := newTestMachine(t, 1)
+	cfg := m.Cfg
+	var resumed sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		w := p.PrepareWait()
+		k.After(sim.Micros(500), func() {
+			// Occupy the only CPU so the wakeup takes the slow path.
+			m.Sched.SpawnProc("hog", func(q *Proc) { q.Compute(sim.Micros(1000)) })
+			k.After(sim.Micros(1), func() { m.Sched.Wakeup(w) })
+		})
+		p.Wait(w)
+		resumed = p.Now()
+	})
+	m.UniprocExtra = 0
+	k.Run()
+	// Woken at 501+slop; then must queue behind the 1000µs hog (until 1500),
+	// paying the dispatch-from-queue context switch plus SlowWakeupExtra
+	// before returning.
+	want := sim.Time(sim.Micros(1500)).Add(cfg.SlowWakeupExtra()).Add(cfg.ContextSwitch())
+	if resumed != want {
+		t.Fatalf("resumed at %v, want %v", resumed, want)
+	}
+	if m.Sched.Counters().SlowWakeups != 1 {
+		t.Fatal("slow wakeup not counted")
+	}
+}
+
+func TestUniprocExtraCharged(t *testing.T) {
+	k, m := newTestMachine(t, 1)
+	m.UniprocExtra = sim.Micros(300)
+	var resumed sim.Time
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		w := p.PrepareWait()
+		k.After(sim.Micros(100), func() { m.Sched.Wakeup(w) })
+		p.Wait(w)
+		resumed = p.Now()
+	})
+	k.Run()
+	// idle CPU exists at wakeup (thread blocked, nothing else): fast path,
+	// but uniproc extra still applies.
+	want := sim.Time(sim.Micros(100)).Add(m.Cfg.DispatchSlop()).Add(sim.Micros(300))
+	if resumed != want {
+		t.Fatalf("resumed at %v, want %v", resumed, want)
+	}
+}
+
+func TestDoubleWakeupPanics(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		w := p.PrepareWait()
+		k.After(sim.Micros(1), func() { m.Sched.Wakeup(w) })
+		k.After(sim.Micros(2), func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("double wakeup did not panic")
+				}
+			}()
+			m.Sched.Wakeup(w)
+		})
+		p.Wait(w)
+		p.Sleep(sim.Micros(10))
+	})
+	k.Run()
+}
+
+func TestControllerSerializesQBusAndEthernet(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := costmodel.NewConfig()
+	cfg.TimingJitter = 0
+	seg := ether.NewSegment(k)
+	m1 := New(k, "ff1", &cfg, seg, 1, 5)
+	m2 := New(k, "ff2", &cfg, seg, 2, 5)
+
+	frame, err := wire.BuildPacket(m1.Endpoint(), m2.Endpoint(),
+		wire.RPCHeader{Type: wire.TypeCall, FragCount: 1}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered sim.Time
+	m2.Ctrl.SetReceiveHandler(func(f []byte) { delivered = k.Now() })
+
+	k.After(0, func() {
+		m1.Ctrl.QueueTx(frame)
+		m1.Ctrl.Prod()
+	})
+	k.Run()
+
+	want := sim.Time(0).
+		Add(cfg.QBusTransmit(74)).
+		Add(cfg.EthernetTransmit(74)).
+		Add(cfg.QBusReceive(74))
+	if delivered != want {
+		t.Fatalf("delivered at %v, want %v (QBus tx + wire + QBus rx)", delivered, want)
+	}
+}
+
+func TestControllerRecoveryThrottlesBackToBack(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := costmodel.NewConfig()
+	cfg.TimingJitter = 0
+	seg := ether.NewSegment(k)
+	m1 := New(k, "ff1", &cfg, seg, 1, 5)
+	m2 := New(k, "ff2", &cfg, seg, 2, 5)
+
+	frame, _ := wire.BuildPacket(m1.Endpoint(), m2.Endpoint(),
+		wire.RPCHeader{Type: wire.TypeCall, FragCount: 1}, nil, true)
+	var arrivals []sim.Time
+	m2.Ctrl.SetReceiveHandler(func(f []byte) { arrivals = append(arrivals, k.Now()) })
+
+	k.After(0, func() {
+		m1.Ctrl.QueueTx(frame)
+		m1.Ctrl.QueueTx(frame)
+		m1.Ctrl.Prod()
+	})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("%d arrivals, want 2", len(arrivals))
+	}
+	perPkt := cfg.QBusTransmit(74) + cfg.EthernetTransmit(74)
+	gap := arrivals[1].Sub(arrivals[0])
+	wantGap := perPkt + cfg.ControllerRecovery()
+	if gap != wantGap {
+		t.Fatalf("inter-arrival gap %v, want %v (per-packet + recovery)", gap, wantGap)
+	}
+}
+
+func TestOverlapControllerIsFaster(t *testing.T) {
+	run := func(overlap bool) sim.Time {
+		k := sim.NewKernel(1)
+		cfg := costmodel.NewConfig()
+		cfg.TimingJitter = 0
+		cfg.OverlapController = overlap
+		seg := ether.NewSegment(k)
+		m1 := New(k, "ff1", &cfg, seg, 1, 5)
+		m2 := New(k, "ff2", &cfg, seg, 2, 5)
+		frame, _ := wire.BuildPacket(m1.Endpoint(), m2.Endpoint(),
+			wire.RPCHeader{Type: wire.TypeResult, FragCount: 1},
+			make([]byte, wire.MaxSinglePacketPayload), true)
+		var delivered sim.Time
+		m2.Ctrl.SetReceiveHandler(func(f []byte) { delivered = k.Now() })
+		k.After(0, func() { m1.Ctrl.QueueTx(frame); m1.Ctrl.Prod() })
+		k.Run()
+		return delivered
+	}
+	std, ovl := run(false), run(true)
+	saving := std.Sub(ovl)
+	// §4.2.1 estimates ~1800µs saved on the large result packet's path.
+	if saving < sim.Micros(1400) || saving > sim.Micros(2100) {
+		t.Fatalf("overlap controller saves %v on 1514B packet, want ~1.6-1.8ms", saving)
+	}
+}
+
+func TestCPUAccountingDuringCompute(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	m.Sched.SpawnProc("w", func(p *Proc) {
+		p.Compute(sim.Micros(300))
+	})
+	k.After(sim.Micros(1000), func() {})
+	k.Run()
+	if got := m.CPUSeconds(); got != 300e-6 {
+		t.Fatalf("CPU seconds = %v, want 300µs", got)
+	}
+}
+
+func TestBackgroundLoadApproximatesTarget(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	m.StartBackgroundLoad(2, 0.15, sim.Micros(1000))
+	k.RunUntil(sim.Time(2 * 1e9)) // 2 virtual seconds
+	util := m.CPUSeconds() / 2
+	if util < 0.10 || util > 0.20 {
+		t.Fatalf("background load = %.3f CPUs, want ~0.15", util)
+	}
+}
+
+func TestMachineEndpointsDistinct(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := costmodel.NewConfig()
+	cfg.TimingJitter = 0
+	seg := ether.NewSegment(k)
+	m1 := New(k, "a", &cfg, seg, 1, 5)
+	m2 := New(k, "b", &cfg, seg, 2, 5)
+	if m1.MAC == m2.MAC || m1.IP == m2.IP {
+		t.Fatal("machines share addresses")
+	}
+	if m1.String() != "a(5 CPUs)" {
+		t.Fatalf("String = %q", m1.String())
+	}
+	if m1.NumCPUs() != 5 {
+		t.Fatal("NumCPUs wrong")
+	}
+}

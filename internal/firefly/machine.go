@@ -1,0 +1,126 @@
+// Package firefly models the Firefly multiprocessor: five (configurable)
+// MicroVAX II CPUs sharing memory, a Nub scheduler providing threads with
+// wakeup semantics, interrupts delivered to CPU 0 only (the CPU attached to
+// the QBus), and a DEQNA Ethernet controller whose QBus and Ethernet
+// transfers do not overlap.
+//
+// The model executes real work (the RPC stack builds and parses real packet
+// bytes) but charges virtual time from the paper's cost model, so simulated
+// latencies decompose exactly into Table VI/VII steps plus contention.
+package firefly
+
+import (
+	"fmt"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+// Machine is one Firefly.
+type Machine struct {
+	K    *sim.Kernel
+	Name string
+	Cfg  *costmodel.Config
+	MAC  wire.MAC
+	IP   wire.IPAddr
+
+	Sched *Sched
+	Ctrl  *Controller
+
+	// UniprocExtra is the additional scheduler path charged per wakeup when
+	// the machine is a uniprocessor ("extra code gets included in the basic
+	// latency for RPC, such as a longer path through the scheduler", §5).
+	// The RPC stack sets it from the cost model according to the machine's
+	// role (caller or server).
+	UniprocExtra sim.Duration
+
+	// CPUBusy integrates busy CPU-time (thread compute + interrupt work)
+	// for utilization reporting (§2.1's "about 1.2 CPUs").
+	cpuBusy    sim.Duration
+	busyCount  int
+	lastChange sim.Time
+}
+
+// NumCPUs returns the machine's processor count.
+func (m *Machine) NumCPUs() int { return m.Sched.ncpu }
+
+// New creates a machine with the configured CPU count attached to seg.
+// host gives it distinct MAC/IP addresses. cpus is taken from the caller
+// (Tables X and XI give caller and server different counts).
+func New(k *sim.Kernel, name string, cfg *costmodel.Config, seg *ether.Segment, host uint32, cpus int) *Machine {
+	if cpus < 1 {
+		panic("firefly: machine needs at least one CPU")
+	}
+	m := &Machine{
+		K:    k,
+		Name: name,
+		Cfg:  cfg,
+		MAC:  wire.MACForHost(host),
+		IP:   wire.IPForHost(host),
+	}
+	m.Sched = newSched(m, cpus)
+	m.Ctrl = newController(m, seg)
+	return m
+}
+
+// Endpoint returns the machine's wire endpoint.
+func (m *Machine) Endpoint() wire.Endpoint {
+	return wire.Endpoint{MAC: m.MAC, IP: m.IP, Port: wire.RPCPort}
+}
+
+func (m *Machine) accountBusy(delta int) {
+	now := m.K.Now()
+	m.cpuBusy += sim.Duration(int64(now-m.lastChange) * int64(m.busyCount))
+	m.lastChange = now
+	m.busyCount += delta
+}
+
+// CPUSeconds returns total busy CPU-time accumulated so far.
+func (m *Machine) CPUSeconds() float64 {
+	m.accountBusy(0)
+	return float64(m.cpuBusy) / 1e9
+}
+
+// MeanBusyCPUs returns time-averaged busy CPUs over [from, now].
+func (m *Machine) MeanBusyCPUs(from sim.Time, busyAtFrom sim.Duration) float64 {
+	m.accountBusy(0)
+	elapsed := m.K.Now().Sub(from)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.cpuBusy-busyAtFrom) / float64(elapsed)
+}
+
+// BusySnapshot returns the busy-time integral, for MeanBusyCPUs deltas.
+func (m *Machine) BusySnapshot() sim.Duration {
+	m.accountBusy(0)
+	return m.cpuBusy
+}
+
+// String identifies the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s(%d CPUs)", m.Name, m.Sched.ncpu)
+}
+
+// StartBackgroundLoad spawns the "standard background threads": n threads
+// that together consume roughly util CPUs, in exponentially distributed
+// bursts. The paper's idle Fireflies used about 0.15 CPUs.
+func (m *Machine) StartBackgroundLoad(n int, util float64, burstMean sim.Duration) {
+	if n <= 0 || util <= 0 {
+		return
+	}
+	perThread := util / float64(n)
+	gapMean := sim.Duration(float64(burstMean) * (1 - perThread) / perThread)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s/bg%d", m.Name, i)
+		m.Sched.SpawnProc(name, func(p *Proc) {
+			rng := m.K.RNG()
+			for {
+				p.Sleep(rng.Exp(gapMean))
+				p.Compute(rng.Exp(burstMean))
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package firefly
+
+import "fireflyrpc/internal/sim"
+
+// Proc is a Firefly thread: a simulated thread whose CPU work is scheduled
+// onto the machine's processors by the Nub scheduler.
+type Proc struct {
+	M *Machine
+	t *sim.Thread
+}
+
+// SpawnProc starts a thread on the machine.
+func (s *Sched) SpawnProc(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{M: s.m}
+	p.t = s.m.K.Spawn(name, func(t *sim.Thread) {
+		fn(p)
+	})
+	return p
+}
+
+// Now returns the virtual time.
+func (p *Proc) Now() sim.Time { return p.M.K.Now() }
+
+// Name returns the thread name.
+func (p *Proc) Name() string { return p.t.Name() }
+
+// Sleep idles the thread (no CPU consumed) for d.
+func (p *Proc) Sleep(d sim.Duration) { p.t.Sleep(d) }
+
+// Compute executes d of CPU work, queueing for a processor if none is idle
+// and absorbing any interrupt preemptions on CPU 0.
+func (p *Proc) Compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	wake := p.t.Waker()
+	p.M.Sched.submitCompute(p, d, wake)
+	p.t.Block("compute")
+}
+
+// PrepareWait readies the thread to block in the call table. The returned
+// Waiter must be registered (e.g. in a call-table entry) before calling
+// Wait; the Ethernet interrupt handler completes it with Sched.Wakeup.
+func (p *Proc) PrepareWait() *Waiter {
+	return &Waiter{p: p}
+}
+
+// Wait blocks until the Waiter is woken, then pays any scheduler slow-path
+// cost the wakeup incurred (as CPU work, subject to CPU availability). If
+// the wakeup already landed while the thread was finishing overlapped work,
+// Wait returns without blocking.
+func (p *Proc) Wait(w *Waiter) {
+	if !w.delivered {
+		w.wake = p.t.Waker()
+		w.parked = true
+		p.t.Block("call-table")
+	}
+	w.parked = false
+	if w.extra > 0 {
+		p.Compute(w.extra)
+	}
+}

@@ -1,0 +1,367 @@
+package firefly
+
+import (
+	"fireflyrpc/internal/sim"
+)
+
+// Sched is the Nub scheduler: it multiplexes Procs (Firefly threads) over
+// the machine's CPUs and implements the wakeup path the RPC fast path
+// depends on. Interrupts always execute on CPU 0 and preempt any thread
+// computing there.
+type Sched struct {
+	m     *Machine
+	ncpu  int
+	cpus  []*cpu
+	ready []*segment // FIFO of runnable segments waiting for a CPU
+
+	// counters
+	wakeups      int64
+	slowWakeups  int64
+	preemptions  int64
+	dispatches   int64
+	intrChains   int64
+	migrations   int64
+	computeTotal sim.Duration
+	defQueued    sim.Duration
+	defDone      sim.Duration
+}
+
+type cpu struct {
+	id     int
+	seg    *segment // running (or, on CPU 0, paused under an interrupt)
+	inIntr bool     // CPU 0 only: executing interrupt chains or deferred work
+	intrQ  []*intrChain
+
+	// Deferred kernel bookkeeping (buffer recycling, retransmission-queue
+	// maintenance) runs at the lowest interrupt priority: fresh interrupt
+	// chains preempt it, so it throttles CPU 0's throughput without adding
+	// latency to packet processing.
+	deferredQ  []sim.Duration
+	runningDef bool
+	defStart   sim.Time
+	defTimer   *sim.Timer
+}
+
+// segment is one preemptible span of thread CPU work.
+type segment struct {
+	proc      *Proc
+	remaining sim.Duration
+	timer     *sim.Timer
+	startedAt sim.Time
+	cpu       *cpu
+	done      func()
+}
+
+// intrChain is a queued sequence of interrupt steps.
+type intrChain struct {
+	steps []IntrStep
+	next  int
+}
+
+// IntrStep is one timed step of an interrupt handler: the CPU busy-spins for
+// D of handler execution, then Fn (which may be nil) takes effect.
+type IntrStep struct {
+	D  sim.Duration
+	Fn func()
+}
+
+func newSched(m *Machine, ncpu int) *Sched {
+	s := &Sched{m: m, ncpu: ncpu}
+	for i := 0; i < ncpu; i++ {
+		s.cpus = append(s.cpus, &cpu{id: i})
+	}
+	return s
+}
+
+// idleCPU returns the highest-numbered idle CPU, or nil. Preferring high
+// numbers keeps CPU 0 — the only CPU that can service interrupts — free,
+// as the real scheduler's affinity tends to.
+func (s *Sched) idleCPU() *cpu {
+	for i := s.ncpu - 1; i >= 0; i-- {
+		c := s.cpus[i]
+		if c.seg == nil && !c.inIntr {
+			return c
+		}
+	}
+	return nil
+}
+
+// HasIdleCPU reports whether a wakeup right now would take the fast path.
+func (s *Sched) HasIdleCPU() bool { return s.idleCPU() != nil }
+
+func (s *Sched) startSegment(c *cpu, seg *segment) {
+	seg.cpu = c
+	seg.startedAt = s.m.K.Now()
+	c.seg = seg
+	s.m.accountBusy(+1)
+	s.dispatches++
+	seg.timer = s.m.K.After(seg.remaining, func() { s.segmentDone(c, seg) })
+}
+
+func (s *Sched) segmentDone(c *cpu, seg *segment) {
+	s.m.accountBusy(-1)
+	s.computeTotal += seg.remaining
+	c.seg = nil
+	seg.done()
+	s.dispatchNext(c)
+}
+
+func (s *Sched) dispatchNext(c *cpu) {
+	if c.seg != nil || c.inIntr {
+		return
+	}
+	if len(s.ready) > 0 {
+		seg := s.ready[0]
+		copy(s.ready, s.ready[1:])
+		s.ready = s.ready[:len(s.ready)-1]
+		// Dispatching a thread that had to queue costs a full thread-to-
+		// thread context switch.
+		seg.remaining += s.m.Cfg.ContextSwitch()
+		s.startSegment(c, seg)
+		return
+	}
+	// Nothing queued: if a thread sits preempted under CPU 0's interrupt
+	// work, migrate it here — the scheduler does not leave a runnable
+	// thread pinned behind a busy interrupt CPU while others idle.
+	c0 := s.cpus[0]
+	if c != c0 && c0.inIntr && c0.seg != nil {
+		seg := c0.seg
+		c0.seg = nil
+		s.migrations++
+		s.startSegment(c, seg)
+	}
+}
+
+// jitter perturbs a software execution time by the configured fraction,
+// modeling cache and memory-contention variability. Hardware transfer times
+// are not jittered.
+func (s *Sched) jitter(d sim.Duration) sim.Duration {
+	j := s.m.Cfg.TimingJitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	u := s.m.K.RNG().Float64()*2 - 1 // [-1, 1)
+	return d + sim.Duration(float64(d)*j*u)
+}
+
+// submitCompute runs d of CPU work for proc, calling done when it completes.
+// If no CPU is idle the segment queues FIFO.
+func (s *Sched) submitCompute(proc *Proc, d sim.Duration, done func()) {
+	seg := &segment{proc: proc, remaining: s.jitter(d), done: done}
+	if c := s.idleCPU(); c != nil {
+		s.startSegment(c, seg)
+		return
+	}
+	s.ready = append(s.ready, seg)
+}
+
+// Interrupt queues a chain of interrupt steps on CPU 0, preempting any
+// thread computing there. Chains queued while one is in progress run FIFO
+// after it; the preempted thread resumes only when all queued chains drain
+// (the handler "always checks for additional packets before terminating").
+func (s *Sched) Interrupt(steps []IntrStep) {
+	s.intrChains++
+	c0 := s.cpus[0]
+	chain := &intrChain{steps: steps}
+	if c0.inIntr {
+		if c0.runningDef && len(c0.deferredQ) <= maxDeferredBacklog {
+			// Preempt: push the unfinished remainder back to the front.
+			elapsed := s.m.K.Now().Sub(c0.defStart)
+			item := c0.deferredQ[0]
+			s.defDone += elapsed
+			if elapsed < item {
+				c0.deferredQ[0] = item - elapsed
+			} else {
+				c0.deferredQ = c0.deferredQ[1:]
+			}
+			c0.defTimer.Cancel()
+			c0.runningDef = false
+			s.runIntrStep(c0, chain)
+			return
+		}
+		c0.intrQ = append(c0.intrQ, chain)
+		return
+	}
+	s.enterIntrLevel(c0)
+	s.runIntrStep(c0, chain)
+}
+
+// DeferredWork queues d of low-priority kernel bookkeeping on CPU 0. It
+// executes after all pending interrupt chains drain, is preempted by fresh
+// interrupts, and runs ahead of any user thread on CPU 0.
+func (s *Sched) DeferredWork(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	c0 := s.cpus[0]
+	jd := s.jitter(d)
+	s.defQueued += jd
+	c0.deferredQ = append(c0.deferredQ, jd)
+	if !c0.inIntr {
+		s.enterIntrLevel(c0)
+		s.intrTailWork(c0)
+	}
+}
+
+// enterIntrLevel raises CPU 0 to interrupt level, preempting any thread
+// segment computing there.
+func (s *Sched) enterIntrLevel(c0 *cpu) {
+	if seg := c0.seg; seg != nil {
+		s.preemptions++
+		elapsed := s.m.K.Now().Sub(seg.startedAt)
+		if elapsed > seg.remaining {
+			elapsed = seg.remaining
+		}
+		seg.remaining -= elapsed
+		s.computeTotal += elapsed
+		seg.timer.Cancel()
+		s.m.accountBusy(-1)
+		// Migrate the preempted thread to an idle CPU right away rather
+		// than leaving it pinned behind interrupt work.
+		if c := s.idleCPU(); c != nil {
+			c0.seg = nil
+			s.migrations++
+			c0.inIntr = true
+			s.m.accountBusy(+1)
+			s.startSegment(c, seg)
+			return
+		}
+	}
+	c0.inIntr = true
+	s.m.accountBusy(+1)
+}
+
+// intrTailWork runs once the current chain finishes: next chain, then
+// deferred work, then return from interrupt level. When the deferred backlog
+// exceeds its bound the kernel catches up on bookkeeping before processing
+// more packets, so sustained overload is throttled.
+func (s *Sched) intrTailWork(c0 *cpu) {
+	if len(c0.deferredQ) > maxDeferredBacklog {
+		s.startDeferred(c0)
+		return
+	}
+	if len(c0.intrQ) > 0 {
+		next := c0.intrQ[0]
+		copy(c0.intrQ, c0.intrQ[1:])
+		c0.intrQ = c0.intrQ[:len(c0.intrQ)-1]
+		s.runIntrStep(c0, next)
+		return
+	}
+	if len(c0.deferredQ) > 0 {
+		s.startDeferred(c0)
+		return
+	}
+	// All interrupt-level work drained: return from interrupt level.
+	c0.inIntr = false
+	s.m.accountBusy(-1)
+	if seg := c0.seg; seg != nil {
+		// Resume the preempted thread where it left off.
+		seg.startedAt = s.m.K.Now()
+		s.m.accountBusy(+1)
+		seg.timer = s.m.K.After(seg.remaining, func() { s.segmentDone(c0, seg) })
+	} else {
+		s.dispatchNext(c0)
+	}
+}
+
+// maxDeferredBacklog bounds how far kernel bookkeeping can fall behind:
+// within the bound, fresh interrupts preempt it (no added packet latency);
+// beyond it, the kernel catches up before taking more packets, throttling
+// sustained overload.
+const maxDeferredBacklog = 2
+
+// startDeferred begins (or resumes) the front deferred item.
+func (s *Sched) startDeferred(c0 *cpu) {
+	d := c0.deferredQ[0]
+	c0.runningDef = true
+	c0.defStart = s.m.K.Now()
+	c0.defTimer = s.m.K.After(d, func() {
+		c0.runningDef = false
+		c0.deferredQ = c0.deferredQ[1:]
+		s.defDone += d
+		s.intrTailWork(c0)
+	})
+}
+
+func (s *Sched) runIntrStep(c0 *cpu, chain *intrChain) {
+	if chain.next >= len(chain.steps) {
+		s.intrTailWork(c0)
+		return
+	}
+	step := chain.steps[chain.next]
+	chain.next++
+	s.m.K.After(s.jitter(step.D), func() {
+		if step.Fn != nil {
+			step.Fn()
+		}
+		s.runIntrStep(c0, chain)
+	})
+}
+
+// Waiter represents a thread blocked in the call table awaiting a packet.
+// Wakeup and Wait may race benignly: if the wakeup lands before the thread
+// reaches Wait (it may still be finishing overlapped work like registering
+// the call), the delivery is latched and Wait returns immediately.
+type Waiter struct {
+	p         *Proc
+	wake      func()
+	parked    bool
+	delivered bool
+	extra     sim.Duration // scheduler slow-path work charged on resumption
+	woken     bool
+}
+
+// Wakeup awakens a waiting thread from interrupt (or thread) context. If an
+// idle CPU exists the thread is dispatched after the small dispatch delay;
+// otherwise the scheduler takes its slow context-switch path, and the
+// resumed thread pays that path's CPU cost before its own work. Uniprocessor
+// machines additionally pay the longer uniprocessor scheduler path.
+func (s *Sched) Wakeup(w *Waiter) {
+	if w.woken {
+		panic("firefly: double wakeup")
+	}
+	w.woken = true
+	s.wakeups++
+	cfg := s.m.Cfg
+	if !s.HasIdleCPU() {
+		s.slowWakeups++
+		w.extra += cfg.SlowWakeupExtra()
+	}
+	if s.ncpu == 1 {
+		w.extra += s.m.UniprocExtra
+	}
+	s.m.K.After(cfg.DispatchSlop(), func() {
+		w.delivered = true
+		if w.parked {
+			w.wake()
+		}
+	})
+}
+
+// Counters reports scheduler statistics.
+type Counters struct {
+	Wakeups     int64
+	SlowWakeups int64
+	Preemptions int64
+	Dispatches  int64
+	IntrChains  int64
+	Migrations  int64
+}
+
+// Counters returns a snapshot.
+func (s *Sched) Counters() Counters {
+	return Counters{
+		Wakeups:     s.wakeups,
+		SlowWakeups: s.slowWakeups,
+		Preemptions: s.preemptions,
+		Dispatches:  s.dispatches,
+		IntrChains:  s.intrChains,
+		Migrations:  s.migrations,
+	}
+}
+
+// DeferredAccounting reports total deferred bookkeeping queued and executed,
+// for work-conservation checks.
+func (s *Sched) DeferredAccounting() (queued, done sim.Duration) {
+	return s.defQueued, s.defDone
+}

@@ -1,0 +1,146 @@
+package firefly
+
+import (
+	"testing"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/sim"
+)
+
+// testConfigWithJitter returns the standard config with its default ±5%
+// jitter enabled.
+func testConfigWithJitter() costmodel.Config {
+	return costmodel.NewConfig()
+}
+
+// TestPreemptedThreadMigrates: a thread computing on CPU 0 when an
+// interrupt storm arrives must migrate to an idle CPU rather than starve.
+func TestPreemptedThreadMigrates(t *testing.T) {
+	k, m := newTestMachine(t, 2)
+	var done sim.Time
+	// Occupy CPU 1 briefly so the thread starts on CPU 0.
+	m.Sched.SpawnProc("hog", func(p *Proc) { p.Compute(sim.Micros(10)) })
+	m.Sched.SpawnProc("victim", func(p *Proc) {
+		p.Compute(sim.Micros(100))
+		done = p.Now()
+	})
+	// Interrupt storm on CPU 0 from t=20µs to t=1020µs.
+	for i := 0; i < 10; i++ {
+		at := sim.Micros(int64(20 + 100*i))
+		k.After(at, func() {
+			m.Sched.Interrupt([]IntrStep{{D: sim.Micros(100)}})
+		})
+	}
+	k.Run()
+	// Without migration the victim would finish after the storm (~1120µs);
+	// with migration it moves to CPU 1 as soon as the hog finishes.
+	if done > sim.Time(sim.Micros(300)) {
+		t.Fatalf("victim finished at %v; migration from CPU 0 failed", done)
+	}
+	if m.Sched.Counters().Migrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+// TestDeferredWorkConservation: all deferred bookkeeping eventually
+// executes — the backlog cannot grow without bound.
+func TestDeferredWorkConservation(t *testing.T) {
+	k, m := newTestMachine(t, 5)
+	// Sustained load: a chain plus deferred work every 300µs for 100 rounds
+	// (each round queues 400µs of deferred work: oversubscribed by design).
+	for i := 0; i < 100; i++ {
+		at := sim.Micros(int64(300 * i))
+		k.After(at, func() {
+			m.Sched.Interrupt([]IntrStep{{D: sim.Micros(100), Fn: func() {
+				m.Sched.DeferredWork(sim.Micros(400))
+			}}})
+		})
+	}
+	k.Run()
+	queued, done := m.Sched.DeferredAccounting()
+	if queued != done {
+		t.Fatalf("deferred work leaked: queued %v, executed %v", queued, done)
+	}
+}
+
+// TestDeferredWorkPreemptedByInterrupt: a fresh chain takes priority over
+// in-progress bookkeeping within the backlog bound.
+func TestDeferredWorkPreemptedByInterrupt(t *testing.T) {
+	k, m := newTestMachine(t, 1)
+	var chainDone sim.Time
+	k.After(0, func() {
+		m.Sched.DeferredWork(sim.Micros(1000))
+	})
+	k.After(sim.Micros(100), func() {
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(50), Fn: func() { chainDone = k.Now() }}})
+	})
+	k.Run()
+	// The chain must complete at 150µs (preempting the deferred item), not
+	// wait until 1050µs.
+	if chainDone != sim.Time(sim.Micros(150)) {
+		t.Fatalf("chain completed at %v, want 150µs (deferred work not preempted)", chainDone)
+	}
+	queued, done := m.Sched.DeferredAccounting()
+	if queued != done {
+		t.Fatalf("deferred remainder lost: queued %v done %v", queued, done)
+	}
+}
+
+// TestDeferredBacklogThrottles: beyond the backlog bound, fresh chains wait
+// for bookkeeping to catch up.
+func TestDeferredBacklogThrottles(t *testing.T) {
+	k, m := newTestMachine(t, 1)
+	var lastChain sim.Time
+	k.After(0, func() {
+		// Queue well past the backlog bound.
+		for i := 0; i < 6; i++ {
+			m.Sched.DeferredWork(sim.Micros(100))
+		}
+		m.Sched.Interrupt([]IntrStep{{D: sim.Micros(10), Fn: func() { lastChain = k.Now() }}})
+	})
+	k.Run()
+	// With backlog 6 > maxDeferredBacklog (2), the chain must wait for the
+	// backlog to drain to the bound: at least 3 items × 100µs first.
+	if lastChain < sim.Time(sim.Micros(310)) {
+		t.Fatalf("chain ran at %v; backlog did not throttle", lastChain)
+	}
+}
+
+// TestJitterPreservesDeterminism: jittered runs with equal seeds agree.
+func TestJitterPreservesDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		k := sim.NewKernel(99)
+		cfg := testConfigWithJitter()
+		m := New(k, "m", &cfg, nil, 1, 2)
+		var done sim.Time
+		m.Sched.SpawnProc("w", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Compute(sim.Micros(100))
+				p.Sleep(sim.Micros(10))
+			}
+			done = p.Now()
+		})
+		k.Run()
+		return done
+	}
+	if run() != run() {
+		t.Fatal("jittered runs with the same seed diverged")
+	}
+}
+
+// TestJitterBounded: jitter stays within the configured fraction.
+func TestJitterBounded(t *testing.T) {
+	k := sim.NewKernel(3)
+	cfg := testConfigWithJitter()
+	m := New(k, "m", &cfg, nil, 1, 1)
+	var prev sim.Time
+	for i := 0; i < 200; i++ {
+		m.Sched.SpawnProc("w", func(p *Proc) { p.Compute(sim.Micros(100)) })
+		k.Run()
+		d := k.Now().Sub(prev)
+		prev = k.Now()
+		if d < sim.Micros(94) || d > sim.Micros(106) {
+			t.Fatalf("compute took %v, want 100µs ± 5%%", d)
+		}
+	}
+}

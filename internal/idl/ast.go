@@ -1,0 +1,164 @@
+// Package idl implements the stub compiler: it parses a Modula-2-flavoured
+// DEFINITION MODULE describing a remote interface and generates Go caller
+// and server stubs over the core runtime — the analogue of the Firefly's
+// automatic stub generator, whose output is "direct assignment statements"
+// rather than an interpreter (§2.2).
+//
+// The accepted language:
+//
+//	DEFINITION MODULE Test;
+//	VERSION = 1;
+//	PROCEDURE Null();
+//	PROCEDURE MaxResult(VAR OUT buffer: ARRAY 1440 OF CHAR);
+//	PROCEDURE MaxArg(VAR IN buffer: ARRAY 1440 OF CHAR);
+//	PROCEDURE Add(a: INTEGER; b: INTEGER): INTEGER;
+//	PROCEDURE Greet(name: Text): Text;
+//	END Test.
+//
+// Types: INTEGER, CARDINAL, LONGINT, LONGCARD, BOOLEAN, CHAR, REAL, Text,
+// ARRAY n OF CHAR (fixed), ARRAY OF CHAR (variable length). Parameters are
+// by value unless marked VAR IN (caller→server only), VAR OUT
+// (server→caller only), or VAR / VAR INOUT (both ways), with exactly the
+// paper's marshalling semantics for each mode.
+package idl
+
+import "fmt"
+
+// Kind enumerates the wire types.
+type Kind int
+
+const (
+	KInteger    Kind = iota // 4-byte signed
+	KCardinal               // 4-byte unsigned
+	KLongint                // 8-byte signed
+	KLongcard               // 8-byte unsigned
+	KBoolean                // 1 byte
+	KChar                   // 1 byte
+	KReal                   // 8-byte IEEE-754
+	KText                   // Text.T reference
+	KFixedArray             // ARRAY n OF CHAR
+	KVarArray               // ARRAY OF CHAR
+)
+
+// Type is a parameter or return type.
+type Type struct {
+	Kind Kind
+	N    int // fixed-array length
+}
+
+// String renders the type in IDL syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case KInteger:
+		return "INTEGER"
+	case KCardinal:
+		return "CARDINAL"
+	case KLongint:
+		return "LONGINT"
+	case KLongcard:
+		return "LONGCARD"
+	case KBoolean:
+		return "BOOLEAN"
+	case KChar:
+		return "CHAR"
+	case KReal:
+		return "REAL"
+	case KText:
+		return "Text"
+	case KFixedArray:
+		return fmt.Sprintf("ARRAY %d OF CHAR", t.N)
+	case KVarArray:
+		return "ARRAY OF CHAR"
+	default:
+		return fmt.Sprintf("type(%d)", int(t.Kind))
+	}
+}
+
+// Scalar reports whether the type is a fixed-size scalar.
+func (t Type) Scalar() bool {
+	switch t.Kind {
+	case KInteger, KCardinal, KLongint, KLongcard, KBoolean, KChar, KReal:
+		return true
+	}
+	return false
+}
+
+// FixedSize returns the wire size for types whose size is static, and ok.
+func (t Type) FixedSize() (int, bool) {
+	switch t.Kind {
+	case KBoolean, KChar:
+		return 1, true
+	case KInteger, KCardinal:
+		return 4, true
+	case KLongint, KLongcard, KReal:
+		return 8, true
+	case KFixedArray:
+		return t.N, true
+	}
+	return 0, false
+}
+
+// Mode is a parameter passing mode.
+type Mode int
+
+const (
+	ByValue Mode = iota
+	VarIn
+	VarOut
+	VarInOut
+)
+
+// String renders the mode in IDL syntax.
+func (m Mode) String() string {
+	switch m {
+	case VarIn:
+		return "VAR IN"
+	case VarOut:
+		return "VAR OUT"
+	case VarInOut:
+		return "VAR INOUT"
+	default:
+		return ""
+	}
+}
+
+// InCall reports whether the parameter travels in the call packet.
+func (m Mode) InCall() bool { return m == ByValue || m == VarIn || m == VarInOut }
+
+// InResult reports whether the parameter travels in the result packet.
+func (m Mode) InResult() bool { return m == VarOut || m == VarInOut }
+
+// Param is one procedure parameter.
+type Param struct {
+	Name string
+	Mode Mode
+	Type Type
+}
+
+// Proc is one procedure; ID is its 1-based wire identifier.
+type Proc struct {
+	Name   string
+	ID     uint16
+	Params []Param
+	Return *Type // nil for proper procedures
+	Line   int
+}
+
+// Module is a parsed interface definition.
+type Module struct {
+	Name    string
+	Version uint32
+	Procs   []*Proc
+}
+
+// Error is a parse or semantic error with position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("idl: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,245 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const miniIDL = `
+DEFINITION MODULE Mini;
+VERSION = 3;
+PROCEDURE Ping();
+PROCEDURE Add(a: INTEGER; b: INTEGER): INTEGER;
+PROCEDURE Fill(VAR OUT buf: ARRAY 16 OF CHAR);
+END Mini.
+`
+
+func TestParseBasics(t *testing.T) {
+	m, err := Parse(miniIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Mini" || m.Version != 3 {
+		t.Fatalf("module %s v%d", m.Name, m.Version)
+	}
+	if len(m.Procs) != 3 {
+		t.Fatalf("%d procs", len(m.Procs))
+	}
+	if m.Procs[0].ID != 1 || m.Procs[2].ID != 3 {
+		t.Fatal("proc IDs not sequential")
+	}
+	add := m.Procs[1]
+	if len(add.Params) != 2 || add.Return == nil || add.Return.Kind != KInteger {
+		t.Fatalf("Add parsed wrong: %+v", add)
+	}
+	fill := m.Procs[2]
+	if fill.Params[0].Mode != VarOut || fill.Params[0].Type.Kind != KFixedArray || fill.Params[0].Type.N != 16 {
+		t.Fatalf("Fill parsed wrong: %+v", fill.Params[0])
+	}
+}
+
+func TestParseAllTypes(t *testing.T) {
+	src := `
+DEFINITION MODULE Types;
+PROCEDURE F(a: INTEGER; b: CARDINAL; c: LONGINT; e: LONGCARD;
+            f: BOOLEAN; g: CHAR; h: REAL; i: Text;
+            j: ARRAY 8 OF CHAR; k: ARRAY OF CHAR);
+END Types.
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KInteger, KCardinal, KLongint, KLongcard, KBoolean, KChar, KReal, KText, KFixedArray, KVarArray}
+	for i, k := range kinds {
+		if m.Procs[0].Params[i].Type.Kind != k {
+			t.Errorf("param %d kind %v, want %v", i, m.Procs[0].Params[i].Type.Kind, k)
+		}
+	}
+}
+
+func TestParseIdentifierLists(t *testing.T) {
+	m, err := Parse(`DEFINITION MODULE L; PROCEDURE F(a, b, c: INTEGER); END L.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Procs[0].Params) != 3 {
+		t.Fatalf("%d params, want 3", len(m.Procs[0].Params))
+	}
+}
+
+func TestParseVarModes(t *testing.T) {
+	m, err := Parse(`DEFINITION MODULE V;
+PROCEDURE F(VAR a: INTEGER; VAR IN b: INTEGER; VAR OUT c: INTEGER; VAR INOUT e: INTEGER);
+END V.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Mode{VarInOut, VarIn, VarOut, VarInOut}
+	for i, w := range want {
+		if m.Procs[0].Params[i].Mode != w {
+			t.Errorf("param %d mode %v, want %v", i, m.Procs[0].Params[i].Mode, w)
+		}
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	src := `(* outer (* inner *) still comment *) DEFINITION MODULE C; PROCEDURE P(); END C.`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"MODULE X;", "expected"},
+		{"DEFINITION MODULE X; END X.", "no procedures"},
+		{"DEFINITION MODULE X; PROCEDURE P(); END Y.", "does not match"},
+		{"DEFINITION MODULE X; PROCEDURE P(); PROCEDURE P(); END X.", "duplicate procedure"},
+		{"DEFINITION MODULE X; PROCEDURE P(a: INTEGER; a: INTEGER); END X.", "duplicate parameter"},
+		{"DEFINITION MODULE X; PROCEDURE P(a: FLOAT); END X.", "unknown type"},
+		{"DEFINITION MODULE X; PROCEDURE P(VAR OUT t: Text); END X.", "immutable"},
+		{"DEFINITION MODULE X; PROCEDURE P(err: INTEGER); END X.", "reserved"},
+		{"DEFINITION MODULE X; PROCEDURE P(a: ARRAY 0 OF CHAR); END X.", "bad array size"},
+		{"DEFINITION MODULE X; PROCEDURE P(); (* unclosed", "unterminated comment"},
+		{"DEFINITION MODULE X; PROCEDURE P(); END X.~", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("error %q does not mention %q", err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "DEFINITION MODULE X;\nPROCEDURE P();\nPROCEDURE P();\nEND X."
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestGenerateCompilesCleanly(t *testing.T) {
+	m, err := Parse(miniIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(m, "mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(code)
+	for _, want := range []string{
+		"package mini",
+		"MiniName",
+		"uint32(3)",
+		"MiniProcAdd",
+		"func (cl *MiniClient) Add(a int32, b int32) (int32, error)",
+		"type MiniServer interface",
+		"func ExportMini(impl MiniServer) *core.Interface",
+		"core.CheckLen(\"buf\", len(buf), 16)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	if strings.Contains(out, "\t\t\t\t\t") {
+		t.Error("suspicious deep indentation; formatter not applied?")
+	}
+}
+
+func TestTypeStringAndSizes(t *testing.T) {
+	if (Type{Kind: KFixedArray, N: 7}).String() != "ARRAY 7 OF CHAR" {
+		t.Fatal("fixed array string")
+	}
+	if n, ok := (Type{Kind: KReal}).FixedSize(); !ok || n != 8 {
+		t.Fatal("REAL size")
+	}
+	if _, ok := (Type{Kind: KVarArray}).FixedSize(); ok {
+		t.Fatal("var array must not have fixed size")
+	}
+	if !(Type{Kind: KChar}).Scalar() || (Type{Kind: KText}).Scalar() {
+		t.Fatal("Scalar classification")
+	}
+}
+
+func TestGenerateAllModesAndTypes(t *testing.T) {
+	src := `
+DEFINITION MODULE Every;
+PROCEDURE S(a: INTEGER; b: CARDINAL; c: LONGINT; l: LONGCARD;
+            f: BOOLEAN; g: CHAR; h: REAL): LONGINT;
+PROCEDURE O(VAR OUT a: INTEGER; VAR OUT b: CARDINAL; VAR OUT c: LONGINT;
+            VAR OUT l: LONGCARD; VAR OUT f: BOOLEAN; VAR OUT g: CHAR;
+            VAR OUT h: REAL);
+PROCEDURE IO(VAR x: INTEGER; VAR INOUT buf: ARRAY 16 OF CHAR;
+             VAR INOUT v: ARRAY OF CHAR);
+PROCEDURE A(VAR IN src2: ARRAY 32 OF CHAR; VAR OUT dst: ARRAY 32 OF CHAR;
+            data: ARRAY OF CHAR; VAR OUT out: ARRAY OF CHAR);
+PROCEDURE T(name: Text): Text;
+PROCEDURE R(x: REAL; y: REAL): REAL;
+END Every.
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(m, "every")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(code)
+	for _, want := range []string{
+		"_e.PutInt32", "_e.PutUint32", "_e.PutInt64", "_e.PutUint64",
+		"_e.PutBool", "_e.PutByte", "_e.PutFloat64", "_e.PutText",
+		"_e.PutFixedBytes", "_e.PutVarBytes",
+		"_d.Int32()", "_d.Uint32()", "_d.Int64()", "_d.Uint64()",
+		"_d.Bool()", "_d.Byte()", "_d.Float64()", "_d.GetText()",
+		"_d.AliasFixed(32)", "_d.AliasVarBytes()",
+		"marshal.TextWireSize",
+		"x *int32",    // VAR INOUT scalar is a pointer
+		"out *[]byte", // VAR OUT var array is a slice pointer
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateVersionDefaultsToOne(t *testing.T) {
+	m, err := Parse("DEFINITION MODULE D; PROCEDURE P(); END D.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("version = %d, want 1", m.Version)
+	}
+	code, err := Generate(m, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "uint32(1)") {
+		t.Fatal("default version not emitted")
+	}
+}
+
+func TestModeHelpers(t *testing.T) {
+	if !VarIn.InCall() || VarIn.InResult() {
+		t.Fatal("VAR IN travels only in the call packet")
+	}
+	if VarOut.InCall() || !VarOut.InResult() {
+		t.Fatal("VAR OUT travels only in the result packet")
+	}
+	if !VarInOut.InCall() || !VarInOut.InResult() {
+		t.Fatal("VAR INOUT travels both ways")
+	}
+	if ByValue.String() != "" || VarIn.String() != "VAR IN" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // ; : , . ( ) =
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src, handling nested (* ... *) comments.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '(' && i+1 < n && src[i+1] == '*':
+			depth := 1
+			i += 2
+			for i < n && depth > 0 {
+				switch {
+				case src[i] == '\n':
+					line++
+					i++
+				case src[i] == '(' && i+1 < n && src[i+1] == '*':
+					depth++
+					i += 2
+				case src[i] == '*' && i+1 < n && src[i+1] == ')':
+					depth--
+					i += 2
+				default:
+					i++
+				}
+			}
+			if depth > 0 {
+				return nil, errf(line, "unterminated comment")
+			}
+		case strings.ContainsRune(";:,.()=", rune(c)):
+			toks = append(toks, token{tPunct, string(c), line})
+			i++
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, errf(line, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,282 @@
+package idl
+
+import "strconv"
+
+// Parse compiles IDL source into a checked Module.
+func Parse(src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m, err := p.module()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectIdent(words ...string) (token, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return t, errf(t.line, "expected identifier, got %s", t)
+	}
+	if len(words) > 0 {
+		for _, w := range words {
+			if t.text == w {
+				return t, nil
+			}
+		}
+		return t, errf(t.line, "expected %v, got %s", words, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return errf(t.line, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) module() (*Module, error) {
+	if _, err := p.expectIdent("DEFINITION"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent("MODULE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Version: 1}
+
+	for {
+		t := p.cur()
+		if t.kind == tIdent && t.text == "END" {
+			break
+		}
+		switch {
+		case t.kind == tIdent && t.text == "VERSION":
+			p.next()
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			num := p.next()
+			if num.kind != tNumber {
+				return nil, errf(num.line, "expected version number, got %s", num)
+			}
+			v, _ := strconv.ParseUint(num.text, 10, 32)
+			m.Version = uint32(v)
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "PROCEDURE":
+			proc, err := p.procedure()
+			if err != nil {
+				return nil, err
+			}
+			proc.ID = uint16(len(m.Procs) + 1)
+			m.Procs = append(m.Procs, proc)
+		default:
+			return nil, errf(t.line, "expected PROCEDURE, VERSION, or END, got %s", t)
+		}
+	}
+	p.next() // END
+	endName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if endName.text != m.Name {
+		return nil, errf(endName.line, "END %s does not match MODULE %s", endName.text, m.Name)
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) procedure() (*Proc, error) {
+	start := p.next() // PROCEDURE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	proc := &Proc{Name: name.text, Line: start.line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !(p.cur().kind == tPunct && p.cur().text == ")") {
+		for {
+			params, err := p.paramGroup()
+			if err != nil {
+				return nil, err
+			}
+			proc.Params = append(proc.Params, params...)
+			if p.cur().kind == tPunct && p.cur().text == ";" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tPunct && p.cur().text == ":" {
+		p.next()
+		typ, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		proc.Return = &typ
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+// paramGroup parses "[VAR [IN|OUT|INOUT]] a, b: TYPE".
+func (p *parser) paramGroup() ([]Param, error) {
+	mode := ByValue
+	if p.cur().kind == tIdent && p.cur().text == "VAR" {
+		p.next()
+		mode = VarInOut
+		if p.cur().kind == tIdent {
+			switch p.cur().text {
+			case "IN":
+				p.next()
+				mode = VarIn
+			case "OUT":
+				p.next()
+				mode = VarOut
+			case "INOUT":
+				p.next()
+				mode = VarInOut
+			}
+		}
+	}
+	var names []token
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	var out []Param
+	for _, n := range names {
+		out = append(out, Param{Name: n.text, Mode: mode, Type: typ})
+	}
+	return out, nil
+}
+
+func (p *parser) typeSpec() (Type, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return Type{}, errf(t.line, "expected type, got %s", t)
+	}
+	switch t.text {
+	case "INTEGER":
+		return Type{Kind: KInteger}, nil
+	case "CARDINAL":
+		return Type{Kind: KCardinal}, nil
+	case "LONGINT":
+		return Type{Kind: KLongint}, nil
+	case "LONGCARD":
+		return Type{Kind: KLongcard}, nil
+	case "BOOLEAN":
+		return Type{Kind: KBoolean}, nil
+	case "CHAR":
+		return Type{Kind: KChar}, nil
+	case "REAL":
+		return Type{Kind: KReal}, nil
+	case "Text":
+		return Type{Kind: KText}, nil
+	case "ARRAY":
+		if p.cur().kind == tNumber {
+			num := p.next()
+			n, err := strconv.Atoi(num.text)
+			if err != nil || n <= 0 {
+				return Type{}, errf(num.line, "bad array size %q", num.text)
+			}
+			if _, err := p.expectIdent("OF"); err != nil {
+				return Type{}, err
+			}
+			if _, err := p.expectIdent("CHAR"); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: KFixedArray, N: n}, nil
+		}
+		if _, err := p.expectIdent("OF"); err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expectIdent("CHAR"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: KVarArray}, nil
+	default:
+		return Type{}, errf(t.line, "unknown type %q", t.text)
+	}
+}
+
+// check enforces semantic rules.
+func check(m *Module) error {
+	if len(m.Procs) == 0 {
+		return errf(1, "module %s declares no procedures", m.Name)
+	}
+	seen := map[string]bool{}
+	for _, proc := range m.Procs {
+		if seen[proc.Name] {
+			return errf(proc.Line, "duplicate procedure %s", proc.Name)
+		}
+		seen[proc.Name] = true
+		pnames := map[string]bool{}
+		for _, param := range proc.Params {
+			if pnames[param.Name] {
+				return errf(proc.Line, "%s: duplicate parameter %s", proc.Name, param.Name)
+			}
+			pnames[param.Name] = true
+			switch param.Name {
+			case "cl", "err", "ret0", "impl", "iface", "_e", "_d":
+				return errf(proc.Line, "%s: parameter name %q is reserved by the stub generator", proc.Name, param.Name)
+			}
+			if param.Mode == VarOut && param.Type.Kind == KText {
+				return errf(proc.Line, "%s: Text cannot be VAR OUT (immutable); return it instead", proc.Name)
+			}
+		}
+		if proc.Return != nil && proc.Return.Kind == KFixedArray {
+			return errf(proc.Line, "%s: use a VAR OUT array parameter instead of an array return", proc.Name)
+		}
+	}
+	return nil
+}

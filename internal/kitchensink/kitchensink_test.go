@@ -1,0 +1,229 @@
+package kitchensink
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/idl"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/transport"
+)
+
+// impl exercises every parameter mode the stub compiler supports.
+type impl struct{}
+
+func (impl) Scalars(a int32, b uint32, c int64, l uint64, f bool, g byte, h float64) (int64, error) {
+	sum := int64(a) + int64(b) + c + int64(l) + int64(g) + int64(h)
+	if f {
+		sum++
+	}
+	return sum, nil
+}
+
+func (impl) OutScalars(a *int32, b *uint32, c *int64, l *uint64, f *bool, g *byte, h *float64) error {
+	*a, *b, *c, *l, *f, *g, *h = -1, 2, -3, 4, true, 'x', 2.5
+	return nil
+}
+
+func (impl) InOutScalar(x *int32) error { *x *= 2; return nil }
+
+func (impl) FixedBoth(src []byte, dst []byte) error {
+	for i := range dst {
+		dst[i] = src[len(src)-1-i]
+	}
+	return nil
+}
+
+func (impl) FixedInOut(buf []byte) error {
+	for i := range buf {
+		buf[i] ^= 0xFF
+	}
+	return nil
+}
+
+func (impl) VarEcho(data []byte, out *[]byte) error {
+	*out = append([]byte("echo:"), data...)
+	return nil
+}
+
+func (impl) VarInOut(v *[]byte) error {
+	*v = append(*v, *v...) // doubled
+	return nil
+}
+
+func (impl) TextRoundTrip(name *marshal.Text) (*marshal.Text, error) {
+	if name.IsNil() {
+		return nil, nil
+	}
+	return marshal.NewText("<" + name.String() + ">"), nil
+}
+
+func (impl) RealMath(x, y float64) (float64, error) { return x*y + 0.5, nil }
+
+func newClient(t *testing.T) *KitchenClient {
+	t.Helper()
+	ex := transport.NewExchange()
+	cfg := proto.Config{RetransInterval: 20 * time.Millisecond, MaxRetries: 6, Workers: 4}
+	caller := core.NewNode(ex.Port("caller"), cfg)
+	server := core.NewNode(ex.Port("server"), cfg)
+	server.Export(ExportKitchen(impl{}))
+	t.Cleanup(func() { caller.Close(); server.Close() })
+	return NewKitchenClient(caller.Bind(server.Addr(), KitchenName, KitchenVersion))
+}
+
+func TestScalarsByValue(t *testing.T) {
+	c := newClient(t)
+	sum, err := c.Scalars(-10, 20, -30, 40, true, 5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -10+20-30+40+5+2+1 = 28
+	if sum != 28 {
+		t.Fatalf("sum = %d, want 28", sum)
+	}
+}
+
+func TestOutScalars(t *testing.T) {
+	c := newClient(t)
+	var (
+		a int32
+		b uint32
+		d int64
+		l uint64
+		f bool
+		g byte
+		h float64
+	)
+	if err := c.OutScalars(&a, &b, &d, &l, &f, &g, &h); err != nil {
+		t.Fatal(err)
+	}
+	if a != -1 || b != 2 || d != -3 || l != 4 || !f || g != 'x' || h != 2.5 {
+		t.Fatalf("out scalars: %v %v %v %v %v %v %v", a, b, d, l, f, g, h)
+	}
+}
+
+func TestInOutScalar(t *testing.T) {
+	c := newClient(t)
+	x := int32(21)
+	if err := c.InOutScalar(&x); err != nil {
+		t.Fatal(err)
+	}
+	if x != 42 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestFixedBoth(t *testing.T) {
+	c := newClient(t)
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, 32)
+	if err := c.FixedBoth(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != byte(31-i) {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	// Wrong lengths rejected before any packet.
+	if err := c.FixedBoth(src[:3], dst); err == nil {
+		t.Fatal("short src accepted")
+	}
+}
+
+func TestFixedInOut(t *testing.T) {
+	c := newClient(t)
+	buf := bytes.Repeat([]byte{0xAA}, 16)
+	if err := c.FixedInOut(buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0x55 {
+			t.Fatalf("buf byte %#x, want 0x55", b)
+		}
+	}
+}
+
+func TestVarEcho(t *testing.T) {
+	c := newClient(t)
+	var out []byte
+	if err := c.VarEcho([]byte("abc"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:abc" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestVarInOut(t *testing.T) {
+	c := newClient(t)
+	v := []byte("ab")
+	if err := c.VarInOut(&v); err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "abab" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	c := newClient(t)
+	got, err := c.TextRoundTrip(marshal.NewText("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "<hi>" {
+		t.Fatalf("got %q", got.String())
+	}
+	// NIL in, NIL out.
+	got, err = c.TextRoundTrip(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNil() {
+		t.Fatalf("got %q, want NIL", got.String())
+	}
+}
+
+func TestRealMath(t *testing.T) {
+	c := newClient(t)
+	got, err := c.RealMath(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestRegenerationMatchesCheckedIn keeps the generator and these stubs in
+// lockstep (and proves the all-modes generated code compiles, since this
+// package builds).
+func TestRegenerationMatchesCheckedIn(t *testing.T) {
+	src, err := os.ReadFile("kitchen.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := idl.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := idl.Generate(m, "kitchensink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile("kitchensink.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gen, checked) {
+		t.Fatal("kitchensink.go is stale: regenerate with\n  go run ./cmd/stubgen -in internal/kitchensink/kitchen.idl -pkg kitchensink -out internal/kitchensink/kitchensink.go")
+	}
+}

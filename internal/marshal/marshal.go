@@ -1,0 +1,316 @@
+// Package marshal implements argument and result marshalling with the
+// passing-mode semantics of the Firefly's Modula-2+ stubs.
+//
+// Arguments are classified by mode:
+//
+//   - By-value scalars are copied into the call packet by the caller stub
+//     and copied out onto the server's stack by the server stub; they do not
+//     appear in the result packet (Table II).
+//   - VAR OUT arguments travel only in the result packet. The caller stub
+//     does not copy them into the call packet; the server stub hands the
+//     server procedure a slice aliasing the result packet buffer so the
+//     server writes the value in place; the single copy happens when the
+//     caller stub moves the value from the result packet into the caller's
+//     variable (Tables III, IV).
+//   - VAR IN arguments travel only in the call packet, mutatis mutandis.
+//   - VAR INOUT arguments travel in both.
+//   - Text.T values are immutable garbage-collected strings: the caller stub
+//     copies the string into the call packet and the server stub must
+//     allocate a fresh Text.T and copy into it (Table V).
+//
+// Generated stubs use the Enc/Dec primitives as "direct assignment
+// statements"; complex types (Text.T) go through the library procedures
+// PutText/GetText, as on the Firefly.
+package marshal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode says which packets carry an argument.
+type Mode uint8
+
+const (
+	// ByValue arguments are copied into the call packet only.
+	ByValue Mode = iota
+	// VarIn arguments travel only in the call packet.
+	VarIn
+	// VarOut arguments travel only in the result packet.
+	VarOut
+	// VarInOut arguments travel in both packets.
+	VarInOut
+)
+
+// String names the mode in Modula-2+ terms.
+func (m Mode) String() string {
+	switch m {
+	case ByValue:
+		return "by-value"
+	case VarIn:
+		return "VAR IN"
+	case VarOut:
+		return "VAR OUT"
+	case VarInOut:
+		return "VAR INOUT"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// InCall reports whether an argument with this mode appears in the call packet.
+func (m Mode) InCall() bool { return m == ByValue || m == VarIn || m == VarInOut }
+
+// InResult reports whether an argument with this mode appears in the result packet.
+func (m Mode) InResult() bool { return m == VarOut || m == VarInOut }
+
+// Errors.
+var (
+	ErrShort    = errors.New("marshal: packet too short")
+	ErrOverflow = errors.New("marshal: value exceeds packet capacity")
+	ErrBadTag   = errors.New("marshal: bad type tag")
+)
+
+// Enc writes values into a packet payload buffer. The zero value encodes
+// into a fresh internal buffer; NewEncAt encodes into caller-owned space
+// (a pooled packet buffer) without allocating.
+type Enc struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewEnc returns an encoder writing into buf[0:], which must be large enough
+// for everything encoded; overflow is recorded as an error, not a panic.
+func NewEnc(buf []byte) *Enc { return &Enc{buf: buf} }
+
+// Len returns the number of bytes encoded so far.
+func (e *Enc) Len() int { return e.off }
+
+// Err returns the first error encountered, if any.
+func (e *Enc) Err() error { return e.err }
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf[:e.off] }
+
+func (e *Enc) room(n int) []byte {
+	if e.err != nil {
+		return nil
+	}
+	if e.off+n > len(e.buf) {
+		e.err = ErrOverflow
+		return nil
+	}
+	b := e.buf[e.off : e.off+n]
+	e.off += n
+	return b
+}
+
+// PutByte encodes a single byte.
+func (e *Enc) PutByte(v byte) {
+	if b := e.room(1); b != nil {
+		b[0] = v
+	}
+}
+
+// PutBool encodes a BOOLEAN.
+func (e *Enc) PutBool(v bool) {
+	var x byte
+	if v {
+		x = 1
+	}
+	e.PutByte(x)
+}
+
+// PutInt16 encodes a 16-bit integer.
+func (e *Enc) PutInt16(v int16) { e.PutUint16(uint16(v)) }
+
+// PutUint16 encodes a 16-bit cardinal.
+func (e *Enc) PutUint16(v uint16) {
+	if b := e.room(2); b != nil {
+		b[0], b[1] = byte(v>>8), byte(v)
+	}
+}
+
+// PutInt32 encodes a 4-byte INTEGER — the paper's canonical by-value
+// argument (Table II).
+func (e *Enc) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutUint32 encodes a 4-byte CARDINAL.
+func (e *Enc) PutUint32(v uint32) {
+	if b := e.room(4); b != nil {
+		b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	}
+}
+
+// PutInt64 encodes an 8-byte integer.
+func (e *Enc) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutUint64 encodes an 8-byte cardinal.
+func (e *Enc) PutUint64(v uint64) {
+	e.PutUint32(uint32(v >> 32))
+	e.PutUint32(uint32(v))
+}
+
+// PutFloat64 encodes a REAL as IEEE-754 bits.
+func (e *Enc) PutFloat64(v float64) { e.PutUint64(f64bits(v)) }
+
+// PutFixedBytes encodes a fixed-length array. The length is part of the
+// interface type, so no length prefix travels on the wire (Table III).
+func (e *Enc) PutFixedBytes(v []byte) {
+	if b := e.room(len(v)); b != nil {
+		copy(b, v)
+	}
+}
+
+// PutVarBytes encodes a variable-length array: a 4-byte length then the
+// bytes (Table IV).
+func (e *Enc) PutVarBytes(v []byte) {
+	e.PutUint32(uint32(len(v)))
+	e.PutFixedBytes(v)
+}
+
+// PutString encodes a Go string as a variable-length array.
+func (e *Enc) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	if b := e.room(len(s)); b != nil {
+		copy(b, s)
+	}
+}
+
+// AliasFixed reserves n bytes in the packet and returns a slice aliasing
+// them. This is how a VAR OUT argument is produced without copying at the
+// server: the server procedure writes directly into the result packet.
+func (e *Enc) AliasFixed(n int) []byte {
+	return e.room(n)
+}
+
+// Dec reads values from a packet payload.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Err returns the first error encountered, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShort
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Byte decodes a single byte.
+func (d *Dec) Byte() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+// Bool decodes a BOOLEAN.
+func (d *Dec) Bool() bool { return d.Byte() != 0 }
+
+// Int16 decodes a 16-bit integer.
+func (d *Dec) Int16() int16 { return int16(d.Uint16()) }
+
+// Uint16 decodes a 16-bit cardinal.
+func (d *Dec) Uint16() uint16 {
+	if b := d.take(2); b != nil {
+		return uint16(b[0])<<8 | uint16(b[1])
+	}
+	return 0
+}
+
+// Int32 decodes a 4-byte INTEGER.
+func (d *Dec) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint32 decodes a 4-byte CARDINAL.
+func (d *Dec) Uint32() uint32 {
+	if b := d.take(4); b != nil {
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return 0
+}
+
+// Int64 decodes an 8-byte integer.
+func (d *Dec) Int64() int64 { return int64(d.Uint64()) }
+
+// Uint64 decodes an 8-byte cardinal.
+func (d *Dec) Uint64() uint64 {
+	hi := uint64(d.Uint32())
+	return hi<<32 | uint64(d.Uint32())
+}
+
+// Float64 decodes a REAL.
+func (d *Dec) Float64() float64 { return f64frombits(d.Uint64()) }
+
+// FixedBytes copies an n-byte fixed array out of the packet into dst.
+func (d *Dec) FixedBytes(dst []byte) {
+	if b := d.take(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+// AliasFixed returns an n-byte slice aliasing the packet — zero-copy access
+// for a VAR IN argument at the server.
+func (d *Dec) AliasFixed(n int) []byte { return d.take(n) }
+
+// VarBytes decodes a variable-length array, copying it into fresh storage.
+func (d *Dec) VarBytes() []byte {
+	n := int(d.Uint32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// AliasVarBytes decodes a variable-length array without copying.
+func (d *Dec) AliasVarBytes() []byte {
+	n := int(d.Uint32())
+	return d.take(n)
+}
+
+// VarBytesInto decodes a variable-length array into dst and returns the
+// number of bytes written; this is the caller-stub side of a VAR OUT array,
+// where the single copy lands in the caller's variable.
+func (d *Dec) VarBytesInto(dst []byte) int {
+	n := int(d.Uint32())
+	b := d.take(n)
+	if b == nil {
+		return 0
+	}
+	if n > len(dst) {
+		d.err = ErrOverflow
+		return 0
+	}
+	copy(dst, b)
+	return n
+}
+
+// String decodes a string.
+func (d *Dec) String() string {
+	n := int(d.Uint32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

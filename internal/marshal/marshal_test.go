@@ -1,0 +1,296 @@
+package marshal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	buf := make([]byte, 256)
+	e := NewEnc(buf)
+	e.PutByte(0xab)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutInt16(-12345)
+	e.PutUint16(54321)
+	e.PutInt32(-7)
+	e.PutUint32(0xdeadbeef)
+	e.PutInt64(-1 << 40)
+	e.PutUint64(0x0123456789abcdef)
+	e.PutFloat64(3.14159)
+	if e.Err() != nil {
+		t.Fatal(e.Err())
+	}
+
+	d := NewDec(e.Bytes())
+	if d.Byte() != 0xab || d.Bool() != true || d.Bool() != false {
+		t.Fatal("byte/bool mismatch")
+	}
+	if d.Int16() != -12345 || d.Uint16() != 54321 {
+		t.Fatal("16-bit mismatch")
+	}
+	if d.Int32() != -7 || d.Uint32() != 0xdeadbeef {
+		t.Fatal("32-bit mismatch")
+	}
+	if d.Int64() != -1<<40 || d.Uint64() != 0x0123456789abcdef {
+		t.Fatal("64-bit mismatch")
+	}
+	if d.Float64() != 3.14159 {
+		t.Fatal("float mismatch")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestInt32IsFourBytes(t *testing.T) {
+	// The paper's Table II marshals 4-byte integers by value.
+	e := NewEnc(make([]byte, 16))
+	e.PutInt32(1)
+	if e.Len() != 4 {
+		t.Fatalf("PutInt32 encoded %d bytes, want 4", e.Len())
+	}
+}
+
+func TestFixedBytesNoLengthPrefix(t *testing.T) {
+	// Fixed-length arrays carry no length on the wire (Table III).
+	e := NewEnc(make([]byte, 16))
+	e.PutFixedBytes([]byte{1, 2, 3, 4})
+	if e.Len() != 4 {
+		t.Fatalf("fixed 4-byte array encoded as %d bytes, want 4", e.Len())
+	}
+	d := NewDec(e.Bytes())
+	out := make([]byte, 4)
+	d.FixedBytes(out)
+	if !bytes.Equal(out, []byte{1, 2, 3, 4}) {
+		t.Fatal("fixed bytes mismatch")
+	}
+}
+
+func TestVarBytesHasLengthPrefix(t *testing.T) {
+	// Variable-length arrays carry a 4-byte length (Table IV).
+	e := NewEnc(make([]byte, 16))
+	e.PutVarBytes([]byte{9, 8})
+	if e.Len() != 6 {
+		t.Fatalf("var 2-byte array encoded as %d bytes, want 6", e.Len())
+	}
+	d := NewDec(e.Bytes())
+	if got := d.VarBytes(); !bytes.Equal(got, []byte{9, 8}) {
+		t.Fatalf("VarBytes = %v", got)
+	}
+}
+
+func TestAliasFixedZeroCopy(t *testing.T) {
+	// Server-side VAR OUT: the alias writes through to the packet.
+	buf := make([]byte, 8)
+	e := NewEnc(buf)
+	alias := e.AliasFixed(4)
+	copy(alias, "abcd")
+	if string(e.Bytes()) != "abcd" {
+		t.Fatal("AliasFixed did not write through to packet")
+	}
+	// Server-side VAR IN: decode alias shares memory with payload.
+	d := NewDec(buf)
+	a := d.AliasFixed(4)
+	buf[0] = 'z'
+	if a[0] != 'z' {
+		t.Fatal("Dec.AliasFixed copied instead of aliasing")
+	}
+}
+
+func TestVarBytesInto(t *testing.T) {
+	e := NewEnc(make([]byte, 64))
+	e.PutVarBytes([]byte("firefly"))
+	dst := make([]byte, 16)
+	d := NewDec(e.Bytes())
+	n := d.VarBytesInto(dst)
+	if n != 7 || string(dst[:n]) != "firefly" {
+		t.Fatalf("VarBytesInto = %d, %q", n, dst[:n])
+	}
+}
+
+func TestVarBytesIntoTooSmall(t *testing.T) {
+	e := NewEnc(make([]byte, 64))
+	e.PutVarBytes([]byte("firefly"))
+	d := NewDec(e.Bytes())
+	if n := d.VarBytesInto(make([]byte, 3)); n != 0 {
+		t.Fatalf("overflowing VarBytesInto returned %d", n)
+	}
+	if d.Err() != ErrOverflow {
+		t.Fatalf("err = %v, want ErrOverflow", d.Err())
+	}
+}
+
+func TestEncOverflowSticky(t *testing.T) {
+	e := NewEnc(make([]byte, 3))
+	e.PutInt32(1)
+	if e.Err() != ErrOverflow {
+		t.Fatalf("err = %v, want ErrOverflow", e.Err())
+	}
+	e.PutByte(1) // must not write after error
+	if e.Len() != 0 {
+		t.Fatalf("encoder advanced %d bytes after error", e.Len())
+	}
+}
+
+func TestDecShortSticky(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	if d.Uint32() != 0 {
+		t.Fatal("short read returned data")
+	}
+	if d.Err() != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", d.Err())
+	}
+	if d.Byte() != 0 {
+		t.Fatal("read succeeded after sticky error")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEnc(make([]byte, 64))
+	e.PutString("héllo")
+	d := NewDec(e.Bytes())
+	if got := d.String(); got != "héllo" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTextNil(t *testing.T) {
+	e := NewEnc(make([]byte, 8))
+	e.PutText(nil)
+	if e.Len() != 1 {
+		t.Fatalf("NIL text encoded as %d bytes, want 1", e.Len())
+	}
+	d := NewDec(e.Bytes())
+	got := d.GetText()
+	if !got.IsNil() {
+		t.Fatal("NIL text did not round-trip")
+	}
+	if TextWireSize(nil) != 1 {
+		t.Fatal("TextWireSize(nil) != 1")
+	}
+}
+
+func TestTextRoundTripAllocatesFresh(t *testing.T) {
+	src := NewText("garbage collected")
+	e := NewEnc(make([]byte, 64))
+	e.PutText(src)
+	if e.Len() != TextWireSize(src) {
+		t.Fatalf("encoded %d bytes, TextWireSize says %d", e.Len(), TextWireSize(src))
+	}
+	d := NewDec(e.Bytes())
+	got := d.GetText()
+	if !got.Equal(src) {
+		t.Fatalf("text round-trip: %q", got.String())
+	}
+	if got == src {
+		t.Fatal("decoder returned the same object; must allocate fresh")
+	}
+}
+
+func TestTextBadTag(t *testing.T) {
+	d := NewDec([]byte{7})
+	if d.GetText() != nil || d.Err() != ErrBadTag {
+		t.Fatalf("bad tag: err = %v", d.Err())
+	}
+}
+
+func TestTextEqual(t *testing.T) {
+	if !NewText("a").Equal(NewText("a")) {
+		t.Fatal("equal texts unequal")
+	}
+	if NewText("a").Equal(nil) || (*Text)(nil).Equal(NewText("")) {
+		t.Fatal("NIL must equal only NIL")
+	}
+	if !(*Text)(nil).Equal(nil) {
+		t.Fatal("NIL != NIL")
+	}
+	if (*Text)(nil).Len() != 0 || (*Text)(nil).String() != "" {
+		t.Fatal("NIL accessors broken")
+	}
+}
+
+func TestModeSemantics(t *testing.T) {
+	cases := []struct {
+		m                Mode
+		inCall, inResult bool
+		s                string
+	}{
+		{ByValue, true, false, "by-value"},
+		{VarIn, true, false, "VAR IN"},
+		{VarOut, false, true, "VAR OUT"},
+		{VarInOut, true, true, "VAR INOUT"},
+	}
+	for _, c := range cases {
+		if c.m.InCall() != c.inCall || c.m.InResult() != c.inResult {
+			t.Errorf("%v: InCall=%v InResult=%v", c.m, c.m.InCall(), c.m.InResult())
+		}
+		if c.m.String() != c.s {
+			t.Errorf("%v.String() = %q, want %q", c.m, c.m.String(), c.s)
+		}
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+// Property: arbitrary scalar sequences round-trip.
+func TestQuickScalars(t *testing.T) {
+	f := func(a int32, b uint32, c int64, d uint64, e16 int16, f64 float64, bl bool) bool {
+		if math.IsNaN(f64) {
+			f64 = 0
+		}
+		buf := make([]byte, 64)
+		e := NewEnc(buf)
+		e.PutInt32(a)
+		e.PutUint32(b)
+		e.PutInt64(c)
+		e.PutUint64(d)
+		e.PutInt16(e16)
+		e.PutFloat64(f64)
+		e.PutBool(bl)
+		if e.Err() != nil {
+			return false
+		}
+		dec := NewDec(e.Bytes())
+		ok := dec.Int32() == a && dec.Uint32() == b && dec.Int64() == c &&
+			dec.Uint64() == d && dec.Int16() == e16 && dec.Float64() == f64 &&
+			dec.Bool() == bl
+		return ok && dec.Err() == nil && dec.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: var arrays and texts of arbitrary contents round-trip.
+func TestQuickArraysAndText(t *testing.T) {
+	f := func(arr []byte, s string, useNil bool) bool {
+		buf := make([]byte, 16+len(arr)+2*len(s)+32)
+		e := NewEnc(buf)
+		e.PutVarBytes(arr)
+		var txt *Text
+		if !useNil {
+			txt = NewText(s)
+		}
+		e.PutText(txt)
+		if e.Err() != nil {
+			return false
+		}
+		d := NewDec(e.Bytes())
+		gotArr := d.VarBytes()
+		gotTxt := d.GetText()
+		if d.Err() != nil {
+			return false
+		}
+		return bytes.Equal(gotArr, arr) && gotTxt.Equal(txt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

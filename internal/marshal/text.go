@@ -1,0 +1,87 @@
+package marshal
+
+import "math"
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Text mirrors Modula-2+'s Text.T: an immutable text string allocated in
+// garbage-collected storage. A nil *Text is the NIL text, distinct from the
+// empty text. The caller stub copies the string into the call packet; the
+// server stub allocates a fresh Text and copies into it, so the server never
+// aliases packet memory for a Text (Table V).
+type Text struct {
+	s string
+}
+
+// NewText allocates a Text holding s.
+func NewText(s string) *Text { return &Text{s: s} }
+
+// String returns the text's contents. The NIL text renders as "".
+func (t *Text) String() string {
+	if t == nil {
+		return ""
+	}
+	return t.s
+}
+
+// Len returns the text length in bytes; 0 for NIL.
+func (t *Text) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.s)
+}
+
+// IsNil reports whether the reference is NIL.
+func (t *Text) IsNil() bool { return t == nil }
+
+// Equal reports content equality, with NIL equal only to NIL.
+func (t *Text) Equal(u *Text) bool {
+	if t == nil || u == nil {
+		return t == nil && u == nil
+	}
+	return t.s == u.s
+}
+
+// Wire tags for Text values.
+const (
+	textTagNil    = 0
+	textTagString = 1
+)
+
+// PutText encodes a Text reference: a tag byte, then for non-NIL a
+// variable-length byte array. This is a "library marshalling procedure" in
+// the paper's terms.
+func (e *Enc) PutText(t *Text) {
+	if t == nil {
+		e.PutByte(textTagNil)
+		return
+	}
+	e.PutByte(textTagString)
+	e.PutString(t.s)
+}
+
+// GetText decodes a Text reference, allocating fresh garbage-collected
+// storage for the contents as the Firefly server stub must.
+func (d *Dec) GetText() *Text {
+	switch tag := d.Byte(); tag {
+	case textTagNil:
+		return nil
+	case textTagString:
+		return &Text{s: d.String()}
+	default:
+		if d.err == nil {
+			d.err = ErrBadTag
+		}
+		return nil
+	}
+}
+
+// TextWireSize returns the encoded size of a Text, for stubs sizing packets.
+func TextWireSize(t *Text) int {
+	if t == nil {
+		return 1
+	}
+	return 1 + 4 + t.Len()
+}

@@ -1,0 +1,209 @@
+package proto
+
+import (
+	"time"
+
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+// Call performs one remote procedure call: it transmits args to dst as one
+// or more fragments, waits for the result, and drives retransmission. It
+// blocks the calling goroutine, exactly as a caller thread blocks in the
+// call table. seq must increase across calls of the same activity.
+func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte) ([]byte, error) {
+
+	frags := fragment(args, c.maxPayload())
+	if len(frags) > maxFragments {
+		return nil, ErrTooLarge
+	}
+
+	oc := &outCall{
+		key:      callKey{activity, seq},
+		dst:      dst,
+		ackCh:    make(chan uint16, maxFragments),
+		progress: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		resFrags: make(map[uint16][]byte),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.calls[oc.key] = oc
+	c.mu.Unlock()
+	c.count(func(s *Stats) { s.CallsSent++ })
+	defer func() {
+		c.mu.Lock()
+		delete(c.calls, oc.key)
+		c.mu.Unlock()
+	}()
+
+	hdr := wire.RPCHeader{
+		Type:      wire.TypeCall,
+		Activity:  activity,
+		Seq:       seq,
+		FragCount: uint16(len(frags)),
+		Interface: iface,
+		Proc:      proc,
+	}
+
+	// Stop-and-wait for all but the final fragment.
+	for i := 0; i < len(frags)-1; i++ {
+		h := hdr
+		h.FragIndex = uint16(i)
+		h.Flags = wire.FlagPleaseAck
+		if err := c.sendFragWithAck(oc, buildFrame(h, frags[i]), uint16(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Final fragment: acknowledged implicitly by the result.
+	last := hdr
+	last.FragIndex = uint16(len(frags) - 1)
+	last.Flags = wire.FlagLastFrag
+	frame := buildFrame(last, frags[len(frags)-1])
+	started := time.Now()
+	if err := c.tr.Send(dst, frame); err != nil {
+		return nil, err
+	}
+
+	// Start from the adaptive per-peer estimate (Jacobson-style), with the
+	// configured interval as both the ceiling and the cold-start value.
+	interval := c.rtt.interval(dst, c.cfg.RetransInterval/8, c.cfg.RetransInterval)
+	retries := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-oc.done:
+			oc.mu.Lock()
+			res, err := oc.result, oc.err
+			oc.mu.Unlock()
+			if err == nil {
+				c.count(func(s *Stats) { s.CallsCompleted++ })
+				if retries == 0 {
+					// Karn's rule: only un-retransmitted calls feed the
+					// round-trip estimator.
+					c.rtt.observe(dst, time.Since(started))
+				}
+			}
+			return res, err
+		case <-oc.progress:
+			// Server says it is still executing: reset patience.
+			retries = 0
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(interval)
+		case <-timer.C:
+			retries++
+			if retries > c.cfg.MaxRetries {
+				return nil, ErrTimeout
+			}
+			c.count(func(s *Stats) { s.Retransmits++ })
+			// Retransmissions request an explicit acknowledgement so a
+			// busy server can answer without completing.
+			re := last
+			re.Flags |= wire.FlagPleaseAck
+			if err := c.tr.Send(dst, buildFrame(re, frags[len(frags)-1])); err != nil {
+				return nil, err
+			}
+			if interval < 8*c.cfg.RetransInterval {
+				interval *= 2
+			}
+			timer.Reset(interval)
+		}
+	}
+}
+
+// sendFragWithAck transmits one non-final fragment and waits for its
+// explicit acknowledgement, retransmitting as needed.
+func (c *Conn) sendFragWithAck(oc *outCall, frame []byte, idx uint16) error {
+	if err := c.tr.Send(oc.dst, frame); err != nil {
+		return err
+	}
+	interval := c.cfg.RetransInterval
+	retries := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-oc.done: // rejected or canceled mid-stream
+			oc.mu.Lock()
+			err := oc.err
+			oc.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		case got := <-oc.ackCh:
+			if got == idx {
+				return nil
+			}
+			// Stale ack of an earlier fragment: keep waiting.
+		case <-timer.C:
+			retries++
+			if retries > c.cfg.MaxRetries {
+				return ErrTimeout
+			}
+			c.count(func(s *Stats) { s.Retransmits++ })
+			if err := c.tr.Send(oc.dst, frame); err != nil {
+				return err
+			}
+			if interval < 8*c.cfg.RetransInterval {
+				interval *= 2
+			}
+			timer.Reset(interval)
+		}
+	}
+}
+
+// Ping probes a peer's liveness.
+func (c *Conn) Ping(dst transport.Addr, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.pingSeq++
+	seq := c.pingSeq
+	ch := make(chan struct{})
+	c.pings[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pings, seq)
+		c.mu.Unlock()
+	}()
+
+	h := wire.RPCHeader{Type: wire.TypeProbe, Seq: seq, FragCount: 1}
+	deadline := time.Now().Add(timeout)
+	interval := c.cfg.RetransInterval
+	for {
+		if err := c.tr.Send(dst, buildFrame(h, nil)); err != nil {
+			return err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ErrTimeout
+		}
+		wait := interval
+		if wait > remain {
+			wait = remain
+		}
+		select {
+		case <-ch:
+			return nil
+		case <-time.After(wait):
+			if time.Now().After(deadline) {
+				return ErrTimeout
+			}
+		}
+	}
+}

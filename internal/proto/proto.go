@@ -1,0 +1,279 @@
+// Package proto implements the RPC packet-exchange protocol over an
+// unreliable datagram transport, following Birrell & Nelson's Cedar RPC
+// design as Firefly RPC did:
+//
+//   - On the fast path a call is one packet and its result is one packet;
+//     the result implicitly acknowledges the call, and the activity's next
+//     call implicitly acknowledges the result. No extra packets.
+//   - Larger arguments/results travel as fragments with stop-and-wait
+//     explicit acknowledgements on all but the last fragment.
+//   - Lost packets are recovered by retransmission with exponential
+//     backoff; retransmitted calls ask for an explicit acknowledgement so a
+//     busy server can say "still working" without completing.
+//   - Servers suppress duplicate calls per activity and retain the last
+//     result packet for retransmission until the activity's next call.
+package proto
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+// Errors.
+var (
+	ErrTimeout  = errors.New("proto: call timed out after retransmission limit")
+	ErrRejected = errors.New("proto: call rejected by server (unknown interface or procedure)")
+	ErrClosed   = errors.New("proto: connection closed")
+	ErrTooLarge = errors.New("proto: message exceeds fragment limit")
+)
+
+// ackInProgress in an ack's FragIndex means "call received, still
+// executing" — it resets the caller's retry budget without completing.
+const ackInProgress = 0xffff
+
+// flagAckResult distinguishes an acknowledgement of a result fragment
+// (caller → server) from one of a call fragment (server → caller).
+const flagAckResult = 1 << 2
+
+// maxFragments bounds a single call or result (1440 B × 256 = 360 KB).
+const maxFragments = 256
+
+// Config tunes the protocol engine.
+type Config struct {
+	// RetransInterval is the initial retransmission timeout; it doubles on
+	// each retry up to 8× the initial value. The Firefly used ~600 ms.
+	RetransInterval time.Duration
+	// MaxRetries bounds retransmissions per fragment before ErrTimeout.
+	MaxRetries int
+	// Workers is the server-side concurrency: the number of calls that may
+	// execute simultaneously (the Firefly kept a pool of server threads
+	// waiting in the call table).
+	Workers int
+}
+
+// DefaultConfig mirrors sensible Firefly-like settings scaled to modern
+// networks.
+func DefaultConfig() Config {
+	return Config{
+		RetransInterval: 50 * time.Millisecond,
+		MaxRetries:      10,
+		Workers:         8,
+	}
+}
+
+// Handler executes an incoming call and returns the result payload.
+// A non-nil error turns into a reject packet.
+type Handler func(src transport.Addr, iface uint32, proc uint16, args []byte) ([]byte, error)
+
+// Stats counts protocol events.
+type Stats struct {
+	CallsSent      int64
+	CallsCompleted int64
+	CallsServed    int64
+	Retransmits    int64
+	DupCalls       int64
+	DupFrags       int64
+	ResultRetrans  int64
+	AcksSent       int64
+	InProgressAcks int64
+	Rejects        int64
+	BadFrames      int64
+	StaleDrops     int64
+	Probes         int64
+}
+
+// Conn is one protocol endpoint; it can originate calls and serve them.
+type Conn struct {
+	tr  transport.Transport
+	cfg Config
+
+	mu      sync.Mutex
+	calls   map[callKey]*outCall
+	acts    map[actKey]*serverAct
+	pings   map[uint32]chan struct{}
+	pingSeq uint32
+	handler Handler
+	closed  bool
+
+	activityCtr atomic.Uint64
+	sem         chan struct{} // server worker semaphore
+	rtt         *rttTracker
+
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+type callKey struct {
+	activity uint64
+	seq      uint32
+}
+
+type actKey struct {
+	src      string
+	activity uint64
+}
+
+// outCall is an outstanding outgoing call.
+type outCall struct {
+	key      callKey
+	dst      transport.Addr
+	ackCh    chan uint16   // acks of our call fragments
+	progress chan struct{} // "still executing" notifications
+	done     chan struct{}
+
+	mu       sync.Mutex
+	resFrags map[uint16][]byte
+	resCount uint16
+	result   []byte
+	err      error
+	finished bool
+}
+
+// serverAct is the per-(caller, activity) server state: duplicate
+// suppression and the retained result.
+type serverAct struct {
+	key     actKey
+	src     transport.Addr
+	lastSeq uint32
+	phase   int // receiving, executing, done
+	frags   map[uint16][]byte
+	count   uint16
+	hdr     wire.RPCHeader
+	ackCh   chan uint16 // acks of our result fragments
+	// lastResultFrame is the final fragment of the last result, retained
+	// for retransmission until the next call recycles it.
+	lastResultFrame []byte
+}
+
+const (
+	phaseReceiving = iota
+	phaseExecuting
+	phaseDone
+)
+
+// NewConn wraps a transport. handler may be nil for a pure caller.
+func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
+	if cfg.RetransInterval <= 0 {
+		cfg.RetransInterval = DefaultConfig().RetransInterval
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultConfig().MaxRetries
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	c := &Conn{
+		tr:      tr,
+		cfg:     cfg,
+		calls:   make(map[callKey]*outCall),
+		acts:    make(map[actKey]*serverAct),
+		pings:   make(map[uint32]chan struct{}),
+		handler: handler,
+		sem:     make(chan struct{}, cfg.Workers),
+		rtt:     newRTTTracker(),
+	}
+	tr.SetReceiver(c.onFrame)
+	return c
+}
+
+// NewActivity allocates a fresh activity identifier. Each calling goroutine
+// (thread) should have its own, as on the Firefly.
+func (c *Conn) NewActivity() uint64 {
+	// Mix in some bits from the local address so two processes sharing a
+	// server are unlikely to collide even if they restart.
+	base := hashString(c.tr.LocalAddr().String()) & 0xffffffff
+	return base<<32 | c.activityCtr.Add(1)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Conn) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *Conn) count(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// LocalAddr names this endpoint.
+func (c *Conn) LocalAddr() transport.Addr { return c.tr.LocalAddr() }
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	calls := make([]*outCall, 0, len(c.calls))
+	for _, oc := range c.calls {
+		calls = append(calls, oc)
+	}
+	c.calls = map[callKey]*outCall{}
+	c.mu.Unlock()
+	for _, oc := range calls {
+		oc.finish(nil, ErrClosed)
+	}
+	return c.tr.Close()
+}
+
+func (oc *outCall) finish(result []byte, err error) {
+	oc.mu.Lock()
+	if oc.finished {
+		oc.mu.Unlock()
+		return
+	}
+	oc.finished = true
+	oc.result = result
+	oc.err = err
+	oc.mu.Unlock()
+	close(oc.done)
+}
+
+// maxPayload is the per-fragment payload budget.
+func (c *Conn) maxPayload() int { return c.tr.MaxFrame() - wire.RPCHeaderLen }
+
+// fragment splits a message, returning at least one (possibly empty) part.
+func fragment(msg []byte, max int) [][]byte {
+	if len(msg) == 0 {
+		return [][]byte{nil}
+	}
+	var out [][]byte
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > max {
+			n = max
+		}
+		out = append(out, msg[:n])
+		msg = msg[n:]
+	}
+	return out
+}
+
+// buildFrame assembles header+payload into a fresh frame.
+func buildFrame(h wire.RPCHeader, payload []byte) []byte {
+	h.Version = wire.RPCVersion
+	h.Length = uint32(len(payload))
+	frame := make([]byte, wire.RPCHeaderLen+len(payload))
+	h.MarshalTo(frame)
+	copy(frame[wire.RPCHeaderLen:], payload)
+	return frame
+}

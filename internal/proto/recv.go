@@ -1,0 +1,342 @@
+package proto
+
+import (
+	"time"
+
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+// onFrame is the transport's receive callback — the real-stack analogue of
+// the Firefly's Ethernet interrupt routine: validate, demultiplex against
+// the call table, and hand the packet to the waiting party directly.
+func (c *Conn) onFrame(src transport.Addr, frame []byte) {
+	hdr, payload, err := wire.UnmarshalRPC(frame)
+	if err != nil {
+		c.count(func(s *Stats) { s.BadFrames++ })
+		return
+	}
+	switch hdr.Type {
+	case wire.TypeCall:
+		c.onCallFrag(src, hdr, payload)
+	case wire.TypeResult:
+		c.onResultFrag(src, hdr, payload)
+	case wire.TypeAck:
+		c.onAck(src, hdr)
+	case wire.TypeReject:
+		c.onReject(hdr)
+	case wire.TypeProbe:
+		c.count(func(s *Stats) { s.Probes++ })
+		reply := wire.RPCHeader{Type: wire.TypeProbeReply, Seq: hdr.Seq, FragCount: 1}
+		_ = c.tr.Send(src, buildFrame(reply, nil))
+	case wire.TypeProbeReply:
+		c.mu.Lock()
+		ch := c.pings[hdr.Seq]
+		delete(c.pings, hdr.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			close(ch)
+		}
+	default:
+		c.count(func(s *Stats) { s.BadFrames++ })
+	}
+}
+
+// sendAck acknowledges a fragment.
+func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uint16, ofResult bool) {
+	h := wire.RPCHeader{
+		Type:      wire.TypeAck,
+		Activity:  activity,
+		Seq:       seq,
+		FragIndex: frag,
+		FragCount: 1,
+	}
+	if ofResult {
+		h.Flags |= flagAckResult
+	}
+	c.count(func(s *Stats) { s.AcksSent++ })
+	_ = c.tr.Send(dst, buildFrame(h, nil))
+}
+
+// onCallFrag handles an arriving call fragment on the server side.
+func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
+	c.mu.Lock()
+	if c.handler == nil || c.closed {
+		c.mu.Unlock()
+		c.count(func(s *Stats) { s.Rejects++ })
+		rej := wire.RPCHeader{
+			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq, FragCount: 1,
+		}
+		_ = c.tr.Send(src, buildFrame(rej, nil))
+		return
+	}
+	key := actKey{src.String(), hdr.Activity}
+	act := c.acts[key]
+	if act == nil {
+		act = &serverAct{key: key, src: src}
+		c.acts[key] = act
+	}
+
+	switch {
+	case hdr.Seq < act.lastSeq:
+		// A fragment of a superseded call: drop.
+		c.mu.Unlock()
+		c.count(func(s *Stats) { s.StaleDrops++ })
+		return
+
+	case hdr.Seq == act.lastSeq && act.lastSeq != 0:
+		switch act.phase {
+		case phaseReceiving:
+			c.storeFragLocked(act, src, hdr, payload)
+			c.mu.Unlock()
+			return
+		case phaseExecuting:
+			c.mu.Unlock()
+			c.count(func(s *Stats) { s.DupCalls++; s.InProgressAcks++ })
+			c.sendAck(src, hdr.Activity, hdr.Seq, ackInProgress, false)
+			return
+		default: // phaseDone: retransmit the retained final result frame
+			retained := act.lastResultFrame
+			c.mu.Unlock()
+			c.count(func(s *Stats) { s.DupCalls++ })
+			if retained != nil {
+				c.count(func(s *Stats) { s.ResultRetrans++ })
+				_ = c.tr.Send(src, retained)
+			}
+			return
+		}
+
+	default: // a new call: implicitly acknowledges the previous result
+		act.lastSeq = hdr.Seq
+		act.phase = phaseReceiving
+		act.frags = make(map[uint16][]byte)
+		act.count = hdr.FragCount
+		act.hdr = hdr
+		act.ackCh = make(chan uint16, maxFragments)
+		act.lastResultFrame = nil // recycle the retained result
+		c.storeFragLocked(act, src, hdr, payload)
+		c.mu.Unlock()
+		return
+	}
+}
+
+// storeFragLocked records a call fragment (c.mu held) and starts execution
+// when the call is complete. Acks non-final fragments that ask for it.
+func (c *Conn) storeFragLocked(act *serverAct, src transport.Addr, hdr wire.RPCHeader, payload []byte) {
+	if hdr.FragCount != act.count {
+		// Inconsistent fragmentation: treat as garbage.
+		c.count(func(s *Stats) { s.BadFrames++ })
+		return
+	}
+	if _, dup := act.frags[hdr.FragIndex]; dup {
+		c.count(func(s *Stats) { s.DupFrags++ })
+	} else {
+		act.frags[hdr.FragIndex] = append([]byte(nil), payload...)
+	}
+	if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
+		go c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
+	}
+	if len(act.frags) == int(act.count) {
+		act.phase = phaseExecuting
+		go c.execute(act, hdr)
+	}
+}
+
+// execute runs the handler (bounded by the worker pool) and sends the result.
+func (c *Conn) execute(act *serverAct, hdr wire.RPCHeader) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+
+	c.mu.Lock()
+	args := make([]byte, 0)
+	for i := uint16(0); i < act.count; i++ {
+		args = append(args, act.frags[i]...)
+	}
+	act.frags = nil
+	src := act.src
+	c.mu.Unlock()
+
+	result, err := c.handler(src, hdr.Interface, hdr.Proc, args)
+	c.count(func(s *Stats) { s.CallsServed++ })
+	if err != nil {
+		c.count(func(s *Stats) { s.Rejects++ })
+		rej := wire.RPCHeader{
+			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq,
+			FragCount: 1, Interface: hdr.Interface, Proc: hdr.Proc,
+		}
+		frame := buildFrame(rej, nil)
+		c.mu.Lock()
+		act.phase = phaseDone
+		act.lastResultFrame = frame
+		c.mu.Unlock()
+		_ = c.tr.Send(src, frame)
+		return
+	}
+	c.sendResult(act, hdr, result)
+}
+
+// sendResult transmits the result fragments: stop-and-wait acks on all but
+// the last, whose receipt is acknowledged implicitly by the next call. The
+// final frame is retained for retransmission.
+func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
+	frags := fragment(result, c.maxPayload())
+	if len(frags) > maxFragments {
+		// Result too large to ship: reject so the caller fails cleanly.
+		rej := wire.RPCHeader{
+			Type: wire.TypeReject, Activity: call.Activity, Seq: call.Seq, FragCount: 1,
+		}
+		_ = c.tr.Send(act.src, buildFrame(rej, nil))
+		return
+	}
+	hdr := wire.RPCHeader{
+		Type:      wire.TypeResult,
+		Activity:  call.Activity,
+		Seq:       call.Seq,
+		FragCount: uint16(len(frags)),
+		Interface: call.Interface,
+		Proc:      call.Proc,
+	}
+	for i := 0; i < len(frags)-1; i++ {
+		h := hdr
+		h.FragIndex = uint16(i)
+		h.Flags = wire.FlagPleaseAck
+		if !c.sendResultFragWithAck(act, buildFrame(h, frags[i]), uint16(i)) {
+			return // gave up; caller will retransmit and find phaseDone unset
+		}
+	}
+	last := hdr
+	last.FragIndex = uint16(len(frags) - 1)
+	last.Flags = wire.FlagLastFrag
+	frame := buildFrame(last, frags[len(frags)-1])
+	c.mu.Lock()
+	act.phase = phaseDone
+	act.lastResultFrame = frame
+	c.mu.Unlock()
+	_ = c.tr.Send(act.src, frame)
+}
+
+// sendResultFragWithAck is the server-side stop-and-wait sender.
+func (c *Conn) sendResultFragWithAck(act *serverAct, frame []byte, idx uint16) bool {
+	if err := c.tr.Send(act.src, frame); err != nil {
+		return false
+	}
+	interval := c.cfg.RetransInterval
+	retries := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case got := <-act.ackCh:
+			if got == idx {
+				return true
+			}
+		case <-timer.C:
+			retries++
+			if retries > c.cfg.MaxRetries {
+				return false
+			}
+			c.count(func(s *Stats) { s.Retransmits++ })
+			if err := c.tr.Send(act.src, frame); err != nil {
+				return false
+			}
+			if interval < 8*c.cfg.RetransInterval {
+				interval *= 2
+			}
+			timer.Reset(interval)
+		}
+	}
+}
+
+// onResultFrag handles an arriving result fragment on the caller side.
+func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
+	c.mu.Lock()
+	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
+	c.mu.Unlock()
+	if oc == nil {
+		// Late duplicate of a completed call. Re-ack non-final fragments
+		// so a stuck server-side stop-and-wait can finish.
+		c.count(func(s *Stats) { s.StaleDrops++ })
+		if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
+			c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, true)
+		}
+		return
+	}
+
+	oc.mu.Lock()
+	if oc.finished {
+		oc.mu.Unlock()
+		return
+	}
+	if oc.resCount == 0 {
+		oc.resCount = hdr.FragCount
+	}
+	if _, dup := oc.resFrags[hdr.FragIndex]; dup {
+		c.count(func(s *Stats) { s.DupFrags++ })
+	} else {
+		oc.resFrags[hdr.FragIndex] = append([]byte(nil), payload...)
+	}
+	complete := len(oc.resFrags) == int(oc.resCount) && hdr.FragCount == oc.resCount
+	var result []byte
+	if complete {
+		for i := uint16(0); i < oc.resCount; i++ {
+			result = append(result, oc.resFrags[i]...)
+		}
+	}
+	oc.mu.Unlock()
+
+	if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
+		c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, true)
+	}
+	if complete {
+		oc.finish(result, nil)
+	}
+}
+
+// onAck routes an acknowledgement to the waiting sender.
+func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
+	if hdr.Flags&flagAckResult != 0 {
+		// Caller acking our result fragment.
+		c.mu.Lock()
+		act := c.acts[actKey{src.String(), hdr.Activity}]
+		var ch chan uint16
+		if act != nil && act.lastSeq == hdr.Seq {
+			ch = act.ackCh
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- hdr.FragIndex:
+			default:
+			}
+		}
+		return
+	}
+	// Server acking our call fragment, or telling us it is executing.
+	c.mu.Lock()
+	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
+	c.mu.Unlock()
+	if oc == nil {
+		return
+	}
+	if hdr.FragIndex == ackInProgress {
+		select {
+		case oc.progress <- struct{}{}:
+		default:
+		}
+		return
+	}
+	select {
+	case oc.ackCh <- hdr.FragIndex:
+	default:
+	}
+}
+
+// onReject completes an outstanding call with ErrRejected.
+func (c *Conn) onReject(hdr wire.RPCHeader) {
+	c.mu.Lock()
+	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
+	c.mu.Unlock()
+	if oc != nil {
+		oc.finish(nil, ErrRejected)
+	}
+}

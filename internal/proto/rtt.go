@@ -1,0 +1,92 @@
+package proto
+
+import (
+	"sync"
+	"time"
+
+	"fireflyrpc/internal/transport"
+)
+
+// rttTracker keeps a Jacobson/Karels smoothed round-trip estimate per peer,
+// so retransmission timers adapt to the path instead of waiting a full
+// worst-case interval: on a fast LAN the first retransmission fires within
+// a few round trips, while the configured interval remains the ceiling (and
+// the starting point for peers we have never heard from).
+type rttTracker struct {
+	mu    sync.Mutex
+	peers map[string]*rttState
+}
+
+type rttState struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	valid  bool
+}
+
+func newRTTTracker() *rttTracker {
+	return &rttTracker{peers: make(map[string]*rttState)}
+}
+
+// observe folds a completed call's round trip into the estimate. Samples
+// from retransmitted calls must not be fed in (Karn's rule); the caller
+// enforces that.
+func (t *rttTracker) observe(dst transport.Addr, sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.peers[dst.String()]
+	if st == nil {
+		st = &rttState{}
+		t.peers[dst.String()] = st
+	}
+	if !st.valid {
+		st.srtt = sample
+		st.rttvar = sample / 2
+		st.valid = true
+		return
+	}
+	diff := st.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	st.rttvar = (3*st.rttvar + diff) / 4
+	st.srtt = (7*st.srtt + sample) / 8
+}
+
+// interval returns the initial retransmission interval for dst: the
+// adaptive srtt + 4·rttvar estimate clamped to [floor, ceiling], or the
+// ceiling when no estimate exists yet.
+func (t *rttTracker) interval(dst transport.Addr, floor, ceiling time.Duration) time.Duration {
+	t.mu.Lock()
+	st := t.peers[dst.String()]
+	var est time.Duration
+	valid := false
+	if st != nil && st.valid {
+		est = st.srtt + 4*st.rttvar
+		valid = true
+	}
+	t.mu.Unlock()
+	if !valid {
+		return ceiling
+	}
+	if est < floor {
+		return floor
+	}
+	if est > ceiling {
+		return ceiling
+	}
+	return est
+}
+
+// RTT reports the smoothed round-trip estimate for dst, if one exists.
+func (c *Conn) RTT(dst transport.Addr) (time.Duration, bool) {
+	c.rtt.mu.Lock()
+	defer c.rtt.mu.Unlock()
+	st := c.rtt.peers[dst.String()]
+	if st == nil || !st.valid {
+		return 0, false
+	}
+	return st.srtt, true
+}

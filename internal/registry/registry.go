@@ -1,0 +1,231 @@
+// Package registry provides the binding machinery the paper's fast path
+// presupposes: §3.1.1 begins "assuming that binding to a suitable remote
+// instance of the interface has already occurred". Cedar RPC used Grapevine
+// for this; here the directory is itself a fireflyrpc service, so the
+// system is self-hosting: servers Register their exported interfaces under
+// names, and callers Lookup a name to obtain the address to bind to.
+//
+// Entries carry an expiry so crashed servers age out; re-registration
+// refreshes them, in the style of a lease.
+package registry
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/transport"
+)
+
+// Interface identity of the directory service itself.
+const (
+	Name    = "BindingRegistry"
+	Version = 1
+)
+
+// Procedure identifiers.
+const (
+	procRegister = 1 // Register(name, addr: Text; ttlSeconds: CARDINAL)
+	procLookup   = 2 // Lookup(name: Text): Text  ("" if absent)
+	procList     = 3 // List(prefix: Text): Text  (newline-joined names)
+	procDeregist = 4 // Deregister(name: Text)
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("registry: no such binding")
+)
+
+// Server is the directory: a map of service name → transport address with
+// lease-style expiry.
+type Server struct {
+	mu      sync.Mutex
+	entries map[string]entry
+	clock   func() time.Time
+}
+
+type entry struct {
+	addr    string
+	expires time.Time
+}
+
+// NewServer creates an empty directory.
+func NewServer() *Server {
+	return &Server{entries: make(map[string]entry), clock: time.Now}
+}
+
+// register records or refreshes a binding.
+func (s *Server) register(name, addr string, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	s.entries[name] = entry{addr: addr, expires: s.clock().Add(ttl)}
+}
+
+// lookup resolves a name, expiring stale entries.
+func (s *Server) lookup(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return "", false
+	}
+	if s.clock().After(e.expires) {
+		delete(s.entries, name)
+		return "", false
+	}
+	return e.addr, true
+}
+
+// list returns the live names with the given prefix.
+func (s *Server) list(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	var out []string
+	for name, e := range s.entries {
+		if now.After(e.expires) {
+			delete(s.entries, name)
+			continue
+		}
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// deregister removes a binding.
+func (s *Server) deregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Export builds the dispatchable directory interface.
+func (s *Server) Export() *core.Interface {
+	return core.NewInterface(Name, Version).
+		Proc(procRegister, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			name := d.GetText()
+			addr := d.GetText()
+			ttl := d.Uint32()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			s.register(name.String(), addr.String(), time.Duration(ttl)*time.Second)
+			return nil, nil
+		}).
+		Proc(procLookup, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			name := d.GetText()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			addr, ok := s.lookup(name.String())
+			var out *marshal.Text
+			if ok {
+				out = marshal.NewText(addr)
+			}
+			return core.Reply(marshal.TextWireSize(out), func(e *marshal.Enc) {
+				e.PutText(out)
+			})
+		}).
+		Proc(procList, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			prefix := d.GetText()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			names := s.list(prefix.String())
+			joined := ""
+			for i, n := range names {
+				if i > 0 {
+					joined += "\n"
+				}
+				joined += n
+			}
+			out := marshal.NewText(joined)
+			return core.Reply(marshal.TextWireSize(out), func(e *marshal.Enc) {
+				e.PutText(out)
+			})
+		}).
+		Proc(procDeregist, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			name := d.GetText()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			s.deregister(name.String())
+			return nil, nil
+		})
+}
+
+// Client is the caller side of the directory.
+type Client struct {
+	c *core.Client
+}
+
+// NewClient binds to a directory exported at addr through node.
+func NewClient(node *core.Node, addr transport.Addr) *Client {
+	return &Client{c: node.Bind(addr, Name, Version).NewClient()}
+}
+
+// Register advertises a service name at addr with a lease of ttl.
+func (r *Client) Register(name, addr string, ttl time.Duration) error {
+	n, a := marshal.NewText(name), marshal.NewText(addr)
+	size := marshal.TextWireSize(n) + marshal.TextWireSize(a) + 4
+	return r.c.Call(procRegister, size, func(e *marshal.Enc) {
+		e.PutText(n)
+		e.PutText(a)
+		e.PutUint32(uint32(ttl / time.Second))
+	}, nil)
+}
+
+// Lookup resolves a service name to its address string.
+func (r *Client) Lookup(name string) (string, error) {
+	n := marshal.NewText(name)
+	var out *marshal.Text
+	err := r.c.Call(procLookup, marshal.TextWireSize(n),
+		func(e *marshal.Enc) { e.PutText(n) },
+		func(d *marshal.Dec) { out = d.GetText() })
+	if err != nil {
+		return "", err
+	}
+	if out.IsNil() {
+		return "", ErrNotFound
+	}
+	return out.String(), nil
+}
+
+// List returns the registered names with the given prefix.
+func (r *Client) List(prefix string) ([]string, error) {
+	p := marshal.NewText(prefix)
+	var out *marshal.Text
+	err := r.c.Call(procList, marshal.TextWireSize(p),
+		func(e *marshal.Enc) { e.PutText(p) },
+		func(d *marshal.Dec) { out = d.GetText() })
+	if err != nil {
+		return nil, err
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	var names []string
+	start := 0
+	s := out.String()
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			names = append(names, s[start:i])
+			start = i + 1
+		}
+	}
+	return names, nil
+}
+
+// Deregister removes a service name.
+func (r *Client) Deregister(name string) error {
+	n := marshal.NewText(name)
+	return r.c.Call(procDeregist, marshal.TextWireSize(n),
+		func(e *marshal.Enc) { e.PutText(n) }, nil)
+}

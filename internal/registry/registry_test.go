@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/transport"
+)
+
+// world wires a directory server, an application server, and a caller onto
+// one exchange.
+func world(t *testing.T) (dir *Server, reg *Client, caller *core.Node, ex *transport.Exchange) {
+	t.Helper()
+	ex = transport.NewExchange()
+	cfg := proto.Config{RetransInterval: 20 * time.Millisecond, MaxRetries: 5, Workers: 4}
+	dirNode := core.NewNode(ex.Port("directory"), cfg)
+	caller = core.NewNode(ex.Port("caller"), cfg)
+	dir = NewServer()
+	dirNode.Export(dir.Export())
+	reg = NewClient(caller, transport.AddrOf("directory"))
+	t.Cleanup(func() { dirNode.Close(); caller.Close() })
+	return dir, reg, caller, ex
+}
+
+func TestRegisterLookup(t *testing.T) {
+	_, reg, _, _ := world(t)
+	if err := reg.Register("Test/v1", "server-9", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := reg.Lookup("Test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "server-9" {
+		t.Fatalf("addr = %q", addr)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	_, reg, _, _ := world(t)
+	if _, err := reg.Lookup("nope"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	dir, reg, _, _ := world(t)
+	now := time.Now()
+	dir.clock = func() time.Time { return now }
+	if err := reg.Register("ephemeral", "x", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup("ephemeral"); err != nil {
+		t.Fatal("fresh lease should resolve")
+	}
+	now = now.Add(11 * time.Second)
+	if _, err := reg.Lookup("ephemeral"); err != ErrNotFound {
+		t.Fatalf("expired lease resolved: %v", err)
+	}
+}
+
+func TestReRegistrationRefreshes(t *testing.T) {
+	dir, reg, _, _ := world(t)
+	now := time.Now()
+	dir.clock = func() time.Time { return now }
+	reg.Register("svc", "a", 10*time.Second)
+	now = now.Add(8 * time.Second)
+	reg.Register("svc", "b", 10*time.Second) // refresh with a new address
+	now = now.Add(8 * time.Second)           // 16s after first, 8 after second
+	addr, err := reg.Lookup("svc")
+	if err != nil || addr != "b" {
+		t.Fatalf("addr=%q err=%v", addr, err)
+	}
+}
+
+func TestListByPrefix(t *testing.T) {
+	_, reg, _, _ := world(t)
+	reg.Register("Test/v1", "a", time.Minute)
+	reg.Register("Test/v2", "b", time.Minute)
+	reg.Register("File/v1", "c", time.Minute)
+	names, err := reg.List("Test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	all, err := reg.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all = %v err=%v", all, err)
+	}
+	none, err := reg.List("zzz")
+	if err != nil || none != nil {
+		t.Fatalf("none = %v err=%v", none, err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	_, reg, _, _ := world(t)
+	reg.Register("gone", "x", time.Minute)
+	if err := reg.Deregister("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup("gone"); err != ErrNotFound {
+		t.Fatal("deregistered name still resolves")
+	}
+}
+
+// TestEndToEndBindViaDirectory is the full §3.1.1 story: a server registers
+// its exported interface, a caller looks it up and binds, then calls.
+func TestEndToEndBindViaDirectory(t *testing.T) {
+	_, reg, caller, ex := world(t)
+	cfg := proto.Config{RetransInterval: 20 * time.Millisecond, MaxRetries: 5, Workers: 4}
+
+	// The application server exports Arith and advertises itself.
+	app := core.NewNode(ex.Port("app-server"), cfg)
+	defer app.Close()
+	app.Export(core.NewInterface("Arith", 1).
+		Proc(1, func(_ transport.Addr, d *marshal.Dec) ([]byte, error) {
+			a, b := d.Int32(), d.Int32()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			return core.Reply(4, func(e *marshal.Enc) { e.PutInt32(a + b) })
+		}))
+	appReg := NewClient(app, transport.AddrOf("directory"))
+	if err := appReg.Register("Arith/v1", app.Addr().String(), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// The caller discovers it through the directory and binds.
+	addr, err := reg.Lookup("Arith/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := caller.Bind(transport.AddrOf(addr), "Arith", 1).NewClient()
+	var sum int32
+	err = c.Call(1, 8,
+		func(e *marshal.Enc) { e.PutInt32(2); e.PutInt32(40) },
+		func(d *marshal.Dec) { sum = d.Int32() })
+	if err != nil || sum != 42 {
+		t.Fatalf("sum=%d err=%v", sum, err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an event queue ordered by
+// (time, sequence). Simulated threads are real goroutines, but the kernel
+// enforces strictly one-at-a-time execution with an explicit handoff, so a
+// simulation run with a fixed seed and configuration is fully deterministic:
+// two runs produce identical event traces, timings, and results.
+//
+// Everything in this package counts virtual time; no wall-clock time is
+// consumed while a simulated thread "sleeps".
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual durations, so callers can use
+// the familiar constants (time.Microsecond etc.) without importing both
+// packages everywhere.
+type Duration = time.Duration
+
+// Micros returns a Duration of n microseconds. The Firefly cost model is
+// expressed in microseconds, so this is the most common constructor.
+func Micros(n int64) Duration { return Duration(n) * time.Microsecond }
+
+// MicrosF returns a Duration of n fractional microseconds.
+func MicrosF(n float64) Duration { return Duration(n * float64(time.Microsecond)) }
+
+// Seconds converts a virtual instant into seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Micros converts a virtual instant into microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(time.Microsecond) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which is what makes runs
+// reproducible.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. It is safe to cancel a
+// timer that has already fired or been canceled; Cancel reports whether this
+// call prevented the callback.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	if t.ev.index < 0 { // already popped (fired or firing)
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the simulation engine. The zero value is not usable; construct
+// with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	threads int // live thread count, for leak detection
+	nextID  int
+	rng     *RNG
+
+	// handoff carries control back from a running simulated thread to the
+	// kernel loop. Exactly one goroutine (the kernel or a single thread) is
+	// runnable at any moment.
+	handoff chan struct{}
+
+	running bool
+	stopped bool
+	trace   func(t Time, format string, args ...any)
+}
+
+// NewKernel returns a kernel with its clock at zero and the given RNG seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{
+		handoff: make(chan struct{}),
+		rng:     NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random number generator.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// SetTrace installs a trace function invoked for kernel-level events.
+// Passing nil disables tracing.
+func (k *Kernel) SetTrace(fn func(t Time, format string, args ...any)) { k.trace = fn }
+
+func (k *Kernel) tracef(format string, args ...any) {
+	if k.trace != nil {
+		k.trace(k.now, format, args...)
+	}
+}
+
+// At schedules fn to run at the given absolute virtual time, which must not
+// be in the past. It returns a cancelable Timer.
+func (k *Kernel) At(at Time, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Pending returns the number of events in the queue (including canceled ones
+// not yet discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, advancing the clock. It returns false
+// when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It panics
+// if called reentrantly.
+func (k *Kernel) Run() {
+	if k.running {
+		panic("sim: Kernel.Run called reentrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events queued.
+// The clock is advanced to the deadline even if the queue drains early.
+func (k *Kernel) RunUntil(deadline Time) {
+	if k.running {
+		panic("sim: Kernel.RunUntil called reentrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for !k.stopped {
+		// Peek for the next runnable event within the deadline.
+		for len(k.queue) > 0 && k.queue[0].canceled {
+			heap.Pop(&k.queue)
+		}
+		if len(k.queue) == 0 || k.queue[0].at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (SplitMix64). Simulations must draw all randomness from the kernel's RNG so
+// that a given seed reproduces an identical run.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform duration in [0, d).
+func (r *RNG) Duration(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(d))
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// clamped to at most 20 means to keep runs bounded.
+func (r *RNG) Exp(mean Duration) Duration {
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	// -ln(u) * mean, via a cheap series-free approximation using math.Log is
+	// fine here; determinism matters, not performance.
+	x := -logApprox(u) * float64(mean)
+	max := 20 * float64(mean)
+	if x > max {
+		x = max
+	}
+	return Duration(x)
+}
+
+// logApprox computes the natural log. Wrapped so that the sim package's only
+// dependency surface stays obvious.
+func logApprox(x float64) float64 {
+	return mathLog(x)
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvances(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	k.After(Micros(10), func() { fired = append(fired, k.Now()) })
+	k.After(Micros(5), func() { fired = append(fired, k.Now()) })
+	k.After(Micros(5), func() { fired = append(fired, k.Now()) })
+	k.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if fired[0] != Time(5*time.Microsecond) || fired[1] != Time(5*time.Microsecond) {
+		t.Errorf("first two events at %v, %v; want both at 5µs", fired[0], fired[1])
+	}
+	if fired[2] != Time(10*time.Microsecond) {
+		t.Errorf("last event at %v, want 10µs", fired[2])
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(Time(Micros(7)), func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("event order[%d] = %d, want %d (same-time events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	tm := k.After(Micros(3), func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	k.Run()
+	if ran {
+		t.Fatal("canceled timer fired")
+	}
+	if k.Now() != Time(Micros(3)) {
+		// The canceled event still advances nothing; queue was drained.
+		if k.Now() != 0 {
+			t.Fatalf("clock = %v, want 0", k.Now())
+		}
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.After(Micros(1), func() {})
+	k.Run()
+	if tm.Cancel() {
+		t.Fatal("cancel after fire should report false")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.After(Micros(10), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(Time(Micros(1)), func() {})
+	})
+	k.Run()
+}
+
+func TestThreadSleep(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Spawn("sleeper", func(th *Thread) {
+		th.Sleep(Micros(42))
+		woke = th.Now()
+	})
+	k.Run()
+	if woke != Time(Micros(42)) {
+		t.Fatalf("thread woke at %v, want 42µs", woke)
+	}
+	if k.Threads() != 0 {
+		t.Fatalf("%d threads leaked", k.Threads())
+	}
+}
+
+func TestThreadsInterleaveDeterministically(t *testing.T) {
+	run := func(seed uint64) string {
+		k := NewKernel(seed)
+		var log string
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("t%d", i), func(th *Thread) {
+				for j := 0; j < 3; j++ {
+					th.Sleep(Micros(int64(1 + k.RNG().Intn(5))))
+					log += fmt.Sprintf("%d@%v;", i, th.Now().Micros())
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	a := run(7)
+	b := run(7)
+	if a != b {
+		t.Fatalf("same seed produced different traces:\n%s\n%s", a, b)
+	}
+	if a == run(8) {
+		t.Fatal("different seeds unexpectedly produced identical traces")
+	}
+}
+
+func TestWakerBlock(t *testing.T) {
+	k := NewKernel(1)
+	var wake func()
+	var resumed Time
+	k.Spawn("blocker", func(th *Thread) {
+		wake = th.Waker()
+		th.Block("test")
+		resumed = th.Now()
+	})
+	k.After(Micros(100), func() { wake() })
+	k.Run()
+	if resumed != Time(Micros(100)) {
+		t.Fatalf("resumed at %v, want 100µs", resumed)
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	k := NewKernel(1)
+	var wake func()
+	k.Spawn("blocker", func(th *Thread) {
+		wake = th.Waker()
+		th.Block("test")
+		th.Sleep(Micros(1000))
+	})
+	k.After(Micros(1), func() { wake() })
+	k.After(Micros(2), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected double-wake panic")
+			}
+		}()
+		wake()
+	})
+	k.Run()
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond("q")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.SpawnAt(Micros(int64(i)), fmt.Sprintf("w%d", i), func(th *Thread) {
+			c.Wait(th)
+			order = append(order, i)
+		})
+	}
+	k.After(Micros(100), func() {
+		for c.Signal() {
+		}
+	})
+	k.Run()
+	if len(order) != 5 {
+		t.Fatalf("woke %d threads, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order %v not FIFO", order)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond("q")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(th *Thread) {
+			c.Wait(th)
+			woken++
+		})
+	}
+	k.After(Micros(10), func() {
+		if n := c.Broadcast(); n != 3 {
+			t.Errorf("broadcast woke %d, want 3", n)
+		}
+	})
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("%d waiters left", c.Waiters())
+	}
+}
+
+func TestResourceFIFOAndTiming(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "bus", 1)
+	var done []Time
+	// Three back-to-back 10µs occupancies submitted at t=0 must complete at
+	// 10, 20, 30µs.
+	for i := 0; i < 3; i++ {
+		r.Submit(Micros(10), func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	want := []Time{Time(Micros(10)), Time(Micros(20)), Time(Micros(30))}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d, want 3", r.Served())
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "cpus", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		r.Submit(Micros(10), func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	// Two at 10µs, two at 20µs.
+	if done[0] != Time(Micros(10)) || done[1] != Time(Micros(10)) ||
+		done[2] != Time(Micros(20)) || done[3] != Time(Micros(20)) {
+		t.Fatalf("completions %v", done)
+	}
+}
+
+func TestResourceUseBlocks(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "link", 1)
+	var t1, t2 Time
+	k.Spawn("a", func(th *Thread) {
+		r.Use(th, Micros(50))
+		t1 = th.Now()
+	})
+	k.Spawn("b", func(th *Thread) {
+		r.Use(th, Micros(50))
+		t2 = th.Now()
+	})
+	k.Run()
+	if t1 != Time(Micros(50)) || t2 != Time(Micros(100)) {
+		t.Fatalf("t1=%v t2=%v, want 50µs and 100µs", t1, t2)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "x", 1)
+	r.Submit(Micros(30), nil)
+	k.After(Micros(100), func() {})
+	k.Run()
+	u := r.Utilization()
+	if u < 0.29 || u > 0.31 {
+		t.Fatalf("utilization = %v, want ~0.30", u)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var count int
+	k.After(Micros(5), func() { count++ })
+	k.After(Micros(15), func() { count++ })
+	k.RunUntil(Time(Micros(10)))
+	if count != 1 {
+		t.Fatalf("count = %d after RunUntil(10µs), want 1", count)
+	}
+	if k.Now() != Time(Micros(10)) {
+		t.Fatalf("clock = %v, want 10µs", k.Now())
+	}
+	k.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Run, want 2", count)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum Duration
+	for i := 0; i < n; i++ {
+		sum += r.Exp(Micros(100))
+	}
+	mean := float64(sum) / n / float64(time.Microsecond)
+	if mean < 95 || mean > 105 {
+		t.Fatalf("Exp mean = %vµs, want ~100µs", mean)
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.After(Micros(1), func() { count++; k.Stop() })
+	k.After(Micros(2), func() { count++ })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+}
+
+func TestSpawnAtDelaysStart(t *testing.T) {
+	k := NewKernel(1)
+	var started Time
+	k.SpawnAt(Micros(25), "late", func(th *Thread) { started = th.Now() })
+	k.Run()
+	if started != Time(Micros(25)) {
+		t.Fatalf("started at %v, want 25µs", started)
+	}
+}
+
+func TestMicrosHelpers(t *testing.T) {
+	if Micros(3) != 3*time.Microsecond {
+		t.Fatal("Micros broken")
+	}
+	if MicrosF(1.5) != 1500*time.Nanosecond {
+		t.Fatal("MicrosF broken")
+	}
+	tm := Time(Micros(2500))
+	if tm.Micros() != 2500 {
+		t.Fatalf("Time.Micros = %v", tm.Micros())
+	}
+	if tm.Seconds() != 0.0025 {
+		t.Fatalf("Time.Seconds = %v", tm.Seconds())
+	}
+	if tm.Add(Micros(500)) != Time(Micros(3000)) {
+		t.Fatal("Time.Add broken")
+	}
+	if tm.Sub(Time(Micros(500))) != Micros(2000) {
+		t.Fatal("Time.Sub broken")
+	}
+}

@@ -1,0 +1,198 @@
+package sim
+
+import "fmt"
+
+// Thread is a simulated thread of control. Each Thread is backed by a real
+// goroutine, but the kernel guarantees that at most one simulated thread (or
+// the kernel loop itself) executes at any moment, with deterministic
+// scheduling, so no locking is needed inside simulation code.
+//
+// A Thread's body may call the blocking operations (Sleep, Park, Cond.Wait,
+// Resource.Acquire); these consume virtual time only.
+type Thread struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+
+	// parkReason is a debugging aid describing why the thread is blocked.
+	parkReason string
+}
+
+// Spawn creates a simulated thread running fn, starting at the current
+// virtual time (after already-queued events at this instant).
+func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	k.threads++
+	go func() {
+		<-t.resume // wait for the kernel to hand us control
+		fn(t)
+		t.done = true
+		t.k.threads--
+		t.k.tracef("thread %s exits", t.name)
+		t.k.handoff <- struct{}{} // give control back for good
+	}()
+	k.After(0, func() { t.transfer() })
+	return t
+}
+
+// SpawnAt is like Spawn but delays the thread's start by d.
+func (k *Kernel) SpawnAt(d Duration, name string, fn func(t *Thread)) *Thread {
+	t := &Thread{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	k.threads++
+	go func() {
+		<-t.resume
+		fn(t)
+		t.done = true
+		t.k.threads--
+		t.k.handoff <- struct{}{}
+	}()
+	k.After(d, func() { t.transfer() })
+	return t
+}
+
+// Threads returns the number of live simulated threads.
+func (k *Kernel) Threads() int { return k.threads }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// ID returns the thread's unique id.
+func (t *Thread) ID() int { return t.id }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.k.now }
+
+// Done reports whether the thread's body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// transfer hands control from the kernel loop to the thread and waits for it
+// to block or exit. Must be called from kernel (event) context.
+func (t *Thread) transfer() {
+	if t.done {
+		panic(fmt.Sprintf("sim: resuming finished thread %s", t.name))
+	}
+	t.resume <- struct{}{}
+	<-t.k.handoff
+}
+
+// yield hands control from the thread back to the kernel loop and blocks
+// until some event resumes the thread. Must be called from thread context.
+func (t *Thread) yield(reason string) {
+	t.parkReason = reason
+	t.k.handoff <- struct{}{}
+	<-t.resume
+	t.parkReason = ""
+}
+
+// Sleep blocks the thread for d of virtual time.
+func (t *Thread) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	t.k.After(d, func() { t.transfer() })
+	t.yield("sleep")
+}
+
+// Waker returns a one-shot function that, when invoked (from event context
+// or from another thread, after this thread has called Block), resumes this
+// thread. Calling it twice panics. The usual pattern is:
+//
+//	wake := t.Waker()
+//	registerSomewhere(wake)
+//	t.Block("waiting for X")
+//
+// Because only one simulated thread runs at a time, the wake function cannot
+// fire between Waker and Block.
+func (t *Thread) Waker() (wake func()) {
+	woken := false
+	return func() {
+		if woken {
+			panic(fmt.Sprintf("sim: double wake of thread %s", t.name))
+		}
+		woken = true
+		t.k.After(0, func() {
+			if t.parkReason == "" {
+				panic(fmt.Sprintf("sim: wake of running thread %s", t.name))
+			}
+			t.transfer()
+		})
+	}
+}
+
+// Block yields control until a previously-created Waker fires.
+func (t *Thread) Block(reason string) {
+	t.yield(reason)
+}
+
+// Cond is a FIFO condition variable for simulated threads.
+type Cond struct {
+	name    string
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	t    *Thread
+	wake func()
+}
+
+// NewCond returns a named condition variable.
+func NewCond(name string) *Cond { return &Cond{name: name} }
+
+// Wait blocks the calling thread until Signal or Broadcast releases it.
+func (c *Cond) Wait(t *Thread) {
+	w := &condWaiter{t: t}
+	c.waiters = append(c.waiters, w)
+	woken := false
+	w.wake = func() {
+		if woken {
+			panic("sim: double wake via cond " + c.name)
+		}
+		woken = true
+		t.k.After(0, func() { t.transfer() })
+	}
+	t.yield("cond:" + c.name)
+}
+
+// Signal wakes the longest-waiting thread, if any, and reports whether a
+// thread was woken. May be called from event or thread context.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	w := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	w.wake()
+	return true
+}
+
+// Broadcast wakes all waiting threads and returns how many were woken.
+func (c *Cond) Broadcast() int {
+	n := len(c.waiters)
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.wake()
+	}
+	return n
+}
+
+// Waiters returns the number of threads blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }

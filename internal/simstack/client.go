@@ -1,0 +1,260 @@
+package simstack
+
+import (
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/wire"
+)
+
+// Client is a binding from a calling thread's conversation (an activity in
+// Birrell–Nelson terms) to a remote instance of an interface.
+type Client struct {
+	s        *Stack
+	remote   wire.Endpoint
+	iface    *InterfaceSpec
+	activity uint64
+	seq      uint32
+}
+
+// Activity returns the client's conversation identifier (for tracing).
+func (c *Client) Activity() uint64 { return c.activity }
+
+var nextActivity uint64
+
+// Bind creates a binding to iface exported at remote. Each caller thread
+// should use its own Client, mirroring one activity per thread.
+func (s *Stack) Bind(remote wire.Endpoint, iface *InterfaceSpec) *Client {
+	nextActivity++
+	return &Client{s: s, remote: remote, iface: iface, activity: nextActivity}
+}
+
+// fragSizes splits a payload into single-packet fragment sizes.
+func fragSizes(total int) []int {
+	if total <= wire.MaxSinglePacketPayload {
+		return []int{total}
+	}
+	var out []int
+	for total > 0 {
+		n := total
+		if n > wire.MaxSinglePacketPayload {
+			n = wire.MaxSinglePacketPayload
+		}
+		out = append(out, n)
+		total -= n
+	}
+	return out
+}
+
+// buildFrags marshals payload into packet buffers, one per fragment.
+func (s *Stack) buildFrags(t wire.PacketType, src, dst wire.Endpoint,
+	activity uint64, seq uint32, iface uint32, proc uint16,
+	payload []byte, reuse []*buffer.Buf) ([]*buffer.Buf, error) {
+
+	sizes := fragSizes(len(payload))
+	if len(sizes) > maxFragments {
+		return nil, ErrTooLong
+	}
+	bufs := make([]*buffer.Buf, 0, len(sizes))
+	off := 0
+	for i, n := range sizes {
+		var b *buffer.Buf
+		if i < len(reuse) {
+			b = reuse[i]
+		} else {
+			b = s.Pool.Get()
+			if b == nil {
+				for j := len(reuse); j < len(bufs); j++ {
+					bufs[j].Free()
+				}
+				return nil, ErrNoBuffers
+			}
+		}
+		hdr := wire.RPCHeader{
+			Type:      t,
+			Activity:  activity,
+			Seq:       seq,
+			FragIndex: uint16(i),
+			FragCount: uint16(len(sizes)),
+			Interface: iface,
+			Proc:      proc,
+		}
+		if i == len(sizes)-1 {
+			hdr.Flags |= wire.FlagLastFrag
+		}
+		frameLen := wire.PacketLen(n)
+		if err := wire.BuildPacketInto(b.Cap()[:frameLen], src, dst, hdr,
+			payload[off:off+n], s.Cfg.UDPChecksums); err != nil {
+			if i >= len(reuse) {
+				b.Free()
+			}
+			return nil, err
+		}
+		b.SetLen(frameLen)
+		bufs = append(bufs, b)
+		off += n
+	}
+	// Free any reuse buffers beyond what the message needed.
+	for j := len(sizes); j < len(reuse); j++ {
+		reuse[j].Free()
+	}
+	return bufs, nil
+}
+
+// Call performs one remote procedure call from thread p. args must be
+// spec.ArgBytes long (nil for zero); if result is non-nil the result payload
+// is copied into it (the caller stub's single VAR OUT copy). Arguments and
+// results larger than one packet travel as back-to-back fragments. Call
+// blocks the thread for the full round trip of virtual time.
+func (c *Client) Call(p *firefly.Proc, spec *ProcSpec, args, result []byte) error {
+	s := c.s
+	cfg := s.Cfg
+	if len(args) != spec.ArgBytes {
+		args = append(args, make([]byte, spec.ArgBytes-len(args))...)
+	}
+
+	// Caller stub entry, then the Starter obtains and prepares the call
+	// packet buffer(s).
+	p.Compute(cfg.CallingStub() / 2)
+	p.Compute(cfg.Starter())
+
+	// Marshal arguments into the call packet(s).
+	p.Compute(spec.CallerMarshal)
+	c.seq++
+	seq := c.seq
+	bufs, err := s.buildFrags(wire.TypeCall, s.M.Endpoint(), c.remote,
+		c.activity, seq, c.iface.ID, spec.ID, args, nil)
+	if err != nil {
+		return err
+	}
+
+	// The §5 statement reordering costs ~50 µs here on a multiprocessor.
+	p.Compute(cfg.SwappedLinesPenalty(s.M.NumCPUs()))
+
+	// Register the call, then the Sender transmits each fragment; the
+	// Transporter's registration bookkeeping overlaps the transmission.
+	w := p.PrepareWait()
+	e := s.Table.RegisterCall(c.activity, seq, w, bufs)
+	s.Stats.CallsSent++
+	s.debugf(c.activity, "sending call seq=%d frags=%d", seq, len(bufs))
+	for _, b := range bufs {
+		s.senderFrag(p, b.Bytes())
+	}
+	s.raiseSendIPI()
+	s.scheduleRetransmit(e)
+	p.Compute(cfg.TransporterSend())
+	s.debugf(c.activity, "waiting seq=%d", seq)
+	p.Wait(w)
+	s.debugf(c.activity, "woke seq=%d", seq)
+
+	// Result attached (or the call failed).
+	s.Table.CompleteCall(e)
+	if e.err != nil {
+		e.freeResultBufs()
+		return e.err
+	}
+	p.Compute(cfg.TransporterRecv())
+
+	// SecureBuffers ablation: the result must be copied across the
+	// protection boundary before the stub can unmarshal it.
+	for i := uint16(0); i < e.resCount; i++ {
+		if b := e.resFrags[i]; b != nil {
+			p.Compute(cfg.SecureBufferCopy(b.Len()))
+		}
+	}
+
+	// Unmarshal: the single copy of VAR OUT results into caller variables.
+	p.Compute(spec.CallerUnmarshal)
+	rejected := e.rejected
+	if result != nil && !rejected {
+		copy(result, e.resPayload)
+	}
+
+	// Ender frees the result packet(s); stub returns to the caller.
+	p.Compute(cfg.Ender())
+	e.freeResultBufs()
+	p.Compute(cfg.CallingStub() / 2)
+	if rejected {
+		return ErrUnbound
+	}
+	s.Stats.CallsCompleted++
+	return nil
+}
+
+// LocalCall performs a same-machine RPC through the shared-memory transport:
+// identical stubs and marshalling, but the transport is a direct handoff
+// through the call table with no Ethernet, checksums, or controller. The
+// packet buffers are the same pool used for Ethernet transport, so local
+// transport time is independent of packet size (footnote to §2.2: a local
+// Null() takes 937 µs).
+func (c *Client) LocalCall(p *firefly.Proc, spec *ProcSpec, args, result []byte) error {
+	s := c.s
+	cfg := s.Cfg
+	if len(args) != spec.ArgBytes {
+		args = append(args, make([]byte, spec.ArgBytes-len(args))...)
+	}
+	if spec.ArgBytes > wire.MaxSinglePacketPayload || spec.ResultBytes > wire.MaxSinglePacketPayload {
+		return ErrTooLong // local transport carries single packets
+	}
+
+	p.Compute(cfg.CallingStub() / 2)
+	p.Compute(cfg.Starter())
+	cb := s.Pool.Get()
+	if cb == nil {
+		return ErrNoBuffers
+	}
+	p.Compute(spec.CallerMarshal)
+	c.seq++
+	hdr := wire.RPCHeader{
+		Type: wire.TypeCall, Flags: wire.FlagLastFrag,
+		Activity: c.activity, Seq: c.seq, FragCount: 1,
+		Interface: c.iface.ID, Proc: spec.ID,
+	}
+	frameLen := wire.PacketLen(spec.ArgBytes)
+	if err := wire.BuildPacketInto(cb.Cap()[:frameLen], s.M.Endpoint(), s.M.Endpoint(),
+		hdr, args, false); err != nil {
+		cb.Free()
+		return err
+	}
+	cb.SetLen(frameLen)
+
+	// Local transport: hand the packet to a waiting server thread.
+	w := p.PrepareWait()
+	e := s.Table.RegisterCall(c.activity, c.seq, w, nil)
+	p.Compute(cfg.TransporterSend() + cfg.LocalTransportHalf())
+	ic := &inboundCall{
+		key:      callKey{c.activity, c.seq},
+		iface:    c.iface.ID,
+		proc:     spec.ID,
+		callerEP: s.M.Endpoint(),
+		args:     args,
+		bufs:     []*buffer.Buf{cb},
+	}
+	if se := s.Table.popIdleServer(); se != nil {
+		se.call = ic
+		s.M.Sched.Wakeup(se.waiter)
+	} else {
+		s.Stats.PendingQueued++
+		s.Table.pending = append(s.Table.pending, ic)
+	}
+	p.Wait(w)
+
+	s.Table.CompleteCall(e)
+	if e.err != nil {
+		e.freeResultBufs()
+		return e.err
+	}
+	p.Compute(cfg.TransporterRecv())
+	p.Compute(spec.CallerUnmarshal)
+	rejected := e.rejected
+	if result != nil && !rejected {
+		copy(result, e.resPayload)
+	}
+	p.Compute(cfg.Ender())
+	e.freeResultBufs()
+	p.Compute(cfg.CallingStub() / 2)
+	if rejected {
+		return ErrUnbound
+	}
+	s.Stats.CallsCompleted++
+	return nil
+}

@@ -1,0 +1,229 @@
+package simstack
+
+import (
+	"fmt"
+
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/wire"
+)
+
+// StartServerThreads spawns n server threads that park in the call table
+// awaiting call packets, as the fast path requires ("server threads are
+// waiting for the call").
+func (s *Stack) StartServerThreads(n int) {
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s/server%d", s.M.Name, i)
+		s.M.Sched.SpawnProc(name, s.serveLoop)
+	}
+}
+
+// serveLoop is the body of a server thread: register in the call table, wait
+// for a call, unmarshal, run the procedure, marshal results into the saved
+// call packet(s), send them back, repeat.
+func (s *Stack) serveLoop(p *firefly.Proc) {
+	cfg := s.Cfg
+	for {
+		var ic *inboundCall
+		w := p.PrepareWait()
+		se, pending := s.Table.RegisterServer(w)
+		if pending != nil {
+			ic = pending // a call was already queued (slow path)
+		} else {
+			p.Wait(w)
+			if se.call == nil {
+				return // shut down
+			}
+			ic = se.call
+		}
+
+		// Receiver: inspect the RPC header, up-call the interface stub.
+		s.debugf(ic.key.activity, "server thread picked up seq=%d", ic.key.seq)
+		p.Compute(cfg.ReceiverRecv())
+
+		// SecureBuffers ablation: arguments are copied across the
+		// protection boundary instead of read in place.
+		for _, b := range ic.bufs {
+			p.Compute(cfg.SecureBufferCopy(b.Len()))
+		}
+
+		local := ic.callerEP.IP == s.M.IP
+		iface := s.ifaces[ic.iface]
+		var spec *ProcSpec
+		if iface != nil {
+			spec = iface.Procs[ic.proc]
+		}
+		if spec == nil {
+			s.reject(p, ic, local)
+			continue
+		}
+
+		// Server stub: unmarshal arguments. VAR arguments are passed as
+		// addresses into the packet; by-value and Text arguments are copied
+		// out (their cost is ServerUnmarshal).
+		p.Compute(cfg.ServerStub() / 2)
+		p.Compute(spec.ServerUnmarshal)
+		args := ic.args
+		singleInPlace := spec.ResultBytes <= wire.MaxSinglePacketPayload && len(ic.bufs) == 1
+		if spec.ArgBytes > 0 && spec.ResultBytes > 0 && singleInPlace {
+			// The in-place result will overwrite the argument region of the
+			// saved call packet; give the handler a stable copy.
+			args = append([]byte(nil), args...)
+		}
+
+		// The server procedure itself.
+		p.Compute(spec.Service)
+
+		if singleInPlace {
+			s.sendSinglePacketResult(p, ic, spec, args, local)
+		} else {
+			s.sendFragmentedResult(p, ic, spec, args)
+		}
+	}
+}
+
+// sendSinglePacketResult is the fast path: marshal the results into the
+// saved call packet, which becomes the result packet. VAR OUT results are
+// written in place by the handler.
+func (s *Stack) sendSinglePacketResult(p *firefly.Proc, ic *inboundCall, spec *ProcSpec, args []byte, local bool) {
+	cfg := s.Cfg
+	cb := ic.bufs[0]
+	key := ic.key
+	rhdr := wire.RPCHeader{
+		Type:      wire.TypeResult,
+		Flags:     wire.FlagLastFrag,
+		Activity:  key.activity,
+		Seq:       key.seq,
+		FragCount: 1,
+		Interface: ic.iface,
+		Proc:      ic.proc,
+	}
+	frameLen := wire.PacketLen(spec.ResultBytes)
+	buf := cb.Cap()[:frameLen]
+	if err := wire.BuildPacketHeaders(buf, s.M.Endpoint(), ic.callerEP, rhdr, spec.ResultBytes); err != nil {
+		cb.Free()
+		return
+	}
+	resultRegion := buf[wire.HeaderOverhead:]
+	for i := range resultRegion {
+		resultRegion[i] = 0
+	}
+	if spec.Handler != nil {
+		spec.Handler(args, resultRegion)
+	}
+	cb.SetLen(frameLen)
+	p.Compute(spec.ServerMarshal)
+	p.Compute(cfg.ServerStub() / 2)
+	p.Compute(cfg.ReceiverSend())
+	p.Compute(cfg.SwappedLinesPenalty(s.M.NumCPUs()))
+	s.Stats.ResultsSent++
+
+	if local {
+		// Shared-memory transport: hand the result straight back.
+		p.Compute(cfg.LocalTransportHalf())
+		if e := s.Table.LookupCall(key.activity, key.seq); e != nil && e.resPayload == nil {
+			e.resCount = 1
+			e.resFrags[0] = cb
+			e.resPayload = resultRegion
+			s.M.Sched.Wakeup(e.waiter)
+		} else {
+			s.Stats.StaleDrops++
+			cb.Free()
+		}
+		return
+	}
+
+	// Ethernet transport: checksum and send; retain the result packet for
+	// retransmission until the activity's next call recycles it.
+	if cfg.UDPChecksums {
+		wire.FinishUDPChecksum(buf)
+	}
+	st := s.Table.activity(key.activity)
+	st.results = []*buffer.Buf{cb}
+	st.done = true
+	s.debugf(key.activity, "sending result seq=%d", key.seq)
+	s.sender(p, cb.Bytes())
+}
+
+// sendFragmentedResult streams a large result as back-to-back fragments —
+// the §5 streaming strategy ("streamed a large argument or result for a
+// single call in multiple packets"): many packets, one wakeup at the far
+// end, far fewer thread-to-thread context switches than parallel threads
+// moving a packet's worth each.
+func (s *Stack) sendFragmentedResult(p *firefly.Proc, ic *inboundCall, spec *ProcSpec, args []byte) {
+	cfg := s.Cfg
+	key := ic.key
+
+	payload := make([]byte, spec.ResultBytes)
+	if spec.Handler != nil {
+		spec.Handler(args, payload)
+	}
+	p.Compute(spec.ServerMarshal)
+	p.Compute(cfg.ServerStub() / 2)
+	p.Compute(cfg.ReceiverSend())
+	p.Compute(cfg.SwappedLinesPenalty(s.M.NumCPUs()))
+
+	bufs, err := s.buildFrags(wire.TypeResult, s.M.Endpoint(), ic.callerEP,
+		key.activity, key.seq, ic.iface, ic.proc, payload, ic.bufs)
+	if err != nil {
+		for _, b := range ic.bufs {
+			b.Free()
+		}
+		return
+	}
+	s.Stats.ResultsSent++
+	st := s.Table.activity(key.activity)
+	st.results = bufs
+	st.done = true
+	s.debugf(key.activity, "streaming result seq=%d frags=%d", key.seq, len(bufs))
+	for _, b := range bufs {
+		s.senderFrag(p, b.Bytes())
+	}
+	s.raiseSendIPI()
+}
+
+// reject answers a call to an unknown interface or procedure.
+func (s *Stack) reject(p *firefly.Proc, ic *inboundCall, local bool) {
+	cfg := s.Cfg
+	key := ic.key
+	cb := ic.bufs[0]
+	for _, b := range ic.bufs[1:] {
+		b.Free()
+	}
+	rhdr := wire.RPCHeader{
+		Type:      wire.TypeReject,
+		Flags:     wire.FlagLastFrag,
+		Activity:  key.activity,
+		Seq:       key.seq,
+		FragCount: 1,
+		Interface: ic.iface,
+		Proc:      ic.proc,
+	}
+	frameLen := wire.PacketLen(0)
+	buf := cb.Cap()[:frameLen]
+	if err := wire.BuildPacketHeaders(buf, s.M.Endpoint(), ic.callerEP, rhdr, 0); err != nil {
+		cb.Free()
+		return
+	}
+	cb.SetLen(frameLen)
+	p.Compute(cfg.ReceiverSend())
+	if local {
+		if e := s.Table.LookupCall(key.activity, key.seq); e != nil && e.resPayload == nil {
+			e.rejected = true
+			e.resCount = 1
+			e.resFrags[0] = cb
+			e.resPayload = []byte{}
+			s.M.Sched.Wakeup(e.waiter)
+			return
+		}
+		cb.Free()
+		return
+	}
+	if cfg.UDPChecksums {
+		wire.FinishUDPChecksum(buf)
+	}
+	st := s.Table.activity(key.activity)
+	st.results = []*buffer.Buf{cb}
+	st.done = true
+	s.sender(p, cb.Bytes())
+}

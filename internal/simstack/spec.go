@@ -1,0 +1,210 @@
+package simstack
+
+import (
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+// ProcSpec describes one remote procedure: wire sizes, the marshalling costs
+// the generated stubs incur on each side (Tables II–V), the service time of
+// the procedure body, and the server-side handler that computes real result
+// bytes from real argument bytes.
+type ProcSpec struct {
+	ID   uint16
+	Name string
+
+	// ArgBytes and ResultBytes are the call/result packet payload sizes.
+	ArgBytes    int
+	ResultBytes int
+
+	// CallerMarshal is charged in the caller stub before sending (copying
+	// by-value and VAR IN arguments into the call packet).
+	CallerMarshal sim.Duration
+	// CallerUnmarshal is charged in the caller stub after the result
+	// arrives (the single copy of VAR OUT results into caller variables).
+	CallerUnmarshal sim.Duration
+	// ServerUnmarshal is charged in the server stub before the procedure
+	// (copying by-value arguments to the stack, allocating Texts; zero for
+	// VAR arguments, which are passed as addresses into the packet).
+	ServerUnmarshal sim.Duration
+	// ServerMarshal is charged in the server stub after the procedure
+	// (zero for VAR OUT results written in place).
+	ServerMarshal sim.Duration
+	// Service is the procedure body's execution time.
+	Service sim.Duration
+
+	// Handler computes the result payload from the argument payload. args
+	// aliases the received call packet (VAR IN semantics); result aliases
+	// the result packet under construction (VAR OUT semantics). May be nil
+	// for procedures with no results.
+	Handler func(args, result []byte)
+}
+
+// InterfaceSpec is a remote interface: a named, versioned set of procedures.
+type InterfaceSpec struct {
+	Name    string
+	Version uint32
+	ID      uint32
+	Procs   map[uint16]*ProcSpec
+}
+
+// NewInterface creates an interface spec with its wire identifier.
+func NewInterface(name string, version uint32, procs ...*ProcSpec) *InterfaceSpec {
+	m := make(map[uint16]*ProcSpec, len(procs))
+	for _, p := range procs {
+		if _, dup := m[p.ID]; dup {
+			panic("simstack: duplicate proc id in interface " + name)
+		}
+		m[p.ID] = p
+	}
+	return &InterfaceSpec{
+		Name:    name,
+		Version: version,
+		ID:      wire.InterfaceID(name, version),
+		Procs:   m,
+	}
+}
+
+// Proc IDs of the paper's Test interface.
+const (
+	ProcNull      = 1
+	ProcMaxResult = 2
+	ProcMaxArg    = 3
+	ProcStream    = 4
+)
+
+// TestInterface builds the paper's Test interface for a configuration:
+//
+//	PROCEDURE Null();
+//	PROCEDURE MaxResult(VAR OUT buffer: ARRAY OF CHAR);  -- 1440 bytes
+//	PROCEDURE MaxArg(VAR IN buffer: ARRAY OF CHAR);      -- 1440 bytes
+func TestInterface(cfg *costmodel.Config) *InterfaceSpec {
+	return NewInterface("Test", 1,
+		NullSpec(cfg), MaxResultSpec(cfg), MaxArgSpec(cfg))
+}
+
+// NullSpec is the no-argument, no-result base-latency probe.
+func NullSpec(cfg *costmodel.Config) *ProcSpec {
+	return &ProcSpec{
+		ID:      ProcNull,
+		Name:    "Null",
+		Service: cfg.NullProc(),
+	}
+}
+
+// MaxResultSpec returns a ProcSpec for MaxResult(b): a single 1440-byte VAR
+// OUT result. The server writes it directly into the result packet (no
+// server-side copy); the single copy is the caller stub's, at 550 µs
+// (Table IV).
+func MaxResultSpec(cfg *costmodel.Config) *ProcSpec {
+	return &ProcSpec{
+		ID:              ProcMaxResult,
+		Name:            "MaxResult",
+		ResultBytes:     wire.MaxSinglePacketPayload,
+		CallerUnmarshal: cfg.MarshalVarArray(wire.MaxSinglePacketPayload),
+		Service:         cfg.NullProc(),
+		Handler: func(args, result []byte) {
+			for i := range result {
+				result[i] = byte(i)
+			}
+		},
+	}
+}
+
+// MaxArgSpec returns a ProcSpec for MaxArg(b): a single 1440-byte VAR IN
+// argument, the mirror image of MaxResult.
+func MaxArgSpec(cfg *costmodel.Config) *ProcSpec {
+	return &ProcSpec{
+		ID:            ProcMaxArg,
+		Name:          "MaxArg",
+		ArgBytes:      wire.MaxSinglePacketPayload,
+		CallerMarshal: cfg.MarshalVarArray(wire.MaxSinglePacketPayload),
+		Service:       cfg.NullProc(),
+	}
+}
+
+// StreamResultSpec returns a procedure whose result is n bytes streamed as
+// back-to-back fragments — the §5 streaming strategy for bulk transfer: one
+// call moves many packets with a single wakeup at each end, instead of many
+// threads each moving one packet per call. The server pays one marshalling
+// copy into the fragment stream and the caller one copy out of it.
+func StreamResultSpec(cfg *costmodel.Config, n int) *ProcSpec {
+	return &ProcSpec{
+		ID:              ProcStream,
+		Name:            "StreamResult",
+		ResultBytes:     n,
+		ServerMarshal:   cfg.MarshalVarArray(n),
+		CallerUnmarshal: cfg.MarshalVarArray(n),
+		Service:         cfg.NullProc(),
+		Handler: func(args, result []byte) {
+			for i := range result {
+				result[i] = byte(i * 7)
+			}
+		},
+	}
+}
+
+// Marshalling-table probes (Tables II–V): each is Null() plus the indicated
+// argument, so its incremental cost over Null is exactly the table's value.
+
+// IntArgsSpec passes n 4-byte integers by value (Table II): copied into the
+// call packet by the caller stub and out to the server's stack by the server
+// stub, 8 µs per integer in total.
+func IntArgsSpec(cfg *costmodel.Config, n int) *ProcSpec {
+	total := cfg.MarshalInts(n)
+	return &ProcSpec{
+		ID:              uint16(16 + n),
+		Name:            "IntArgs",
+		ArgBytes:        4 * n,
+		CallerMarshal:   total / 2,
+		ServerUnmarshal: total - total/2,
+		Service:         cfg.NullProc(),
+	}
+}
+
+// FixedArrayOutSpec passes a fixed-length n-byte array VAR OUT (Table III):
+// the only copy is the caller stub's on return.
+func FixedArrayOutSpec(cfg *costmodel.Config, n int) *ProcSpec {
+	return &ProcSpec{
+		ID:              uint16(64),
+		Name:            "FixedArrayOut",
+		ResultBytes:     n,
+		CallerUnmarshal: cfg.MarshalFixedArray(n),
+		Service:         cfg.NullProc(),
+	}
+}
+
+// VarArrayOutSpec passes a variable-length n-byte array VAR OUT (Table IV).
+func VarArrayOutSpec(cfg *costmodel.Config, n int) *ProcSpec {
+	return &ProcSpec{
+		ID:              uint16(65),
+		Name:            "VarArrayOut",
+		ResultBytes:     n,
+		CallerUnmarshal: cfg.MarshalVarArray(n),
+		Service:         cfg.NullProc(),
+	}
+}
+
+// TextArgSpec passes a Text.T of n bytes (or NIL) by value (Table V): the
+// caller stub copies the string into the call packet; the server stub
+// allocates a fresh Text and copies into it.
+func TextArgSpec(cfg *costmodel.Config, n int, isNil bool) *ProcSpec {
+	total := cfg.MarshalText(n, isNil)
+	bytes := 1
+	if !isNil {
+		bytes = 1 + 4 + n
+	}
+	return &ProcSpec{
+		ID:              uint16(66),
+		Name:            "TextArg",
+		ArgBytes:        bytes,
+		CallerMarshal:   total * 2 / 5, // copy into packet
+		ServerUnmarshal: total - total*2/5,
+		Service:         cfg.NullProc(),
+	}
+}
+
+// newTinyPool is a test hook for buffer-exhaustion experiments.
+func newTinyPool(n int) *buffer.Pool { return buffer.NewPool(n) }

@@ -1,0 +1,441 @@
+// Package simstack implements the Firefly RPC fast path on the simulated
+// machine: caller and server stubs, the Starter/Transporter/Ender and
+// Receiver runtime, the Sender with real UDP checksums, the interprocessor
+// interrupt to CPU 0, the Ethernet interrupt routine that demultiplexes RPC
+// packets and directly awakens the waiting thread, shared packet-buffer
+// recycling, multi-packet calls and results, and retransmission off the
+// fast path.
+//
+// Packets are real bytes built and parsed by the wire package; time is
+// charged from the cost model, so the simulated latency decomposes exactly
+// into the paper's Table VI and VII steps plus measured contention.
+package simstack
+
+import (
+	"errors"
+	"fmt"
+
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/wire"
+)
+
+// Errors surfaced to callers.
+var (
+	ErrNoBuffers  = errors.New("simstack: packet buffer pool exhausted")
+	ErrCallFailed = errors.New("simstack: call abandoned after retransmission limit")
+	ErrUnbound    = errors.New("simstack: unknown interface or procedure")
+	ErrTooLong    = errors.New("simstack: argument or result exceeds fragment limit")
+)
+
+// maxFragments bounds a simulated multi-packet call or result.
+const maxFragments = 64
+
+// Counters aggregates stack-level events for the experiment harness.
+type Counters struct {
+	CallsSent       int64
+	CallsCompleted  int64
+	ResultsSent     int64
+	FragmentsSent   int64
+	Retransmits     int64
+	DupCalls        int64
+	DupResults      int64
+	DupFrags        int64
+	StaleDrops      int64
+	BadPackets      int64
+	ChecksumDrops   int64
+	BufferDrops     int64
+	UnswappedDrops  int64
+	PendingQueued   int64
+	ResultRetrans   int64
+	InterruptsTaken int64
+	DatalinkWakeups int64
+}
+
+// DebugActivity, when nonzero, traces one activity's packets through every
+// stack: each event is appended to TraceSink (or printed to stdout when the
+// sink is nil). Used by fireflybench -trace and test diagnostics.
+var (
+	DebugActivity uint64
+	TraceSink     *[]string
+)
+
+func (s *Stack) debugf(act uint64, format string, args ...any) {
+	if DebugActivity == 0 || act != DebugActivity {
+		return
+	}
+	line := fmt.Sprintf("[%10.1fµs %-6s] ", s.M.K.Now().Micros(), s.M.Name) +
+		fmt.Sprintf(format, args...)
+	if TraceSink != nil {
+		*TraceSink = append(*TraceSink, line)
+		return
+	}
+	fmt.Println(line)
+}
+
+// Stack is one machine's RPC runtime.
+type Stack struct {
+	M     *firefly.Machine
+	Cfg   *costmodel.Config
+	Pool  *buffer.Pool
+	Table *CallTable
+
+	ifaces map[uint32]*InterfaceSpec
+
+	// TraditionalDemux state: the datalink thread and its work queue.
+	dlQueue  []func()
+	dlWaiter *firefly.Waiter
+
+	Stats Counters
+}
+
+// NewStack attaches an RPC runtime to a machine. bufs bounds the shared
+// packet-buffer pool (0 = unbounded).
+func NewStack(m *firefly.Machine, bufs int) *Stack {
+	s := &Stack{
+		M:      m,
+		Cfg:    m.Cfg,
+		Pool:   buffer.NewPool(bufs),
+		Table:  newCallTable(),
+		ifaces: make(map[uint32]*InterfaceSpec),
+	}
+	m.Ctrl.SetReceiveHandler(s.onReceive)
+	if s.Cfg.TraditionalDemux {
+		m.Sched.SpawnProc(m.Name+"/datalink", s.datalinkLoop)
+	}
+	return s
+}
+
+// Register exports an interface on this machine.
+func (s *Stack) Register(iface *InterfaceSpec) {
+	s.ifaces[iface.ID] = iface
+}
+
+// raiseSendIPI models the send path's tail: the interprocessor interrupt to
+// CPU 0, whose handler prods the Ethernet controller, followed by deferred
+// kernel bookkeeping that stays off the critical path.
+func (s *Stack) raiseSendIPI() {
+	cfg := s.Cfg
+	s.M.K.After(cfg.IPILatency(), func() {
+		s.M.Sched.Interrupt([]firefly.IntrStep{
+			{D: cfg.HandleIPI()},
+			{D: cfg.ActivateController(), Fn: func() {
+				s.M.Ctrl.Prod()
+				s.M.Sched.DeferredWork(cfg.NubDeferredSend())
+			}},
+		})
+	})
+}
+
+// senderFrag charges one fragment's Sender costs (Table VI's first four
+// rows) and queues it; the IPI is raised once per burst by the caller.
+func (s *Stack) senderFrag(p *firefly.Proc, frame []byte) {
+	cfg := s.Cfg
+	p.Compute(cfg.FinishUDPHeader() +
+		cfg.ChecksumCost(len(frame)) +
+		cfg.HandleTrap() +
+		cfg.QueuePacket())
+	s.M.Ctrl.QueueTx(frame)
+	s.Stats.FragmentsSent++
+}
+
+// sender transmits a single-fragment message and raises the IPI.
+func (s *Stack) sender(p *firefly.Proc, frame []byte) {
+	s.senderFrag(p, frame)
+	s.raiseSendIPI()
+}
+
+// onReceive is the controller's packet-arrival callback: it builds the
+// Ethernet interrupt routine's step chain for CPU 0. All state changes
+// happen inside step functions so they take effect at the correct virtual
+// time; the commit steps re-validate before acting.
+func (s *Stack) onReceive(frame []byte) {
+	cfg := s.Cfg
+	s.Stats.InterruptsTaken++
+
+	// The pre-fix uniprocessor bug: occasionally a packet is lost on
+	// arrival, to be recovered by retransmission 600 ms later (§5).
+	if p := cfg.UnswappedUniprocDropProb(s.M.NumCPUs()); p > 0 &&
+		s.M.K.RNG().Float64() < p {
+		s.Stats.UnswappedDrops++
+		return
+	}
+
+	prologue := []firefly.IntrStep{
+		{D: cfg.GeneralIOInterrupt()},
+		{D: cfg.HandleReceivedPacket()},
+	}
+
+	pkt, err := wire.ParsePacket(frame, cfg.UDPChecksums)
+	if err != nil {
+		steps := prologue
+		if err == wire.ErrBadUDPChecksum {
+			steps = append(steps, firefly.IntrStep{D: cfg.ChecksumCost(len(frame)),
+				Fn: func() { s.Stats.ChecksumDrops++ }})
+		} else {
+			steps = append(steps, firefly.IntrStep{D: 0,
+				Fn: func() { s.Stats.BadPackets++ }})
+		}
+		s.M.Sched.Interrupt(steps)
+		return
+	}
+
+	// Copy the frame into a pool buffer (the controller DMAs arriving
+	// packets into pool buffers from its receive queue; an empty pool means
+	// the packet is dropped and recovered by retransmission).
+	rb := s.Pool.Get()
+	if rb == nil {
+		s.Stats.BufferDrops++
+		s.M.Sched.Interrupt(prologue)
+		return
+	}
+	rb.CopyFrom(frame)
+
+	steps := append(prologue, firefly.IntrStep{D: cfg.ChecksumCost(len(frame))})
+	s.debugf(pkt.RPC.Activity, "rx %s seq=%d frag=%d/%d len=%d",
+		pkt.RPC.Type, pkt.RPC.Seq, pkt.RPC.FragIndex, pkt.RPC.FragCount, len(frame))
+
+	var commit func()
+	switch pkt.RPC.Type {
+	case wire.TypeCall:
+		commit = s.callCommit(pkt, rb)
+	case wire.TypeResult, wire.TypeReject:
+		commit = s.resultCommit(pkt, rb)
+	default:
+		commit = func() {
+			s.Stats.BadPackets++
+			rb.Free()
+		}
+	}
+
+	// Only the final fragment's processing performs (and is charged for) a
+	// thread wakeup; intermediate fragments just land in the reassembly
+	// state. With TraditionalDemux the interrupt instead wakes the datalink
+	// thread, which demultiplexes and performs the second wakeup — two
+	// wakeups per packet, the design §3.2 rejects.
+	lastFrag := pkt.RPC.Flags&wire.FlagLastFrag != 0
+	if cfg.TraditionalDemux {
+		steps = append(steps, firefly.IntrStep{D: cfg.WakeupThread(), Fn: func() {
+			s.Stats.DatalinkWakeups++
+			s.dlQueue = append(s.dlQueue, commit)
+			if s.dlWaiter != nil {
+				w := s.dlWaiter
+				s.dlWaiter = nil
+				s.M.Sched.Wakeup(w)
+			}
+			s.M.Sched.DeferredWork(cfg.NubDeferredWakeup())
+		}})
+	} else if lastFrag {
+		steps = append(steps, firefly.IntrStep{D: cfg.WakeupThread(), Fn: func() {
+			commit()
+			s.M.Sched.DeferredWork(cfg.NubDeferredWakeup())
+		}})
+	} else {
+		steps = append(steps, firefly.IntrStep{D: 0, Fn: commit})
+	}
+	s.M.Sched.Interrupt(steps)
+}
+
+// datalinkLoop is the TraditionalDemux packet-delivery thread: woken by the
+// interrupt handler, it demultiplexes each packet and wakes the RPC thread.
+func (s *Stack) datalinkLoop(p *firefly.Proc) {
+	cfg := s.Cfg
+	for {
+		if len(s.dlQueue) == 0 {
+			w := p.PrepareWait()
+			s.dlWaiter = w
+			p.Wait(w)
+		}
+		for len(s.dlQueue) > 0 {
+			commit := s.dlQueue[0]
+			copy(s.dlQueue, s.dlQueue[1:])
+			s.dlQueue = s.dlQueue[:len(s.dlQueue)-1]
+			p.Compute(cfg.DatalinkDemux())
+			p.Compute(cfg.WakeupThread()) // the second wakeup, at thread level
+			commit()
+		}
+	}
+}
+
+// callCommit returns the state change for an arriving call fragment on the
+// server machine, run at the correct virtual time by the interrupt chain.
+func (s *Stack) callCommit(pkt wire.PacketInfo, rb *buffer.Buf) func() {
+	key := callKey{pkt.RPC.Activity, pkt.RPC.Seq}
+	return func() {
+		st := s.Table.activity(key.activity)
+		switch {
+		case key.seq < st.lastSeq:
+			s.Stats.DupCalls++
+			rb.Free()
+			return
+
+		case key.seq == st.lastSeq && st.lastSeq != 0:
+			if st.rxFrags != nil {
+				// Another fragment of the call being reassembled.
+				s.storeCallFrag(st, key, pkt, rb)
+				return
+			}
+			// Duplicate of the current call: if the result was already
+			// sent, retransmit the retained result packets.
+			s.Stats.DupCalls++
+			if st.done && len(st.results) > 0 {
+				s.Stats.ResultRetrans++
+				for _, b := range st.results {
+					s.M.Ctrl.QueueTx(append([]byte(nil), b.Bytes()...))
+				}
+				s.M.Ctrl.Prod()
+			}
+			rb.Free()
+			return
+		}
+		// New call: recycle the previous conversation's retained result and
+		// begin reassembly.
+		st.lastSeq = key.seq
+		st.done = false
+		st.freeResults()
+		st.rxFrags = make(map[uint16]*buffer.Buf)
+		st.rxCount = pkt.RPC.FragCount
+		st.rxHdr = pkt.RPC
+		st.rxEP = wire.Endpoint{MAC: pkt.Eth.Src, IP: pkt.IP.Src, Port: pkt.UDP.SrcPort}
+		s.storeCallFrag(st, key, pkt, rb)
+	}
+}
+
+// storeCallFrag records one fragment; when the call is complete it is
+// dispatched to a waiting server thread (or queued on the slow path).
+func (s *Stack) storeCallFrag(st *activityState, key callKey, pkt wire.PacketInfo, rb *buffer.Buf) {
+	if pkt.RPC.FragCount != st.rxCount {
+		s.Stats.BadPackets++
+		rb.Free()
+		return
+	}
+	if _, dup := st.rxFrags[pkt.RPC.FragIndex]; dup {
+		s.Stats.DupFrags++
+		rb.Free()
+		return
+	}
+	st.rxFrags[pkt.RPC.FragIndex] = rb
+	if len(st.rxFrags) != int(st.rxCount) {
+		return
+	}
+
+	// Complete: assemble the inbound call.
+	ic := &inboundCall{
+		key:      key,
+		iface:    st.rxHdr.Interface,
+		proc:     st.rxHdr.Proc,
+		callerEP: st.rxEP,
+	}
+	if st.rxCount == 1 {
+		b := st.rxFrags[0]
+		info, perr := wire.ParsePacket(b.Bytes(), false)
+		if perr != nil {
+			s.Stats.BadPackets++
+			b.Free()
+			st.rxFrags = nil
+			return
+		}
+		ic.args = info.Payload
+		ic.bufs = []*buffer.Buf{b}
+	} else {
+		for i := uint16(0); i < st.rxCount; i++ {
+			b := st.rxFrags[i]
+			info, perr := wire.ParsePacket(b.Bytes(), false)
+			if perr == nil {
+				ic.args = append(ic.args, info.Payload...)
+			}
+			ic.bufs = append(ic.bufs, b)
+		}
+	}
+	st.rxFrags = nil
+
+	if e := s.Table.popIdleServer(); e != nil {
+		e.call = ic
+		s.M.Sched.Wakeup(e.waiter)
+		return
+	}
+	// No thread waiting: queue for the next thread to re-register (the
+	// slower path the fast path avoids).
+	s.Stats.PendingQueued++
+	s.Table.pending = append(s.Table.pending, ic)
+}
+
+// resultCommit returns the state change for an arriving result fragment on
+// the caller machine.
+func (s *Stack) resultCommit(pkt wire.PacketInfo, rb *buffer.Buf) func() {
+	return func() {
+		e := s.Table.LookupCall(pkt.RPC.Activity, pkt.RPC.Seq)
+		if e == nil || e.resPayload != nil {
+			s.Stats.DupResults++
+			rb.Free()
+			return
+		}
+		if e.resCount == 0 {
+			e.resCount = pkt.RPC.FragCount
+		}
+		if _, dup := e.resFrags[pkt.RPC.FragIndex]; dup || pkt.RPC.FragCount != e.resCount {
+			s.Stats.DupFrags++
+			rb.Free()
+			return
+		}
+		e.resFrags[pkt.RPC.FragIndex] = rb
+		if len(e.resFrags) != int(e.resCount) {
+			return
+		}
+
+		// Complete: the retained call packets will never need to be
+		// retransmitted — recycle them at interrupt level, as the Firefly
+		// handler does.
+		if e.timer != nil {
+			e.timer.Cancel()
+		}
+		e.freeCallBufs()
+		if pkt.RPC.Type == wire.TypeReject {
+			e.rejected = true
+		}
+		if e.resCount == 1 {
+			info, err := wire.ParsePacket(rb.Bytes(), false)
+			if err == nil {
+				e.resPayload = info.Payload
+			} else {
+				e.resPayload = []byte{}
+			}
+		} else {
+			var payload []byte
+			for i := uint16(0); i < e.resCount; i++ {
+				info, err := wire.ParsePacket(e.resFrags[i].Bytes(), false)
+				if err == nil {
+					payload = append(payload, info.Payload...)
+				}
+			}
+			e.resPayload = payload
+		}
+		s.M.Sched.Wakeup(e.waiter)
+	}
+}
+
+// scheduleRetransmit arms the retransmission timer for an outstanding call:
+// on expiry every call fragment is retransmitted.
+func (s *Stack) scheduleRetransmit(e *CallEntry) {
+	cfg := s.Cfg
+	e.timer = s.M.K.After(cfg.RetransTimeout(), func() {
+		if e.resPayload != nil || e.callBufs == nil {
+			return // completed or being torn down
+		}
+		if e.retries >= cfg.MaxRetransmits() {
+			e.err = ErrCallFailed
+			s.Table.CompleteCall(e)
+			e.freeCallBufs()
+			s.M.Sched.Wakeup(e.waiter)
+			return
+		}
+		e.retries++
+		s.Stats.Retransmits++
+		for _, b := range e.callBufs {
+			s.M.Ctrl.QueueTx(append([]byte(nil), b.Bytes()...))
+		}
+		s.M.Ctrl.Prod()
+		s.scheduleRetransmit(e)
+	})
+}

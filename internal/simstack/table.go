@@ -1,0 +1,171 @@
+package simstack
+
+import (
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+// CallTable is the shared RPC call table: it holds calling threads waiting
+// for result packets and server threads waiting for call packets, each entry
+// retaining packet buffers for possible retransmission. On the Firefly the
+// table lives in memory shared between all user address spaces and the Nub so
+// the Ethernet interrupt handler can find and awaken the waiting thread
+// directly; here it is a per-machine structure reachable from the simulated
+// interrupt chain, which models the same thing.
+type CallTable struct {
+	calls       map[callKey]*CallEntry
+	idleServers []*ServerEntry
+	pending     []*inboundCall
+	activities  map[uint64]*activityState
+}
+
+type callKey struct {
+	activity uint64
+	seq      uint32
+}
+
+// CallEntry is an outstanding call registered by a calling thread.
+type CallEntry struct {
+	key      callKey
+	waiter   *firefly.Waiter
+	callBufs []*buffer.Buf // retained call fragments, for retransmission
+
+	resFrags   map[uint16]*buffer.Buf
+	resCount   uint16
+	resPayload []byte // assembled result payload (aliases for 1 fragment)
+	rejected   bool
+
+	err     error
+	timer   *sim.Timer
+	retries int
+}
+
+// freeCallBufs recycles the retained call packets (result arrived or call
+// abandoned).
+func (e *CallEntry) freeCallBufs() {
+	for _, b := range e.callBufs {
+		b.Free()
+	}
+	e.callBufs = nil
+}
+
+// freeResultBufs releases the result fragments after unmarshalling.
+func (e *CallEntry) freeResultBufs() {
+	for _, b := range e.resFrags {
+		b.Free()
+	}
+	e.resFrags = nil
+}
+
+// inboundCall is a fully received call ready for a server thread: header
+// identity plus the assembled argument bytes and the packet buffers they
+// live in.
+type inboundCall struct {
+	key      callKey
+	iface    uint32
+	proc     uint16
+	callerEP wire.Endpoint
+	args     []byte        // aliases bufs[0]'s payload when single-fragment
+	bufs     []*buffer.Buf // call packet buffers (reused for the result)
+}
+
+// ServerEntry is an idle server thread waiting in the table.
+type ServerEntry struct {
+	waiter *firefly.Waiter
+	call   *inboundCall // attached by the interrupt handler
+}
+
+// activityState is the server's per-conversation record: duplicate
+// suppression, reassembly of the current call, and the retained last result
+// for retransmission.
+type activityState struct {
+	lastSeq uint32
+	done    bool          // result for lastSeq has been sent
+	results []*buffer.Buf // retained result packets
+
+	rxFrags map[uint16]*buffer.Buf // current call being reassembled
+	rxCount uint16
+	rxHdr   wire.RPCHeader
+	rxEP    wire.Endpoint
+}
+
+func newCallTable() *CallTable {
+	return &CallTable{
+		calls:      make(map[callKey]*CallEntry),
+		activities: make(map[uint64]*activityState),
+	}
+}
+
+// RegisterCall enters an outstanding call in the table.
+func (t *CallTable) RegisterCall(activity uint64, seq uint32, w *firefly.Waiter, callBufs []*buffer.Buf) *CallEntry {
+	e := &CallEntry{
+		key:      callKey{activity, seq},
+		waiter:   w,
+		callBufs: callBufs,
+		resFrags: make(map[uint16]*buffer.Buf),
+	}
+	t.calls[e.key] = e
+	return e
+}
+
+// LookupCall finds an outstanding call.
+func (t *CallTable) LookupCall(activity uint64, seq uint32) *CallEntry {
+	return t.calls[callKey{activity, seq}]
+}
+
+// CompleteCall removes an entry (result attached or call failed).
+func (t *CallTable) CompleteCall(e *CallEntry) {
+	delete(t.calls, e.key)
+}
+
+// RegisterServer parks a server thread in the table; if a call is already
+// pending (the slow path), it is returned immediately and the thread should
+// not wait.
+func (t *CallTable) RegisterServer(w *firefly.Waiter) (*ServerEntry, *inboundCall) {
+	if len(t.pending) > 0 {
+		ic := t.pending[0]
+		copy(t.pending, t.pending[1:])
+		t.pending = t.pending[:len(t.pending)-1]
+		return nil, ic
+	}
+	e := &ServerEntry{waiter: w}
+	t.idleServers = append(t.idleServers, e)
+	return e, nil
+}
+
+// popIdleServer removes and returns the longest-idle server thread.
+func (t *CallTable) popIdleServer() *ServerEntry {
+	if len(t.idleServers) == 0 {
+		return nil
+	}
+	e := t.idleServers[0]
+	copy(t.idleServers, t.idleServers[1:])
+	t.idleServers = t.idleServers[:len(t.idleServers)-1]
+	return e
+}
+
+// activity returns (creating if needed) the server-side conversation state.
+func (t *CallTable) activity(id uint64) *activityState {
+	st := t.activities[id]
+	if st == nil {
+		st = &activityState{}
+		t.activities[id] = st
+	}
+	return st
+}
+
+// freeResults recycles the retained result packets (next call arrived).
+func (st *activityState) freeResults() {
+	for _, b := range st.results {
+		b.Free()
+	}
+	st.results = nil
+}
+
+// IdleServers reports how many server threads are waiting.
+func (t *CallTable) IdleServers() int { return len(t.idleServers) }
+
+// Outstanding reports how many calls are registered.
+func (t *CallTable) Outstanding() int { return len(t.calls) }

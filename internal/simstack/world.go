@@ -1,0 +1,222 @@
+package simstack
+
+import (
+	"sort"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/sim"
+)
+
+// World is the measured testbed: two Fireflies on a private Ethernet, one
+// running caller threads, the other a multithreaded server exporting the
+// Test interface.
+type World struct {
+	K      *sim.Kernel
+	Cfg    *costmodel.Config
+	Seg    *ether.Segment
+	Caller *firefly.Machine
+	Server *firefly.Machine
+
+	CallerStack *Stack
+	ServerStack *Stack
+
+	Test *InterfaceSpec
+}
+
+// NewWorld builds the testbed for a configuration. The cost model's CPU
+// counts, stub variant, and §4.2 toggles all take effect here.
+func NewWorld(cfg *costmodel.Config, seed uint64) *World {
+	k := sim.NewKernel(seed)
+	seg := ether.NewSegment(k)
+	caller := firefly.New(k, "caller", cfg, seg, 1, cfg.CallerCPUs)
+	server := firefly.New(k, "server", cfg, seg, 2, cfg.ServerCPUs)
+	if cfg.CallerCPUs == 1 {
+		caller.UniprocExtra = cfg.UniprocCallerExtra()
+	}
+	if cfg.ServerCPUs == 1 {
+		server.UniprocExtra = cfg.UniprocServerExtra()
+	}
+
+	w := &World{
+		K: k, Cfg: cfg, Seg: seg,
+		Caller: caller, Server: server,
+		CallerStack: NewStack(caller, 0),
+		ServerStack: NewStack(server, 0),
+		Test:        TestInterface(cfg),
+	}
+	w.ServerStack.Register(w.Test)
+	w.ServerStack.StartServerThreads(cfg.ServerThreads)
+
+	// The standard background threads: ~0.15 CPUs on an idling machine.
+	caller.StartBackgroundLoad(2, cfg.IdleLoadFraction(), sim.Micros(1000))
+	server.StartBackgroundLoad(2, cfg.IdleLoadFraction(), sim.Micros(1000))
+	return w
+}
+
+// BindTest binds a new caller activity to the server's Test interface.
+func (w *World) BindTest() *Client {
+	return w.CallerStack.Bind(w.Server.Endpoint(), w.Test)
+}
+
+// RegisterLocal exports the Test interface on the caller machine and starts
+// local server threads, for same-machine (shared memory) RPC measurements.
+func (w *World) RegisterLocal(threads int) {
+	w.CallerStack.Register(w.Test)
+	w.CallerStack.StartServerThreads(threads)
+}
+
+// BindLocal binds a caller activity to the Test interface on its own machine.
+func (w *World) BindLocal() *Client {
+	return w.CallerStack.Bind(w.Caller.Endpoint(), w.Test)
+}
+
+// RunResult summarizes a timed run.
+type RunResult struct {
+	Calls     int
+	Elapsed   sim.Duration
+	Errors    int
+	CallerCPU float64 // mean busy CPUs on the caller machine during the run
+	ServerCPU float64
+
+	// Latency distribution over the measured calls, in microseconds.
+	P50Micros float64
+	P95Micros float64
+	MaxMicros float64
+}
+
+// CallsPerSecond returns the completed-call rate.
+func (r RunResult) CallsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Calls) / (float64(r.Elapsed) / 1e9)
+}
+
+// SecondsPer returns the elapsed virtual seconds for n calls at this run's
+// rate — the form Table I reports ("seconds for 10000 RPCs").
+func (r RunResult) SecondsPer(n int) float64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return float64(r.Elapsed) / 1e9 * float64(n) / float64(r.Calls)
+}
+
+// MegabitsPerSecond returns payload throughput for a per-call payload size.
+func (r RunResult) MegabitsPerSecond(payloadBytes int) float64 {
+	return r.CallsPerSecond() * float64(payloadBytes) * 8 / 1e6
+}
+
+// LatencyMicros returns mean per-call latency in µs for single-threaded runs.
+func (r RunResult) LatencyMicros() float64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return float64(r.Elapsed) / float64(r.Calls) / 1e3
+}
+
+// RegisterProc adds a procedure to the Test interface (both ends), for
+// probes beyond the paper's three standard procedures (Tables II–V).
+func (w *World) RegisterProc(spec *ProcSpec) {
+	w.Test.Procs[spec.ID] = spec
+}
+
+// Run drives threads caller threads through totalCalls calls of spec
+// (divided evenly) and reports the elapsed virtual time. Warmup calls
+// (totalCalls/20, at least 1 per thread) precede the measured window so the
+// fast path's "server threads are waiting" assumption holds, as in the
+// paper's steady-state measurements.
+func (w *World) Run(spec *ProcSpec, threads, totalCalls int) RunResult {
+	return w.run(spec, threads, totalCalls, false)
+}
+
+// RunLocal is Run over the same-machine shared-memory transport. The caller
+// machine must have local service registered (RegisterLocal).
+func (w *World) RunLocal(spec *ProcSpec, threads, totalCalls int) RunResult {
+	return w.run(spec, threads, totalCalls, true)
+}
+
+func (w *World) run(spec *ProcSpec, threads, totalCalls int, local bool) RunResult {
+	perThread := totalCalls / threads
+	warmup := perThread / 20
+	if warmup < 1 {
+		warmup = 1
+	}
+
+	var (
+		started      int
+		startTime    sim.Time
+		callerBusy0  sim.Duration
+		serverBusy0  sim.Duration
+		finished     int
+		result       RunResult
+		latencies    []float64
+		startBarrier = make([]func(), 0, threads)
+	)
+
+	args := make([]byte, spec.ArgBytes)
+	res := make([]byte, spec.ResultBytes)
+
+	for i := 0; i < threads; i++ {
+		var client *Client
+		if local {
+			client = w.BindLocal()
+		} else {
+			client = w.BindTest()
+		}
+		call := func(p *firefly.Proc) error {
+			if local {
+				return client.LocalCall(p, spec, args, res)
+			}
+			return client.Call(p, spec, args, res)
+		}
+		w.Caller.Sched.SpawnProc("callerT", func(p *firefly.Proc) {
+			// Warmup outside the measured window.
+			for j := 0; j < warmup; j++ {
+				if err := call(p); err != nil {
+					result.Errors++
+				}
+			}
+			// Barrier: all threads warm before timing starts.
+			started++
+			if started == threads {
+				startTime = w.K.Now()
+				callerBusy0 = w.Caller.BusySnapshot()
+				serverBusy0 = w.Server.BusySnapshot()
+				for _, release := range startBarrier {
+					release()
+				}
+				startBarrier = nil
+			} else {
+				waiter := p.PrepareWait()
+				startBarrier = append(startBarrier, func() { w.Caller.Sched.Wakeup(waiter) })
+				p.Wait(waiter)
+			}
+			for j := 0; j < perThread; j++ {
+				t0 := p.Now()
+				if err := call(p); err != nil {
+					result.Errors++
+				}
+				latencies = append(latencies, p.Now().Sub(t0).Seconds()*1e6)
+				result.Calls++
+				p.Compute(w.Cfg.CallerLoop())
+			}
+			finished++
+			if finished == threads {
+				result.Elapsed = w.K.Now().Sub(startTime)
+				result.CallerCPU = w.Caller.MeanBusyCPUs(startTime, callerBusy0)
+				result.ServerCPU = w.Server.MeanBusyCPUs(startTime, serverBusy0)
+				sort.Float64s(latencies)
+				if n := len(latencies); n > 0 {
+					result.P50Micros = latencies[n/2]
+					result.P95Micros = latencies[n*95/100]
+					result.MaxMicros = latencies[n-1]
+				}
+				w.K.Stop()
+			}
+		})
+	}
+	w.K.Run()
+	return result
+}

@@ -1,0 +1,106 @@
+// Package stats provides small measurement helpers used by the benchmark
+// harness and examples: online summaries and percentile estimation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	vals   []float64 // microseconds
+	sum    float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	v := float64(d) / float64(time.Microsecond)
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the mean in microseconds.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// StdDev returns the sample standard deviation in microseconds.
+func (s *Sample) StdDev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+func (s *Sample) sortVals() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) in microseconds,
+// using nearest-rank on the sorted sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortVals()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Min and Max return the range in microseconds.
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation in microseconds.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Throughput converts a count of payload bytes moved in an elapsed time to
+// megabits per second.
+func Throughput(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Seconds() / 1e6
+}
+
+// Rate converts a count of events in an elapsed time to events per second.
+func Rate(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanAndPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean())
+	}
+	if s.Percentile(50) != 50 {
+		t.Fatalf("p50 = %v, want 50", s.Percentile(50))
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Percentile(99) != 99 {
+		t.Fatalf("p99 = %v, want 99", s.Percentile(99))
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Percentile(50) != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(time.Duration(v) * time.Microsecond)
+	}
+	sd := s.StdDev()
+	if sd < 2.13 || sd > 2.15 { // sample stddev = 2.138
+		t.Fatalf("stddev = %v, want ~2.14", sd)
+	}
+}
+
+func TestAddAfterPercentileKeepsOrder(t *testing.T) {
+	var s Sample
+	s.Add(5 * time.Microsecond)
+	_ = s.Percentile(50)
+	s.Add(1 * time.Microsecond)
+	if s.Min() != 1 {
+		t.Fatal("sample not re-sorted after Add")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputAndRate(t *testing.T) {
+	if got := Throughput(1250000, time.Second); got != 10 {
+		t.Fatalf("Throughput = %v, want 10 Mb/s", got)
+	}
+	if got := Rate(500, 2*time.Second); got != 250 {
+		t.Fatalf("Rate = %v, want 250", got)
+	}
+	if Throughput(1, 0) != 0 || Rate(1, 0) != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(10 * time.Microsecond)
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

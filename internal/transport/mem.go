@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"fireflyrpc/internal/wire"
+)
+
+// Exchange is an in-process datagram switch: the shared-memory transport
+// for same-machine RPC. It can inject faults (loss, duplication, reordering)
+// for protocol tests, which real sockets cannot do deterministically.
+type Exchange struct {
+	mu    sync.Mutex
+	ports map[string]*MemPort
+	seq   int
+
+	// Fault injection, applied per frame under mu.
+	LossEvery int // drop every Nth frame (0 = none)
+	DupEvery  int // duplicate every Nth frame (0 = none)
+	losses    int
+	dups      int
+	count     int
+}
+
+// NewExchange creates an empty exchange.
+func NewExchange() *Exchange {
+	return &Exchange{ports: make(map[string]*MemPort)}
+}
+
+// memAddr names an exchange port.
+type memAddr string
+
+func (a memAddr) String() string  { return string(a) }
+func (a memAddr) Network() string { return "mem" }
+
+// MemPort is one endpoint attached to an Exchange.
+type MemPort struct {
+	ex     *Exchange
+	addr   memAddr
+	mu     sync.RWMutex
+	recv   Receiver
+	closed bool
+	q      chan delivery
+	quit   chan struct{}
+	done   chan struct{}
+}
+
+type delivery struct {
+	src   Addr
+	frame []byte
+}
+
+// Port attaches a new endpoint. name must be unique within the exchange;
+// empty picks one.
+func (e *Exchange) Port(name string) *MemPort {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if name == "" {
+		e.seq++
+		name = fmt.Sprintf("mem-%d", e.seq)
+	}
+	if _, dup := e.ports[name]; dup {
+		panic("transport: duplicate mem port " + name)
+	}
+	p := &MemPort{
+		ex:   e,
+		addr: memAddr(name),
+		q:    make(chan delivery, 1024),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	e.ports[name] = p
+	go p.deliverLoop()
+	return p
+}
+
+// SetFaults atomically updates the fault-injection settings; safe while
+// traffic is flowing.
+func (e *Exchange) SetFaults(lossEvery, dupEvery int) {
+	e.mu.Lock()
+	e.LossEvery = lossEvery
+	e.DupEvery = dupEvery
+	e.mu.Unlock()
+}
+
+// SendFrom injects a frame into the exchange as if sent by the port named
+// src — a test hook for spoofing retransmissions and stale packets.
+func (e *Exchange) SendFrom(src, dst string, frame []byte) error {
+	e.mu.Lock()
+	target := e.ports[dst]
+	e.mu.Unlock()
+	if target == nil {
+		return nil
+	}
+	cp := append([]byte(nil), frame...)
+	select {
+	case target.q <- delivery{src: memAddr(src), frame: cp}:
+	default:
+	}
+	return nil
+}
+
+// Stats reports fault-injection counters.
+func (e *Exchange) Stats() (losses, dups int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.losses, e.dups
+}
+
+func (p *MemPort) deliverLoop() {
+	defer close(p.done)
+	for {
+		select {
+		case d := <-p.q:
+			p.mu.RLock()
+			recv := p.recv
+			p.mu.RUnlock()
+			if recv != nil {
+				recv(d.src, d.frame)
+			}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Send implements Transport.
+func (p *MemPort) Send(dst Addr, frame []byte) error {
+	p.mu.RLock()
+	closed := p.closed
+	p.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(frame) > p.MaxFrame() {
+		return ErrFrameTooLarge
+	}
+	e := p.ex
+	e.mu.Lock()
+	e.count++
+	drop := e.LossEvery > 0 && e.count%e.LossEvery == 0
+	dup := e.DupEvery > 0 && e.count%e.DupEvery == 0
+	if drop {
+		e.losses++
+	}
+	if dup {
+		e.dups++
+	}
+	target := e.ports[dst.String()]
+	e.mu.Unlock()
+	if target == nil || drop {
+		return nil // silently lost, like the wire
+	}
+	cp := append([]byte(nil), frame...)
+	n := 1
+	if dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		// The queue is never closed, so a send racing the target's Close is
+		// benign: the frame just goes undelivered, like any late packet.
+		select {
+		case target.q <- delivery{src: p.addr, frame: cp}:
+		case <-target.quit: // port shut down: dropped
+		default: // receiver overwhelmed: drop, like a full ring
+		}
+	}
+	return nil
+}
+
+// SetReceiver implements Transport.
+func (p *MemPort) SetReceiver(r Receiver) {
+	p.mu.Lock()
+	p.recv = r
+	p.mu.Unlock()
+}
+
+// LocalAddr implements Transport.
+func (p *MemPort) LocalAddr() Addr { return p.addr }
+
+// MaxFrame implements Transport. Same single-packet budget as UDP, so the
+// local transport exercises identical fragmentation behavior.
+func (p *MemPort) MaxFrame() int { return wire.RPCHeaderLen + wire.MaxSinglePacketPayload }
+
+// Close implements Transport.
+func (p *MemPort) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ex.mu.Lock()
+	delete(p.ex.ports, string(p.addr))
+	p.ex.mu.Unlock()
+	close(p.quit)
+	<-p.done
+	return nil
+}
+
+// Addr returns the port's address for peers to Send to.
+func (p *MemPort) Addr(name string) Addr { return memAddr(name) }
+
+// AddrOf names a port on any exchange.
+func AddrOf(name string) Addr { return memAddr(name) }

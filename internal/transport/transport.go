@@ -1,0 +1,44 @@
+// Package transport defines the datagram abstraction the real RPC stack
+// runs over, with three implementations mirroring the Firefly's bind-time
+// transport choice: real UDP sockets (inter-machine), an in-process
+// shared-memory exchange (the paper's "local RPC"), and adapters for tests.
+//
+// A transport carries RPC frames: a 32-byte wire.RPCHeader followed by the
+// payload. Ethernet/IP/UDP framing is the kernel's business here, exactly
+// as it would have been for a user-space RPC runtime.
+package transport
+
+import "errors"
+
+// Addr is an opaque, comparable endpoint address rendered by String.
+type Addr interface {
+	String() string
+	Network() string
+}
+
+// Receiver consumes arriving frames. Implementations are called from the
+// transport's receive goroutine; they must not block for long.
+type Receiver func(src Addr, frame []byte)
+
+// Transport is an unreliable datagram channel. Frames may be lost,
+// duplicated, or reordered; the protocol layer copes.
+type Transport interface {
+	// Send transmits one frame to dst. It may drop silently (as UDP does);
+	// it returns an error only for local, permanent failures.
+	Send(dst Addr, frame []byte) error
+	// SetReceiver installs the arrival callback. Must be called before any
+	// frame arrives; the frame slice is only valid during the callback.
+	SetReceiver(r Receiver)
+	// LocalAddr names this endpoint.
+	LocalAddr() Addr
+	// MaxFrame is the largest frame Send accepts.
+	MaxFrame() int
+	// Close stops reception and releases resources.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")

@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/wire"
+)
+
+func TestMemDelivery(t *testing.T) {
+	ex := NewExchange()
+	a := ex.Port("a")
+	b := ex.Port("b")
+	defer a.Close()
+	defer b.Close()
+
+	got := make(chan []byte, 1)
+	b.SetReceiver(func(src Addr, frame []byte) {
+		if src.String() != "a" {
+			t.Errorf("src = %q", src.String())
+		}
+		got <- append([]byte(nil), frame...)
+	})
+	if err := a.Send(AddrOf("b"), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if string(f) != "ping" {
+			t.Fatalf("frame %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestMemFrameIsCopied(t *testing.T) {
+	ex := NewExchange()
+	a := ex.Port("a")
+	b := ex.Port("b")
+	defer a.Close()
+	defer b.Close()
+	got := make(chan []byte, 1)
+	b.SetReceiver(func(_ Addr, frame []byte) { got <- frame })
+	msg := []byte("mutate-me")
+	if err := a.Send(AddrOf("b"), msg); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 'X' // sender reuses its buffer immediately
+	f := <-got
+	if string(f) != "mutate-me" {
+		t.Fatalf("delivery aliases sender buffer: %q", f)
+	}
+}
+
+func TestMemUnknownDestinationSilentlyDropped(t *testing.T) {
+	ex := NewExchange()
+	a := ex.Port("a")
+	defer a.Close()
+	if err := a.Send(AddrOf("ghost"), []byte("x")); err != nil {
+		t.Fatalf("send to ghost errored: %v (should be silent, like UDP)", err)
+	}
+}
+
+func TestMemLossAndDupInjection(t *testing.T) {
+	ex := NewExchange()
+	ex.LossEvery = 2
+	a := ex.Port("a")
+	b := ex.Port("b")
+	defer a.Close()
+	defer b.Close()
+	var mu sync.Mutex
+	count := 0
+	b.SetReceiver(func(_ Addr, _ []byte) { mu.Lock(); count++; mu.Unlock() })
+	for i := 0; i < 10; i++ {
+		a.Send(AddrOf("b"), []byte{byte(i)})
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	c := count
+	mu.Unlock()
+	if c != 5 {
+		t.Fatalf("delivered %d of 10 with LossEvery=2, want 5", c)
+	}
+	losses, _ := ex.Stats()
+	if losses != 5 {
+		t.Fatalf("losses = %d", losses)
+	}
+}
+
+func TestMemDupInjection(t *testing.T) {
+	ex := NewExchange()
+	ex.DupEvery = 1 // duplicate everything
+	a := ex.Port("a")
+	b := ex.Port("b")
+	defer a.Close()
+	defer b.Close()
+	var mu sync.Mutex
+	count := 0
+	b.SetReceiver(func(_ Addr, _ []byte) { mu.Lock(); count++; mu.Unlock() })
+	for i := 0; i < 5; i++ {
+		a.Send(AddrOf("b"), []byte{1})
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 10 {
+		t.Fatalf("delivered %d, want 10 (all duplicated)", count)
+	}
+}
+
+func TestMemSendAfterClose(t *testing.T) {
+	ex := NewExchange()
+	a := ex.Port("a")
+	a.Close()
+	if err := a.Send(AddrOf("b"), []byte("x")); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestMemOversizeFrame(t *testing.T) {
+	ex := NewExchange()
+	a := ex.Port("a")
+	defer a.Close()
+	big := make([]byte, a.MaxFrame()+1)
+	if err := a.Send(AddrOf("b"), big); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMemDuplicatePortPanics(t *testing.T) {
+	ex := NewExchange()
+	ex.Port("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate port did not panic")
+		}
+	}()
+	ex.Port("dup")
+}
+
+func TestMemAutoNamedPorts(t *testing.T) {
+	ex := NewExchange()
+	p1 := ex.Port("")
+	p2 := ex.Port("")
+	if p1.LocalAddr().String() == p2.LocalAddr().String() {
+		t.Fatal("auto-named ports collide")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback:", err)
+	}
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	got := make(chan []byte, 1)
+	b.SetReceiver(func(src Addr, frame []byte) { got <- append([]byte(nil), frame...) })
+	payload := bytes.Repeat([]byte{0xAA}, 100)
+	if err := a.Send(b.LocalAddr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if !bytes.Equal(f, payload) {
+			t.Fatal("payload corrupted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame not delivered over loopback UDP")
+	}
+}
+
+func TestUDPMaxFrameMatchesSinglePacket(t *testing.T) {
+	// 32-byte RPC header + 1440 payload = 1472-byte UDP datagram, which is
+	// exactly the paper's 1514-byte Ethernet frame after IP/UDP/Ethernet
+	// headers are added by the kernel.
+	if UDPMaxFrame != wire.RPCHeaderLen+wire.MaxSinglePacketPayload {
+		t.Fatal("UDPMaxFrame formula broken")
+	}
+	if UDPMaxFrame+20+8+14 != 1514 {
+		t.Fatalf("UDPMaxFrame %d does not reconstruct a 1514-byte frame", UDPMaxFrame)
+	}
+}
+
+func TestUDPOversizeAndClose(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback:", err)
+	}
+	if err := a.Send(a.LocalAddr(), make([]byte, UDPMaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(a.LocalAddr(), []byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestResolveUDPAddr(t *testing.T) {
+	addr, err := ResolveUDPAddr("127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Network() != "udp" || addr.String() != "127.0.0.1:9999" {
+		t.Fatalf("addr %s/%s", addr.Network(), addr.String())
+	}
+	if _, err := ResolveUDPAddr("not an address"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestMemSendCloseRace(t *testing.T) {
+	// A sender racing the destination's Close must never panic: the frame
+	// is simply lost, like any late packet. (Regression: Send used to hit
+	// a closed channel.)
+	for round := 0; round < 50; round++ {
+		ex := NewExchange()
+		a := ex.Port("a")
+		b := ex.Port("b")
+		b.SetReceiver(func(Addr, []byte) {})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Send(AddrOf("b"), []byte("x"))
+				}
+			}
+		}()
+		b.Close()
+		close(stop)
+		wg.Wait()
+		a.Close()
+	}
+}

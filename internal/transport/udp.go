@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"net"
+	"sync"
+
+	"fireflyrpc/internal/wire"
+)
+
+// UDPMaxFrame keeps RPC frames within a single Ethernet packet, as the
+// Firefly did: 32-byte RPC header + 1440-byte payload = 1472 bytes, which
+// with 20 IP + 8 UDP + 14 Ethernet is exactly the 1514-byte maximum frame.
+const UDPMaxFrame = wire.RPCHeaderLen + wire.MaxSinglePacketPayload
+
+// UDP is a Transport over a real UDP socket.
+type UDP struct {
+	conn *net.UDPConn
+
+	mu     sync.RWMutex
+	recv   Receiver
+	closed bool
+	done   chan struct{}
+}
+
+// ListenUDP opens a UDP transport on addr ("host:port"; ":0" picks a port).
+func ListenUDP(addr string) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	u := &UDP{conn: conn, done: make(chan struct{})}
+	go u.readLoop()
+	return u, nil
+}
+
+// ResolveUDPAddr names a peer for Send.
+func ResolveUDPAddr(addr string) (Addr, error) {
+	return net.ResolveUDPAddr("udp", addr)
+}
+
+func (u *UDP) readLoop() {
+	defer close(u.done)
+	buf := make([]byte, UDPMaxFrame+1)
+	for {
+		n, src, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n > UDPMaxFrame {
+			continue // oversize garbage
+		}
+		u.mu.RLock()
+		recv := u.recv
+		u.mu.RUnlock()
+		if recv != nil {
+			recv(src, buf[:n])
+		}
+	}
+}
+
+// Send implements Transport.
+func (u *UDP) Send(dst Addr, frame []byte) error {
+	u.mu.RLock()
+	closed := u.closed
+	u.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(frame) > UDPMaxFrame {
+		return ErrFrameTooLarge
+	}
+	ua, ok := dst.(*net.UDPAddr)
+	if !ok {
+		var err error
+		ua, err = net.ResolveUDPAddr("udp", dst.String())
+		if err != nil {
+			return err
+		}
+	}
+	_, err := u.conn.WriteToUDP(frame, ua)
+	return err
+}
+
+// SetReceiver implements Transport.
+func (u *UDP) SetReceiver(r Receiver) {
+	u.mu.Lock()
+	u.recv = r
+	u.mu.Unlock()
+}
+
+// LocalAddr implements Transport.
+func (u *UDP) LocalAddr() Addr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// MaxFrame implements Transport.
+func (u *UDP) MaxFrame() int { return UDPMaxFrame }
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	<-u.done
+	return err
+}

@@ -1,0 +1,41 @@
+package wire
+
+// Checksum computes the RFC 1071 internet checksum (one's-complement sum of
+// 16-bit big-endian words, one's-complemented) over data. An odd trailing
+// byte is padded with a zero byte, per the RFC.
+func Checksum(data []byte) uint16 {
+	return FinishChecksum(SumWords(0, data))
+}
+
+// SumWords folds data into an ongoing one's-complement 32-bit accumulator.
+// Use it to checksum a packet in pieces (pseudo-header + header + payload).
+// Each piece except the last should be of even length.
+func SumWords(acc uint32, data []byte) uint32 {
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		acc += uint32(data[i]) << 8
+	}
+	return acc
+}
+
+// FinishChecksum folds the accumulator to 16 bits and complements it.
+func FinishChecksum(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + (acc >> 16)
+	}
+	return ^uint16(acc)
+}
+
+// VerifyChecksum reports whether data containing an embedded checksum field
+// sums to the all-ones pattern, i.e. checks out under RFC 1071.
+func VerifyChecksum(data []byte) bool {
+	acc := SumWords(0, data)
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + (acc >> 16)
+	}
+	return uint16(acc) == 0xffff
+}

@@ -1,0 +1,38 @@
+package wire
+
+// EthernetHeader is an Ethernet II (DIX) frame header, 14 bytes on the wire.
+// The 4-byte trailing CRC is assumed to be generated and checked by the
+// controller hardware and is not represented (the paper's 74/1514-byte
+// figures likewise exclude it).
+type EthernetHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// Marshal appends the 14-byte header to b and returns the extended slice.
+func (h *EthernetHeader) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	b = append(b, byte(h.EtherType>>8), byte(h.EtherType))
+	return b
+}
+
+// MarshalTo writes the header into b[0:14]. b must have room.
+func (h *EthernetHeader) MarshalTo(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	put16(b[12:14], h.EtherType)
+}
+
+// UnmarshalEthernet parses the header at the front of b and returns the rest.
+func UnmarshalEthernet(b []byte) (EthernetHeader, []byte, error) {
+	var h EthernetHeader
+	if len(b) < EthernetHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = be16(b[12:14])
+	return h, b[EthernetHeaderLen:], nil
+}

@@ -1,0 +1,67 @@
+package wire
+
+// IPv4Header is a fixed 20-byte IPv4 header (no options), as the RPC fast
+// path always generates.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16 // header + payload
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      IPAddr
+	Dst      IPAddr
+}
+
+// Marshal appends the 20-byte header (with correct header checksum) to b.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, IPv4HeaderLen)...)
+	h.MarshalTo(b[start:])
+	return b
+}
+
+// MarshalTo writes the header, computing the header checksum, into b[0:20].
+func (h *IPv4Header) MarshalTo(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	put16(b[2:], h.TotalLen)
+	put16(b[4:], h.ID)
+	put16(b[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	put16(b[10:], 0) // checksum placeholder
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	put16(b[10:], Checksum(b[:IPv4HeaderLen]))
+}
+
+// UnmarshalIPv4 parses and checksum-verifies the header at the front of b,
+// returning the remainder of the IP datagram (TotalLen permitting).
+func UnmarshalIPv4(b []byte) (IPv4Header, []byte, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 || b[0]&0x0f != 5 {
+		return h, nil, ErrBadIPVersion
+	}
+	if !VerifyChecksum(b[:IPv4HeaderLen]) {
+		return h, nil, ErrBadIPChecksum
+	}
+	h.TOS = b[1]
+	h.TotalLen = be16(b[2:])
+	h.ID = be16(b[4:])
+	frag := be16(b[6:])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) < IPv4HeaderLen || int(h.TotalLen) > len(b) {
+		return h, nil, ErrTruncated
+	}
+	return h, b[IPv4HeaderLen:h.TotalLen], nil
+}

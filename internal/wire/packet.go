@@ -1,0 +1,156 @@
+package wire
+
+// Endpoint identifies one end of an RPC conversation at every layer the
+// packet traverses.
+type Endpoint struct {
+	MAC  MAC
+	IP   IPAddr
+	Port uint16
+}
+
+// PacketInfo is a fully parsed RPC-over-UDP-over-IP-over-Ethernet packet.
+type PacketInfo struct {
+	Eth     EthernetHeader
+	IP      IPv4Header
+	UDP     UDPHeader
+	RPC     RPCHeader
+	Payload []byte
+}
+
+// BuildPacket assembles a complete Ethernet frame carrying an RPC packet
+// from src to dst with the given RPC header and payload. The RPC header's
+// Length field is set from payload. If checksum is true the UDP checksum is
+// computed (the Firefly default); otherwise it is transmitted as zero
+// (§4.2.4). The returned frame is freshly allocated.
+func BuildPacket(src, dst Endpoint, h RPCHeader, payload []byte, checksum bool) ([]byte, error) {
+	if len(payload) > MaxSinglePacketPayload {
+		return nil, ErrTooLong
+	}
+	frame := make([]byte, HeaderOverhead+len(payload))
+	if err := BuildPacketInto(frame, src, dst, h, payload, checksum); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// BuildPacketInto assembles the frame into buf, which must be exactly
+// HeaderOverhead+len(payload) bytes. It lets transports reuse pooled packet
+// buffers, as the Firefly implementation does.
+func BuildPacketInto(buf []byte, src, dst Endpoint, h RPCHeader, payload []byte, checksum bool) error {
+	if len(payload) > MaxSinglePacketPayload {
+		return ErrTooLong
+	}
+	if len(buf) != HeaderOverhead+len(payload) {
+		return ErrTruncated
+	}
+	eth := EthernetHeader{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
+	eth.MarshalTo(buf[0:])
+
+	udpLen := UDPHeaderLen + RPCHeaderLen + len(payload)
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + udpLen),
+		TTL:      32,
+		Protocol: IPProtoUDP,
+		Src:      src.IP,
+		Dst:      dst.IP,
+	}
+	ip.MarshalTo(buf[EthernetHeaderLen:])
+
+	udpOff := EthernetHeaderLen + IPv4HeaderLen
+	udp := UDPHeader{SrcPort: src.Port, DstPort: dst.Port, Length: uint16(udpLen)}
+	udp.MarshalTo(buf[udpOff:])
+
+	rpcOff := udpOff + UDPHeaderLen
+	h.Version = RPCVersion
+	h.Length = uint32(len(payload))
+	h.MarshalTo(buf[rpcOff:])
+	copy(buf[rpcOff+RPCHeaderLen:], payload)
+
+	if checksum {
+		sum := UDPChecksum(src.IP, dst.IP, buf[udpOff:udpOff+UDPHeaderLen], buf[rpcOff:])
+		put16(buf[udpOff+6:], sum)
+	}
+	return nil
+}
+
+// BuildPacketHeaders writes all four headers for a payloadLen-byte RPC
+// payload into buf (which must be exactly HeaderOverhead+payloadLen bytes),
+// leaving the payload region untouched so a server procedure can write a VAR
+// OUT result directly in place. The UDP checksum field is left zero; call
+// FinishUDPChecksum after the payload is final.
+func BuildPacketHeaders(buf []byte, src, dst Endpoint, h RPCHeader, payloadLen int) error {
+	if payloadLen > MaxSinglePacketPayload {
+		return ErrTooLong
+	}
+	if len(buf) != HeaderOverhead+payloadLen {
+		return ErrTruncated
+	}
+	eth := EthernetHeader{Dst: dst.MAC, Src: src.MAC, EtherType: EtherTypeIPv4}
+	eth.MarshalTo(buf[0:])
+	udpLen := UDPHeaderLen + RPCHeaderLen + payloadLen
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + udpLen),
+		TTL:      32,
+		Protocol: IPProtoUDP,
+		Src:      src.IP,
+		Dst:      dst.IP,
+	}
+	ip.MarshalTo(buf[EthernetHeaderLen:])
+	udpOff := EthernetHeaderLen + IPv4HeaderLen
+	udp := UDPHeader{SrcPort: src.Port, DstPort: dst.Port, Length: uint16(udpLen)}
+	udp.MarshalTo(buf[udpOff:])
+	h.Version = RPCVersion
+	h.Length = uint32(payloadLen)
+	h.MarshalTo(buf[udpOff+UDPHeaderLen:])
+	return nil
+}
+
+// FinishUDPChecksum computes and stores the UDP checksum of an assembled
+// frame (as built by BuildPacketHeaders plus payload).
+func FinishUDPChecksum(frame []byte) {
+	udpOff := EthernetHeaderLen + IPv4HeaderLen
+	var src, dst IPAddr
+	copy(src[:], frame[EthernetHeaderLen+12:])
+	copy(dst[:], frame[EthernetHeaderLen+16:])
+	put16(frame[udpOff+6:], 0)
+	sum := UDPChecksum(src, dst, frame[udpOff:udpOff+UDPHeaderLen], frame[udpOff+UDPHeaderLen:])
+	put16(frame[udpOff+6:], sum)
+}
+
+// ParsePacket validates an Ethernet frame end to end — Ethernet, IP (header
+// checksum), UDP (checksum if present), RPC header — exactly as the Firefly
+// Ethernet interrupt routine does before handing a packet to a waiting
+// thread. The returned PacketInfo's Payload aliases frame.
+func ParsePacket(frame []byte, verifyChecksum bool) (PacketInfo, error) {
+	var p PacketInfo
+	eth, rest, err := UnmarshalEthernet(frame)
+	if err != nil {
+		return p, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return p, ErrBadEtherType
+	}
+	ip, rest, err := UnmarshalIPv4(rest)
+	if err != nil {
+		return p, err
+	}
+	if ip.Protocol != IPProtoUDP {
+		return p, ErrBadProto
+	}
+	if verifyChecksum && !VerifyUDPChecksum(ip.Src, ip.Dst, rest) {
+		return p, ErrBadUDPChecksum
+	}
+	udp, rest, err := UnmarshalUDP(rest)
+	if err != nil {
+		return p, err
+	}
+	rpc, payload, err := UnmarshalRPC(rest)
+	if err != nil {
+		return p, err
+	}
+	p.Eth, p.IP, p.UDP, p.RPC, p.Payload = eth, ip, udp, rpc, payload
+	return p, nil
+}
+
+// PacketLen returns the frame size for a given RPC payload size.
+func PacketLen(payload int) int { return HeaderOverhead + payload }

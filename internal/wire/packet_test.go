@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testEndpoints() (Endpoint, Endpoint) {
+	src := Endpoint{MAC: MACForHost(1), IP: IPForHost(1), Port: RPCPort}
+	dst := Endpoint{MAC: MACForHost(2), IP: IPForHost(2), Port: RPCPort}
+	return src, dst
+}
+
+func TestNullPacketIs74Bytes(t *testing.T) {
+	src, dst := testEndpoints()
+	h := RPCHeader{Type: TypeCall, Activity: 7, Seq: 1, FragCount: 1, Flags: FlagLastFrag}
+	frame, err := BuildPacket(src, dst, h, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 74 {
+		t.Fatalf("Null call packet is %d bytes, want 74", len(frame))
+	}
+	if MinPacketLen != 74 {
+		t.Fatalf("MinPacketLen = %d, want 74", MinPacketLen)
+	}
+}
+
+func TestMaxResultPacketIs1514Bytes(t *testing.T) {
+	src, dst := testEndpoints()
+	h := RPCHeader{Type: TypeResult, Activity: 7, Seq: 1, FragCount: 1, Flags: FlagLastFrag}
+	frame, err := BuildPacket(src, dst, h, make([]byte, MaxSinglePacketPayload), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 1514 {
+		t.Fatalf("MaxResult packet is %d bytes, want 1514", len(frame))
+	}
+	if MaxSinglePacketPayload != 1440 {
+		t.Fatalf("MaxSinglePacketPayload = %d, want 1440", MaxSinglePacketPayload)
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	src, dst := testEndpoints()
+	_, err := BuildPacket(src, dst, RPCHeader{Type: TypeCall}, make([]byte, MaxSinglePacketPayload+1), true)
+	if err != ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	src, dst := testEndpoints()
+	payload := []byte("the quick brown firefly")
+	h := RPCHeader{
+		Type: TypeResult, Flags: FlagLastFrag, Activity: 0xdeadbeefcafef00d,
+		Seq: 42, FragIndex: 0, FragCount: 1,
+		Interface: InterfaceID("Test", 1), Proc: 2, Hint: 5,
+	}
+	frame, err := BuildPacket(src, dst, h, payload, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePacket(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.Src != src.MAC || p.Eth.Dst != dst.MAC {
+		t.Error("ethernet addresses mangled")
+	}
+	if p.IP.Src != src.IP || p.IP.Dst != dst.IP || p.IP.Protocol != IPProtoUDP {
+		t.Error("ip header mangled")
+	}
+	if p.UDP.SrcPort != RPCPort || p.UDP.DstPort != RPCPort {
+		t.Error("udp ports mangled")
+	}
+	if p.RPC.Type != TypeResult || p.RPC.Activity != h.Activity || p.RPC.Seq != 42 ||
+		p.RPC.Interface != h.Interface || p.RPC.Proc != 2 || p.RPC.Hint != 5 ||
+		p.RPC.Flags != FlagLastFrag || p.RPC.FragCount != 1 {
+		t.Errorf("rpc header mangled: %+v", p.RPC)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Error("payload mangled")
+	}
+}
+
+// Property: build/parse round-trips arbitrary header fields and payloads.
+func TestPacketRoundTripQuick(t *testing.T) {
+	src, dst := testEndpoints()
+	f := func(activity uint64, seq uint32, proc, hint uint16, iface uint32, payload []byte) bool {
+		if len(payload) > MaxSinglePacketPayload {
+			payload = payload[:MaxSinglePacketPayload]
+		}
+		h := RPCHeader{
+			Type: TypeCall, Flags: FlagLastFrag, Activity: activity, Seq: seq,
+			FragCount: 1, Interface: iface, Proc: proc, Hint: hint,
+		}
+		frame, err := BuildPacket(src, dst, h, payload, true)
+		if err != nil {
+			return false
+		}
+		p, err := ParsePacket(frame, true)
+		if err != nil {
+			return false
+		}
+		return p.RPC.Activity == activity && p.RPC.Seq == seq &&
+			p.RPC.Proc == proc && p.RPC.Hint == hint && p.RPC.Interface == iface &&
+			bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDetectsCorruption(t *testing.T) {
+	src, dst := testEndpoints()
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	h := RPCHeader{Type: TypeCall, FragCount: 1, Flags: FlagLastFrag, Seq: 1}
+	frame, err := BuildPacket(src, dst, h, payload, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte: UDP checksum must catch it.
+	frame[len(frame)-1] ^= 0x5a
+	if _, err := ParsePacket(frame, true); err != ErrBadUDPChecksum {
+		t.Fatalf("payload corruption: err = %v, want ErrBadUDPChecksum", err)
+	}
+	frame[len(frame)-1] ^= 0x5a
+	// Corrupt the IP header: IP checksum must catch it.
+	frame[EthernetHeaderLen+8] ^= 0x01 // TTL
+	if _, err := ParsePacket(frame, true); err != ErrBadIPChecksum {
+		t.Fatalf("ip corruption: err = %v, want ErrBadIPChecksum", err)
+	}
+}
+
+func TestParseChecksumDisabled(t *testing.T) {
+	src, dst := testEndpoints()
+	h := RPCHeader{Type: TypeCall, FragCount: 1, Flags: FlagLastFrag}
+	frame, err := BuildPacket(src, dst, h, []byte("x"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checksum field must be zero and verification must still pass.
+	off := EthernetHeaderLen + IPv4HeaderLen + 6
+	if be16(frame[off:]) != 0 {
+		t.Fatal("checksum field not zero when checksums disabled")
+	}
+	if _, err := ParsePacket(frame, true); err != nil {
+		t.Fatalf("zero-checksum packet rejected: %v", err)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	src, dst := testEndpoints()
+	frame, _ := BuildPacket(src, dst, RPCHeader{Type: TypeCall, FragCount: 1}, []byte("hello"), true)
+	for _, n := range []int{0, 5, 13, 20, 33, 41, 50, 73} {
+		if n >= len(frame) {
+			continue
+		}
+		if _, err := ParsePacket(frame[:n], false); err == nil {
+			t.Fatalf("parse of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+func TestParseWrongEtherType(t *testing.T) {
+	src, dst := testEndpoints()
+	frame, _ := BuildPacket(src, dst, RPCHeader{Type: TypeCall, FragCount: 1}, nil, true)
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	if _, err := ParsePacket(frame, true); err != ErrBadEtherType {
+		t.Fatalf("err = %v, want ErrBadEtherType", err)
+	}
+}
+
+func TestParseBadRPCVersion(t *testing.T) {
+	src, dst := testEndpoints()
+	frame, _ := BuildPacket(src, dst, RPCHeader{Type: TypeCall, FragCount: 1}, nil, false)
+	off := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	frame[off] = 0xba
+	if _, err := ParsePacket(frame, false); err != ErrBadRPCVersion {
+		t.Fatalf("err = %v, want ErrBadRPCVersion", err)
+	}
+}
+
+func TestInterfaceIDStable(t *testing.T) {
+	a := InterfaceID("Test", 1)
+	b := InterfaceID("Test", 1)
+	if a != b {
+		t.Fatal("InterfaceID not deterministic")
+	}
+	if InterfaceID("Test", 2) == a || InterfaceID("Tesu", 1) == a {
+		t.Fatal("InterfaceID collisions on near inputs")
+	}
+}
+
+func TestMACAndIPHelpers(t *testing.T) {
+	m := MACForHost(0x010203)
+	if m.String() != "02:46:46:01:02:03" {
+		t.Fatalf("MAC string = %s", m.String())
+	}
+	ip := IPForHost(0x0104)
+	if ip.String() != "10.0.1.4" {
+		t.Fatalf("IP string = %s", ip.String())
+	}
+	if Broadcast.String() != "ff:ff:ff:ff:ff:ff" {
+		t.Fatal("broadcast MAC wrong")
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	cases := map[PacketType]string{
+		TypeCall: "call", TypeResult: "result", TypeAck: "ack",
+		TypeProbe: "probe", TypeProbeReply: "probe-reply", TypeReject: "reject",
+		PacketType(99): "type(99)",
+	}
+	for pt, want := range cases {
+		if pt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", pt, pt.String(), want)
+		}
+	}
+}
+
+func TestPacketLen(t *testing.T) {
+	if PacketLen(0) != 74 || PacketLen(1440) != 1514 {
+		t.Fatal("PacketLen formula wrong")
+	}
+}
+
+func TestBuildPacketIntoWrongSize(t *testing.T) {
+	src, dst := testEndpoints()
+	buf := make([]byte, 80)
+	if err := BuildPacketInto(buf, src, dst, RPCHeader{Type: TypeCall}, nil, true); err == nil {
+		t.Fatal("wrong-size buffer accepted")
+	}
+}
+
+func TestUnmarshalIPv4BadHeaders(t *testing.T) {
+	// Too short.
+	if _, _, err := UnmarshalIPv4(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	// Wrong version nibble.
+	b := make([]byte, IPv4HeaderLen)
+	b[0] = 0x65
+	if _, _, err := UnmarshalIPv4(b); err != ErrBadIPVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// Options (IHL != 5) rejected: the fast path never generates them.
+	b[0] = 0x46
+	if _, _, err := UnmarshalIPv4(b); err != ErrBadIPVersion {
+		t.Fatalf("ihl: %v", err)
+	}
+	// Valid checksum but absurd TotalLen.
+	h := IPv4Header{TotalLen: 9999, TTL: 1, Protocol: IPProtoUDP}
+	buf := make([]byte, IPv4HeaderLen)
+	h.MarshalTo(buf)
+	if _, _, err := UnmarshalIPv4(buf); err != ErrTruncated {
+		t.Fatalf("totallen: %v", err)
+	}
+}
+
+func TestUnmarshalUDPBadLength(t *testing.T) {
+	if _, _, err := UnmarshalUDP(make([]byte, 4)); err != ErrTruncated {
+		t.Fatal("short UDP header accepted")
+	}
+	b := make([]byte, UDPHeaderLen)
+	put16(b[4:], 4) // length < header size
+	if _, _, err := UnmarshalUDP(b); err != ErrTruncated {
+		t.Fatal("undersized UDP length accepted")
+	}
+	put16(b[4:], 100) // length > datagram
+	if _, _, err := UnmarshalUDP(b); err != ErrTruncated {
+		t.Fatal("oversized UDP length accepted")
+	}
+}
+
+func TestUnmarshalRPCTruncatedPayload(t *testing.T) {
+	b := make([]byte, RPCHeaderLen)
+	h := RPCHeader{Type: TypeCall, FragCount: 1, Length: 50} // claims 50-byte payload
+	h.Version = RPCVersion
+	h.MarshalTo(b)
+	if _, _, err := UnmarshalRPC(b); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestNonUDPProtocolRejected(t *testing.T) {
+	src, dst := testEndpoints()
+	frame, _ := BuildPacket(src, dst, RPCHeader{Type: TypeCall, FragCount: 1}, nil, true)
+	// Rewrite protocol to TCP and fix the IP checksum.
+	ip := frame[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	ip[9] = 6
+	put16(ip[10:], 0)
+	put16(ip[10:], Checksum(ip))
+	if _, err := ParsePacket(frame, false); err != ErrBadProto {
+		t.Fatalf("err = %v, want ErrBadProto", err)
+	}
+}
+
+func TestEthernetAppendMarshal(t *testing.T) {
+	h := EthernetHeader{Dst: MACForHost(2), Src: MACForHost(1), EtherType: EtherTypeIPv4}
+	b := h.Marshal(nil)
+	if len(b) != EthernetHeaderLen {
+		t.Fatalf("marshal length %d", len(b))
+	}
+	got, rest, err := UnmarshalEthernet(b)
+	if err != nil || len(rest) != 0 || got != h {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, _, err := UnmarshalEthernet(b[:5]); err != ErrTruncated {
+		t.Fatal("short ethernet accepted")
+	}
+}
+
+func TestIPv4Append(t *testing.T) {
+	h := IPv4Header{TotalLen: 20, TTL: 9, Protocol: IPProtoUDP,
+		Src: IPForHost(1), Dst: IPForHost(2), ID: 7, Flags: 2, FragOff: 100, TOS: 3}
+	b := h.Marshal(nil)
+	got, _, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Flags != 2 || got.FragOff != 100 || got.TOS != 3 || got.TTL != 9 {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestBuildPacketHeadersOversize(t *testing.T) {
+	src, dst := testEndpoints()
+	if err := BuildPacketHeaders(make([]byte, 80), src, dst, RPCHeader{}, MaxSinglePacketPayload+1); err != ErrTooLong {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+	if err := BuildPacketHeaders(make([]byte, 80), src, dst, RPCHeader{}, 4); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated (size mismatch)", err)
+	}
+}

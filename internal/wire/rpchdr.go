@@ -1,0 +1,138 @@
+package wire
+
+import "fmt"
+
+// RPCVersion identifies the packet-exchange protocol revision.
+const RPCVersion = 0x4652 // "FR"
+
+// PacketType distinguishes the packet-exchange protocol's message kinds,
+// following Birrell & Nelson's Cedar RPC design: on the fast path a result
+// packet implicitly acknowledges its call packet and the next call packet
+// implicitly acknowledges the previous result.
+type PacketType uint8
+
+const (
+	// TypeCall carries a call's arguments (or one fragment of them).
+	TypeCall PacketType = iota + 1
+	// TypeResult carries a call's results (or one fragment of them); it
+	// implicitly acknowledges the call.
+	TypeResult
+	// TypeAck explicitly acknowledges a call or result fragment; used only
+	// off the fast path (multi-packet transfers and retransmission).
+	TypeAck
+	// TypeProbe asks whether the peer still considers the call active.
+	TypeProbe
+	// TypeProbeReply answers a probe.
+	TypeProbeReply
+	// TypeReject reports a binding or dispatch failure back to the caller.
+	TypeReject
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case TypeCall:
+		return "call"
+	case TypeResult:
+		return "result"
+	case TypeAck:
+		return "ack"
+	case TypeProbe:
+		return "probe"
+	case TypeProbeReply:
+		return "probe-reply"
+	case TypeReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Header flags.
+const (
+	// FlagPleaseAck asks the receiver for an explicit acknowledgement
+	// (set on retransmissions and on non-final fragments).
+	FlagPleaseAck = 1 << 0
+	// FlagLastFrag marks the final fragment of a multi-packet call/result.
+	FlagLastFrag = 1 << 1
+)
+
+// RPCHeader is the 32-byte RPC packet-exchange header.
+//
+// The call identifier (Activity, Seq) follows Birrell & Nelson: Activity
+// uniquely identifies a calling thread's conversation (machine + process +
+// thread), and Seq increases monotonically across that activity's calls, so
+// the server can discard duplicates and an arriving packet identifies which
+// call-table entry it completes.
+type RPCHeader struct {
+	Version   uint16     // protocol version, RPCVersion
+	Type      PacketType // packet kind
+	Flags     uint8      // FlagPleaseAck | FlagLastFrag
+	Activity  uint64     // conversation id, unique per calling thread
+	Seq       uint32     // call sequence number within the activity
+	FragIndex uint16     // fragment number within the call/result
+	FragCount uint16     // total fragments (1 on the fast path)
+	Interface uint32     // interface identifier (from the IDL)
+	Proc      uint16     // procedure index within the interface
+	Hint      uint16     // server dispatch hint (call-table slot)
+	Length    uint32     // payload bytes following the header
+}
+
+// MarshalTo writes the 32-byte header into b.
+func (h *RPCHeader) MarshalTo(b []byte) {
+	put16(b[0:], h.Version)
+	b[2] = byte(h.Type)
+	b[3] = h.Flags
+	put64(b[4:], h.Activity)
+	put32(b[12:], h.Seq)
+	put16(b[16:], h.FragIndex)
+	put16(b[18:], h.FragCount)
+	put32(b[20:], h.Interface)
+	put16(b[24:], h.Proc)
+	put16(b[26:], h.Hint)
+	put32(b[28:], h.Length)
+}
+
+// UnmarshalRPC parses the header at the front of b and returns the payload.
+func UnmarshalRPC(b []byte) (RPCHeader, []byte, error) {
+	var h RPCHeader
+	if len(b) < RPCHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	h.Version = be16(b[0:])
+	if h.Version != RPCVersion {
+		return h, nil, ErrBadRPCVersion
+	}
+	h.Type = PacketType(b[2])
+	h.Flags = b[3]
+	h.Activity = be64(b[4:])
+	h.Seq = be32(b[12:])
+	h.FragIndex = be16(b[16:])
+	h.FragCount = be16(b[18:])
+	h.Interface = be32(b[20:])
+	h.Proc = be16(b[24:])
+	h.Hint = be16(b[26:])
+	h.Length = be32(b[28:])
+	if int(h.Length) > len(b)-RPCHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	return h, b[RPCHeaderLen : RPCHeaderLen+int(h.Length)], nil
+}
+
+// InterfaceID computes the interface identifier for a named interface and
+// version, using FNV-1a. The §4.2.5 improvement replaces "an internal hash
+// function"; this is ours.
+func InterfaceID(name string, version uint32) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime
+	}
+	h ^= version
+	h *= prime
+	return h
+}

@@ -1,0 +1,72 @@
+package wire
+
+// UDPHeader is the 8-byte UDP header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload
+	Checksum uint16
+}
+
+// MarshalTo writes the header into b[0:8] without computing a checksum
+// (use UDPChecksum separately; the Firefly sender computes it as an explicit
+// fast-path step whose cost the paper itemizes).
+func (h *UDPHeader) MarshalTo(b []byte) {
+	put16(b[0:], h.SrcPort)
+	put16(b[2:], h.DstPort)
+	put16(b[4:], h.Length)
+	put16(b[6:], h.Checksum)
+}
+
+// UnmarshalUDP parses the header at the front of b and returns the UDP
+// payload (Length permitting).
+func UnmarshalUDP(b []byte) (UDPHeader, []byte, error) {
+	var h UDPHeader
+	if len(b) < UDPHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	h.SrcPort = be16(b[0:])
+	h.DstPort = be16(b[2:])
+	h.Length = be16(b[4:])
+	h.Checksum = be16(b[6:])
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(b) {
+		return h, nil, ErrTruncated
+	}
+	return h, b[UDPHeaderLen:h.Length], nil
+}
+
+// UDPChecksum computes the UDP checksum over the pseudo-header, the UDP
+// header in udp (with its checksum field treated as zero), and the payload.
+// Per RFC 768 a computed checksum of zero is transmitted as 0xffff.
+func UDPChecksum(src, dst IPAddr, udp []byte, payload []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[8] = 0
+	pseudo[9] = IPProtoUDP
+	put16(pseudo[10:], uint16(UDPHeaderLen+len(payload)))
+	acc := SumWords(0, pseudo[:])
+	acc = SumWords(acc, udp[0:6]) // ports + length
+	// checksum field treated as zero: skip udp[6:8]
+	acc = SumWords(acc, payload)
+	s := FinishChecksum(acc)
+	if s == 0 {
+		s = 0xffff
+	}
+	return s
+}
+
+// VerifyUDPChecksum reports whether the datagram (UDP header + payload)
+// checks out against the pseudo-header. A transmitted checksum of zero means
+// "not computed" and verifies trivially (the §4.2.4 variant).
+func VerifyUDPChecksum(src, dst IPAddr, datagram []byte) bool {
+	if len(datagram) < UDPHeaderLen {
+		return false
+	}
+	got := be16(datagram[6:])
+	if got == 0 {
+		return true
+	}
+	want := UDPChecksum(src, dst, datagram[:UDPHeaderLen], datagram[UDPHeaderLen:])
+	return got == want
+}

@@ -1,0 +1,99 @@
+// Package wire implements the on-the-wire formats used by Firefly RPC:
+// Ethernet II framing, IPv4, UDP (with real RFC 1071 checksums), and the
+// 32-byte RPC packet-exchange header.
+//
+// The sizes reproduce the paper exactly: a call to Null() generates the
+// 74-byte minimum RPC packet (14 Ethernet + 20 IP + 8 UDP + 32 RPC header),
+// and the largest single-packet argument or result is 1440 bytes, yielding
+// the 1514-byte maximum Ethernet frame (excluding CRC).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame layout constants.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	UDPHeaderLen      = 8
+	RPCHeaderLen      = 32
+
+	// HeaderOverhead is the total framing around an RPC payload.
+	HeaderOverhead = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + RPCHeaderLen // 74
+
+	// MinPacketLen is the size of an RPC packet with no payload — the
+	// "74-byte minimum size generated for Ethernet RPC".
+	MinPacketLen = HeaderOverhead
+
+	// MaxPacketLen is the maximum Ethernet frame (sans CRC): 1514 bytes.
+	MaxPacketLen = 1514
+
+	// MaxSinglePacketPayload is the largest argument or result that fits in
+	// one packet: 1440 bytes.
+	MaxSinglePacketPayload = MaxPacketLen - HeaderOverhead
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	// EtherTypeRawRPC is used by the §4.2.6 "omit layering on IP and UDP"
+	// variant, where the RPC header directly follows the Ethernet header.
+	EtherTypeRawRPC = 0x88B5 // local experimental ethertype
+)
+
+// IP protocol numbers.
+const IPProtoUDP = 17
+
+// RPCPort is the UDP port the RPC packet-exchange protocol uses.
+const RPCPort = 530
+
+// Errors returned by parsers.
+var (
+	ErrTruncated      = errors.New("wire: truncated packet")
+	ErrBadEtherType   = errors.New("wire: unexpected ethertype")
+	ErrBadIPVersion   = errors.New("wire: not an IPv4 packet")
+	ErrBadIPChecksum  = errors.New("wire: bad IP header checksum")
+	ErrBadUDPChecksum = errors.New("wire: bad UDP checksum")
+	ErrBadProto       = errors.New("wire: not a UDP packet")
+	ErrBadRPCVersion  = errors.New("wire: unknown RPC protocol version")
+	ErrTooLong        = errors.New("wire: payload exceeds single-packet maximum")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the MAC in the usual colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// MACForHost derives a locally-administered MAC from a small host number,
+// convenient for simulated machines.
+func MACForHost(n uint32) MAC {
+	return MAC{0x02, 0x46, 0x46, byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// IPAddr is an IPv4 address.
+type IPAddr [4]byte
+
+// String renders the address in dotted-quad form.
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IPForHost derives a 10.0.x.y test address from a small host number.
+func IPForHost(n uint32) IPAddr {
+	return IPAddr{10, 0, byte(n >> 8), byte(n)}
+}
+
+func be16(b []byte) uint16     { return uint16(b[0])<<8 | uint16(b[1]) }
+func be32(b []byte) uint32     { return uint32(be16(b))<<16 | uint32(be16(b[2:])) }
+func be64(b []byte) uint64     { return uint64(be32(b))<<32 | uint64(be32(b[4:])) }
+func put16(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
+func put32(b []byte, v uint32) { put16(b, uint16(v>>16)); put16(b[2:], uint16(v)) }
+func put64(b []byte, v uint64) { put32(b, uint32(v>>32)); put32(b[4:], uint32(v)) }
