@@ -1,6 +1,7 @@
 package fireflyrpc
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -257,10 +258,13 @@ func (benchImpl) Greet(n *marshal.Text) (*marshal.Text, error) {
 	return marshal.NewText("hi " + n.String()), nil
 }
 
-// BenchmarkRealNull_Mem is a Null() call over the in-process exchange.
+// BenchmarkRealNull_Mem is a Null() call over the in-process exchange —
+// the single-packet fast path this stack optimizes for. The allocation
+// budget for this benchmark is enforced by TestNullAllocBudget.
 func BenchmarkRealNull_Mem(b *testing.B) {
 	client, done := realPair(b, false)
 	defer done()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := client.Null(); err != nil {
@@ -273,9 +277,40 @@ func BenchmarkRealNull_Mem(b *testing.B) {
 func BenchmarkRealNull_UDP(b *testing.B) {
 	client, done := realPair(b, true)
 	defer done()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := client.Null(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealMaxArg_Mem is the 1440-byte VAR IN argument over the exchange.
+func BenchmarkRealMaxArg_Mem(b *testing.B) {
+	client, done := realPair(b, false)
+	defer done()
+	buf := make([]byte, 1440)
+	b.ReportAllocs()
+	b.SetBytes(1440)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.MaxArg(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealMaxResult_Mem is the 1440-byte VAR OUT result over the exchange.
+func BenchmarkRealMaxResult_Mem(b *testing.B) {
+	client, done := realPair(b, false)
+	defer done()
+	buf := make([]byte, 1440)
+	b.ReportAllocs()
+	b.SetBytes(1440)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.MaxResult(buf); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -286,14 +321,78 @@ func BenchmarkRealMaxResult_UDP(b *testing.B) {
 	client, done := realPair(b, true)
 	defer done()
 	buf := make([]byte, 1440)
+	b.ReportAllocs()
+	b.SetBytes(1440)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := client.MaxResult(buf); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(1440)
 }
+
+// benchRealThreads splits b.N Null() calls across exactly `threads` caller
+// goroutines, one Client (activity) per thread as on the Firefly — the
+// Table I thread-scaling shape on the real stack.
+func benchRealThreads(b *testing.B, overUDP bool, threads int) {
+	b.Helper()
+	cfg := proto.DefaultConfig()
+	if 2*threads > cfg.Workers {
+		cfg.Workers = 2 * threads
+	}
+	var callerTr, serverTr transport.Transport
+	if overUDP {
+		var err error
+		serverTr, err = transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			b.Skip("no loopback UDP:", err)
+		}
+		callerTr, err = transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		ex := transport.NewExchange()
+		serverTr = ex.Port("server")
+		callerTr = ex.Port("caller")
+	}
+	server := NewNode(serverTr, cfg)
+	caller := NewNode(callerTr, cfg)
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(benchImpl{}))
+	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
+	clients := make([]*testsvc.TestClient, threads)
+	for i := range clients {
+		clients[i] = testsvc.NewTestClient(binding)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		n := b.N / threads
+		if t < b.N%threads {
+			n++
+		}
+		wg.Add(1)
+		go func(cl *testsvc.TestClient, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := cl.Null(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(clients[t], n)
+	}
+	wg.Wait()
+}
+
+func BenchmarkRealNullThreads_Mem1(b *testing.B) { benchRealThreads(b, false, 1) }
+func BenchmarkRealNullThreads_Mem2(b *testing.B) { benchRealThreads(b, false, 2) }
+func BenchmarkRealNullThreads_Mem4(b *testing.B) { benchRealThreads(b, false, 4) }
+func BenchmarkRealNullThreads_Mem8(b *testing.B) { benchRealThreads(b, false, 8) }
+func BenchmarkRealNullThreads_UDP8(b *testing.B) { benchRealThreads(b, true, 8) }
 
 // BenchmarkRealFragmented_UDP pushes a 100 KiB argument through the
 // fragmentation path over UDP.

@@ -7,16 +7,19 @@
 //	fireflybench -table I,VIII    # selected tables
 //	fireflybench -quality 0.1     # 10% of the paper's call counts (fast)
 //	fireflybench -list            # list experiments
+//	fireflybench -real            # benchmark the real stack, write BENCH_realstack.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"fireflyrpc/internal/exper"
+	"fireflyrpc/internal/realbench"
 )
 
 func main() {
@@ -25,7 +28,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	trace := flag.Bool("trace", false, "trace one Null() and one MaxResult(b) call through the simulated fast path and exit")
+	real := flag.Bool("real", false, "benchmark the real RPC stack (exchange + UDP loopback) instead of the simulation")
+	realOut := flag.String("realout", "BENCH_realstack.json", "output path for -real results")
+	realThreads := flag.String("realthreads", "1,2,4,8", "comma-separated caller-thread counts for -real")
 	flag.Parse()
+
+	if *real {
+		runReal(*realOut, *realThreads)
+		return
+	}
 
 	if *trace {
 		traceCalls(*seed)
@@ -62,4 +73,24 @@ func main() {
 		fmt.Print(tb.Render())
 		fmt.Printf("  [%s in %.1fs wall]\n\n", e.ID, time.Since(start).Seconds())
 	}
+}
+
+// runReal benchmarks the real stack and writes the JSON suite.
+func runReal(outPath, threadSpec string) {
+	var threads []int
+	for _, s := range strings.Split(threadSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "fireflybench: bad -realthreads entry %q\n", s)
+			os.Exit(2)
+		}
+		threads = append(threads, n)
+	}
+	fmt.Printf("Real-stack Table I analogue (threads %v)\n", threads)
+	suite := realbench.Run(realbench.Options{Threads: threads, Log: os.Stdout})
+	if err := suite.WriteJSON(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", outPath, len(suite.Results))
 }

@@ -1,0 +1,116 @@
+package fireflyrpc
+
+import (
+	"sync"
+	"testing"
+
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/testsvc"
+	"fireflyrpc/internal/transport"
+)
+
+// nullAllocBudget is the regression ceiling for heap allocations per
+// single-packet Call over the in-process exchange, measured across the
+// whole process (caller stub, protocol, transport, server stub). The fast
+// path currently performs 1 allocation per call — the completion channel —
+// so the budget has headroom for runtime noise (GC-cycle pool clears)
+// without letting a per-call allocation regression slip through.
+const nullAllocBudget = 8
+
+// TestNullAllocBudget pins the single-packet fast path's allocation count:
+// the Go analogue of the paper's §4.2 fast-path accounting, where every
+// instruction on the Null() path was audited.
+func TestNullAllocBudget(t *testing.T) {
+	ex := transport.NewExchange()
+	server := NewNode(ex.Port("server"), proto.DefaultConfig())
+	caller := NewNode(ex.Port("caller"), proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(benchImpl{}))
+	client := testsvc.NewTestClient(caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion))
+
+	// Warm the pools (frames, outCalls, server activity state, argument
+	// buffers) so steady state is measured, not first-call setup.
+	for i := 0; i < 100; i++ {
+		if err := client.Null(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if err := client.Null(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > nullAllocBudget {
+		t.Fatalf("Null() allocates %.1f objects/call, budget is %d", avg, nullAllocBudget)
+	}
+	t.Logf("Null() allocates %.1f objects/call (budget %d)", avg, nullAllocBudget)
+}
+
+// TestConcurrentClientsStress exercises the sharded-lock fast path from 8
+// concurrent clients on one caller Conn — each its own activity, as the
+// Firefly gave each thread its own call-table entry — mixed with Pings and
+// Stats reads. Run with -race, this is the regression test for the lock
+// split (calls/acts/pings) and the atomic stats conversion.
+func TestConcurrentClientsStress(t *testing.T) {
+	cfg := proto.DefaultConfig()
+	cfg.Workers = 16
+	ex := transport.NewExchange()
+	server := NewNode(ex.Port("server"), cfg)
+	caller := NewNode(ex.Port("caller"), cfg)
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(benchImpl{}))
+	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
+
+	const clients = 8
+	calls := 300
+	if testing.Short() {
+		calls = 50
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := testsvc.NewTestClient(binding)
+			buf := make([]byte, 1440)
+			for j := 0; j < calls; j++ {
+				var err error
+				switch j % 3 {
+				case 0:
+					err = cl.Null()
+				case 1:
+					err = cl.MaxArg(buf)
+				default:
+					err = cl.MaxResult(buf)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	// Concurrent control-plane traffic against the same Conn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			caller.Conn().Stats()
+			server.Conn().Stats()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := server.Conn().Stats()
+	if st.CallsServed < int64(clients*calls) {
+		t.Fatalf("served %d calls, want >= %d", st.CallsServed, clients*calls)
+	}
+}

@@ -145,6 +145,71 @@ func (p *Pool) put(b *Buf) {
 	p.avail.Signal()
 }
 
+// ---------------------------------------------------------------------------
+// FramePool: the real stack's lock-free packet-buffer pool.
+//
+// Pool above reproduces the Firefly's bounded, explicitly-owned buffer pool
+// for the simulator, where determinism matters more than scalability. The
+// real stack's fast path instead needs what §4.2 calls "buffer management
+// that avoids allocation" without adding a contended lock, so FramePool
+// trades the bounded-ownership discipline for sync.Pool's per-CPU free
+// lists: Get never blocks, Release never contends with other CPUs, and a
+// forgotten Release degrades into ordinary garbage instead of a leak.
+// ---------------------------------------------------------------------------
+
+// Frame is a fixed-capacity packet buffer from a FramePool, sized for a
+// maximum Ethernet frame like the Firefly's permanently-mapped buffers.
+type Frame struct {
+	pool *FramePool
+	n    int
+	data [wire.MaxPacketLen]byte
+}
+
+// Bytes returns the valid portion of the frame.
+func (f *Frame) Bytes() []byte { return f.data[:f.n] }
+
+// Cap returns the full capacity slice, for writers assembling a packet.
+func (f *Frame) Cap() []byte { return f.data[:] }
+
+// Len returns the current valid length.
+func (f *Frame) Len() int { return f.n }
+
+// SetLen sets the valid length. It panics if n exceeds the frame maximum.
+func (f *Frame) SetLen(n int) {
+	if n < 0 || n > wire.MaxPacketLen {
+		panic(fmt.Sprintf("buffer: SetLen(%d) out of range", n))
+	}
+	f.n = n
+}
+
+// CopyFrom replaces the frame's contents with p.
+func (f *Frame) CopyFrom(p []byte) {
+	f.SetLen(len(p))
+	copy(f.data[:], p)
+}
+
+// Release returns the frame to its pool for reuse. The frame must not be
+// touched afterwards. Dropping a frame without Release is safe (the GC
+// reclaims it); Release just keeps the fast path allocation-free.
+func (f *Frame) Release() { f.pool.put(f) }
+
+// FramePool is a lock-free pool of packet Frames. The zero value is ready
+// to use; it is safe for concurrent use from any number of goroutines.
+type FramePool struct {
+	p sync.Pool
+}
+
+// Get returns a frame with length 0. It never blocks and never fails.
+func (fp *FramePool) Get() *Frame {
+	if f, ok := fp.p.Get().(*Frame); ok {
+		f.n = 0
+		return f
+	}
+	return &Frame{pool: fp}
+}
+
+func (fp *FramePool) put(f *Frame) { fp.p.Put(f) }
+
 // Stats reports pool counters.
 type Stats struct {
 	Total int   // buffers ever allocated

@@ -95,6 +95,11 @@ func (n *Node) Export(iface *Interface) {
 	n.ifaces[iface.ID] = iface
 }
 
+// decPool recycles server-side argument decoders so dispatch does not
+// allocate one per incoming call. A ProcFunc must not retain the Dec past
+// its return (generated stubs never do).
+var decPool = sync.Pool{New: func() any { return new(marshal.Dec) }}
+
 // dispatch is the proto.Handler: find the interface and procedure, run it.
 func (n *Node) dispatch(src transport.Addr, ifaceID uint32, proc uint16, args []byte) ([]byte, error) {
 	n.mu.RLock()
@@ -107,7 +112,12 @@ func (n *Node) dispatch(src transport.Addr, ifaceID uint32, proc uint16, args []
 	if fn == nil {
 		return nil, ErrNoSuchProc
 	}
-	return fn(src, marshal.NewDec(args))
+	d := decPool.Get().(*marshal.Dec)
+	d.Reset(args)
+	res, err := fn(src, d)
+	d.Reset(nil) // drop the args reference before pooling
+	decPool.Put(d)
+	return res, err
 }
 
 // Binding is the result of binding to a remote instance of an interface:
@@ -133,46 +143,75 @@ func (b *Binding) Probe(timeout time.Duration) error {
 // sequenced. A Client must not be used from multiple goroutines at once —
 // make one per calling goroutine, as the Firefly made one activity per
 // thread.
+//
+// Like the Firefly's per-thread call table entry, a Client owns long-lived
+// marshalling state: one argument buffer, one result buffer, and one
+// encoder/decoder pair, all reused across calls so the single-packet fast
+// path performs no per-call heap allocation in this layer.
 type Client struct {
 	b        *Binding
 	activity uint64
 	seq      atomic.Uint32
+
+	argBuf []byte
+	resBuf []byte
+	enc    marshal.Enc
+	dec    marshal.Dec
 }
 
 // NewClient allocates an activity on the binding.
 func (b *Binding) NewClient() *Client {
-	return &Client{b: b, activity: b.node.conn.NewActivity()}
+	return &Client{
+		b:        b,
+		activity: b.node.conn.NewActivity(),
+		resBuf:   make([]byte, 0, wire.MaxSinglePacketPayload),
+	}
 }
 
 // Call performs a remote call. argSize is the exact marshalled size of the
 // arguments; enc fills them; dec (which may be nil) consumes the results.
-// Generated stubs compute argSize from the signature so the call packet is
-// allocated exactly once, like the Starter's packet buffer.
+// Generated stubs compute argSize from the signature so the call packet
+// buffer is sized exactly, like the Starter's packet buffer — and the buffer
+// itself is the Client's, recycled across calls.
+//
+// The Dec handed to dec reads the Client's reusable result buffer, which
+// the next Call overwrites: dec must copy anything it keeps (the copying
+// primitives — FixedBytes, VarBytes, VarBytesInto, String — are safe; the
+// server-side aliasing primitives must not be used here).
 func (c *Client) Call(proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
 	var args []byte
 	if argSize > 0 {
-		args = make([]byte, argSize)
-		e := marshal.NewEnc(args)
+		if cap(c.argBuf) < argSize {
+			c.argBuf = make([]byte, argSize)
+		}
+		args = c.argBuf[:argSize]
+		c.enc.Reset(args)
 		if enc != nil {
-			enc(e)
+			enc(&c.enc)
 		}
-		if e.Err() != nil {
-			return fmt.Errorf("%w: %v", ErrMarshal, e.Err())
+		if c.enc.Err() != nil {
+			return fmt.Errorf("%w: %v", ErrMarshal, c.enc.Err())
 		}
-		args = e.Bytes()
+		args = c.enc.Bytes()
 	} else if enc != nil {
-		enc(marshal.NewEnc(nil))
+		c.enc.Reset(nil)
+		enc(&c.enc)
 	}
 	seq := c.seq.Add(1)
-	res, err := c.b.node.conn.Call(c.b.remote, c.activity, seq, c.b.iface, proc, args)
+	res, err := c.b.node.conn.CallBuf(c.b.remote, c.activity, seq, c.b.iface, proc, args, c.resBuf)
 	if err != nil {
 		return err
 	}
+	// A multi-fragment result can outgrow the preallocated buffer; keep the
+	// grown storage for subsequent calls.
+	if cap(res) > cap(c.resBuf) {
+		c.resBuf = res[:0]
+	}
 	if dec != nil {
-		d := marshal.NewDec(res)
-		dec(d)
-		if d.Err() != nil {
-			return d.Err()
+		c.dec.Reset(res)
+		dec(&c.dec)
+		if c.dec.Err() != nil {
+			return c.dec.Err()
 		}
 	}
 	return nil

@@ -84,6 +84,11 @@ type Enc struct {
 // for everything encoded; overflow is recorded as an error, not a panic.
 func NewEnc(buf []byte) *Enc { return &Enc{buf: buf} }
 
+// Reset rewinds the encoder onto buf, clearing any error. It lets a caller
+// that owns a long-lived Enc (one per calling thread, like a Firefly packet
+// buffer) marshal every call without allocating an encoder.
+func (e *Enc) Reset(buf []byte) { e.buf, e.off, e.err = buf, 0, nil }
+
 // Len returns the number of bytes encoded so far.
 func (e *Enc) Len() int { return e.off }
 
@@ -194,6 +199,10 @@ type Dec struct {
 
 // NewDec returns a decoder over payload.
 func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Reset rewinds the decoder onto payload, clearing any error, so a
+// long-lived Dec can be reused across calls without allocating.
+func (d *Dec) Reset(payload []byte) { d.buf, d.off, d.err = payload, 0, nil }
 
 // Err returns the first error encountered, if any.
 func (d *Dec) Err() error { return d.err }

@@ -3,9 +3,33 @@ package proto
 import (
 	"time"
 
+	"fireflyrpc/internal/buffer"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
+
+// armTimer readies the call's reusable retransmission timer. The timer is
+// pooled with the outCall so the fast path never allocates runtime timers
+// (Ping and Call previously burned one per call or, worse, per retry).
+func (oc *outCall) armTimer(d time.Duration) *time.Timer {
+	if oc.timer == nil {
+		oc.timer = time.NewTimer(d)
+	} else {
+		oc.timer.Reset(d)
+	}
+	return oc.timer
+}
+
+// quiesceTimer stops the reusable timer and drains a pending fire so the
+// next armTimer starts clean.
+func (oc *outCall) quiesceTimer() {
+	if oc.timer != nil && !oc.timer.Stop() {
+		select {
+		case <-oc.timer.C:
+		default:
+		}
+	}
+}
 
 // Call performs one remote procedure call: it transmits args to dst as one
 // or more fragments, waits for the result, and drives retransmission. It
@@ -13,60 +37,87 @@ import (
 // call table. seq must increase across calls of the same activity.
 func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
 	iface uint32, proc uint16, args []byte) ([]byte, error) {
+	return c.CallBuf(dst, activity, seq, iface, proc, args, nil)
+}
 
-	frags := fragment(args, c.maxPayload())
-	if len(frags) > maxFragments {
-		return nil, ErrTooLarge
+// CallBuf is Call with a caller-supplied result buffer: the result is
+// appended to resBuf[:0] when capacity allows, so a caller thread that
+// reuses one buffer across calls (as core.Client does) receives results
+// without a per-call allocation. The returned slice aliases resBuf when it
+// fits; callers that retain results across calls must copy them.
+func (c *Conn) CallBuf(dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte, resBuf []byte) ([]byte, error) {
+
+	// Single-packet calls — the fast path — skip the fragmentation helper
+	// and its slice allocation entirely.
+	maxP := c.maxPayload()
+	nfrags := 1
+	var frags [][]byte
+	if len(args) > maxP {
+		frags = fragment(args, maxP)
+		if len(frags) > maxFragments {
+			return nil, ErrTooLarge
+		}
+		nfrags = len(frags)
 	}
 
-	oc := &outCall{
-		key:      callKey{activity, seq},
-		dst:      dst,
-		ackCh:    make(chan uint16, maxFragments),
-		progress: make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		resFrags: make(map[uint16][]byte),
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	k := callKey{activity, seq}
+	oc := getOutCall(k, dst, resBuf)
+	c.callsMu.Lock()
+	if c.closed.Load() {
+		c.callsMu.Unlock()
+		putOutCall(oc)
 		return nil, ErrClosed
 	}
-	c.calls[oc.key] = oc
-	c.mu.Unlock()
-	c.count(func(s *Stats) { s.CallsSent++ })
+	c.calls[k] = oc
+	c.callsMu.Unlock()
+	c.stats.callsSent.Add(1)
 	defer func() {
-		c.mu.Lock()
-		delete(c.calls, oc.key)
-		c.mu.Unlock()
+		c.callsMu.Lock()
+		if c.calls[k] == oc {
+			delete(c.calls, k)
+		}
+		c.callsMu.Unlock()
+		oc.quiesceTimer()
+		putOutCall(oc)
 	}()
 
 	hdr := wire.RPCHeader{
 		Type:      wire.TypeCall,
 		Activity:  activity,
 		Seq:       seq,
-		FragCount: uint16(len(frags)),
+		FragCount: uint16(nfrags),
 		Interface: iface,
 		Proc:      proc,
 	}
 
 	// Stop-and-wait for all but the final fragment.
-	for i := 0; i < len(frags)-1; i++ {
+	for i := 0; i < nfrags-1; i++ {
 		h := hdr
 		h.FragIndex = uint16(i)
 		h.Flags = wire.FlagPleaseAck
-		if err := c.sendFragWithAck(oc, buildFrame(h, frags[i]), uint16(i)); err != nil {
+		f := c.newFrame(h, frags[i])
+		err := c.sendFragWithAck(oc, f, uint16(i))
+		f.Release()
+		if err != nil {
 			return nil, err
 		}
 	}
 
-	// Final fragment: acknowledged implicitly by the result.
+	// Final fragment: acknowledged implicitly by the result. The frame is
+	// retained in its pooled buffer for retransmission until the call
+	// completes.
 	last := hdr
-	last.FragIndex = uint16(len(frags) - 1)
+	last.FragIndex = uint16(nfrags - 1)
 	last.Flags = wire.FlagLastFrag
-	frame := buildFrame(last, frags[len(frags)-1])
+	lastPayload := args
+	if frags != nil {
+		lastPayload = frags[nfrags-1]
+	}
+	frame := c.newFrame(last, lastPayload)
+	defer frame.Release()
 	started := time.Now()
-	if err := c.tr.Send(dst, frame); err != nil {
+	if err := c.tr.Send(dst, frame.Bytes()); err != nil {
 		return nil, err
 	}
 
@@ -74,8 +125,7 @@ func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
 	// configured interval as both the ceiling and the cold-start value.
 	interval := c.rtt.interval(dst, c.cfg.RetransInterval/8, c.cfg.RetransInterval)
 	retries := 0
-	timer := time.NewTimer(interval)
-	defer timer.Stop()
+	timer := oc.armTimer(interval)
 	for {
 		select {
 		case <-oc.done:
@@ -83,7 +133,7 @@ func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
 			res, err := oc.result, oc.err
 			oc.mu.Unlock()
 			if err == nil {
-				c.count(func(s *Stats) { s.CallsCompleted++ })
+				c.stats.callsCompleted.Add(1)
 				if retries == 0 {
 					// Karn's rule: only un-retransmitted calls feed the
 					// round-trip estimator.
@@ -94,24 +144,20 @@ func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
 		case <-oc.progress:
 			// Server says it is still executing: reset patience.
 			retries = 0
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
+			oc.quiesceTimer()
 			timer.Reset(interval)
 		case <-timer.C:
 			retries++
 			if retries > c.cfg.MaxRetries {
 				return nil, ErrTimeout
 			}
-			c.count(func(s *Stats) { s.Retransmits++ })
+			c.stats.retransmits.Add(1)
 			// Retransmissions request an explicit acknowledgement so a
-			// busy server can answer without completing.
-			re := last
-			re.Flags |= wire.FlagPleaseAck
-			if err := c.tr.Send(dst, buildFrame(re, frags[len(frags)-1])); err != nil {
+			// busy server can answer without completing. The flag is
+			// flipped in place in the retained frame (byte 3 of the wire
+			// header) rather than rebuilding the packet.
+			frame.Bytes()[3] |= wire.FlagPleaseAck
+			if err := c.tr.Send(dst, frame.Bytes()); err != nil {
 				return nil, err
 			}
 			if interval < 8*c.cfg.RetransInterval {
@@ -124,14 +170,14 @@ func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
 
 // sendFragWithAck transmits one non-final fragment and waits for its
 // explicit acknowledgement, retransmitting as needed.
-func (c *Conn) sendFragWithAck(oc *outCall, frame []byte, idx uint16) error {
-	if err := c.tr.Send(oc.dst, frame); err != nil {
+func (c *Conn) sendFragWithAck(oc *outCall, frame *buffer.Frame, idx uint16) error {
+	if err := c.tr.Send(oc.dst, frame.Bytes()); err != nil {
 		return err
 	}
 	interval := c.cfg.RetransInterval
 	retries := 0
-	timer := time.NewTimer(interval)
-	defer timer.Stop()
+	timer := oc.armTimer(interval)
+	defer oc.quiesceTimer()
 	for {
 		select {
 		case <-oc.done: // rejected or canceled mid-stream
@@ -143,17 +189,17 @@ func (c *Conn) sendFragWithAck(oc *outCall, frame []byte, idx uint16) error {
 			}
 			return err
 		case got := <-oc.ackCh:
-			if got == idx {
+			if got.activity == oc.key.activity && got.seq == oc.key.seq && got.idx == idx {
 				return nil
 			}
-			// Stale ack of an earlier fragment: keep waiting.
+			// Stale ack of an earlier fragment or call: keep waiting.
 		case <-timer.C:
 			retries++
 			if retries > c.cfg.MaxRetries {
 				return ErrTimeout
 			}
-			c.count(func(s *Stats) { s.Retransmits++ })
-			if err := c.tr.Send(oc.dst, frame); err != nil {
+			c.stats.retransmits.Add(1)
+			if err := c.tr.Send(oc.dst, frame.Bytes()); err != nil {
 				return err
 			}
 			if interval < 8*c.cfg.RetransInterval {
@@ -166,27 +212,30 @@ func (c *Conn) sendFragWithAck(oc *outCall, frame []byte, idx uint16) error {
 
 // Ping probes a peer's liveness.
 func (c *Conn) Ping(dst transport.Addr, timeout time.Duration) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	c.pingsMu.Lock()
 	c.pingSeq++
 	seq := c.pingSeq
 	ch := make(chan struct{})
 	c.pings[seq] = ch
-	c.mu.Unlock()
+	c.pingsMu.Unlock()
 	defer func() {
-		c.mu.Lock()
+		c.pingsMu.Lock()
 		delete(c.pings, seq)
-		c.mu.Unlock()
+		c.pingsMu.Unlock()
 	}()
 
 	h := wire.RPCHeader{Type: wire.TypeProbe, Seq: seq, FragCount: 1}
 	deadline := time.Now().Add(timeout)
 	interval := c.cfg.RetransInterval
+	// One reusable timer across retries (time.After here used to leak a
+	// timer per iteration until it fired).
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
-		if err := c.tr.Send(dst, buildFrame(h, nil)); err != nil {
+		if err := c.sendFrame(dst, h, nil); err != nil {
 			return err
 		}
 		remain := time.Until(deadline)
@@ -197,10 +246,17 @@ func (c *Conn) Ping(dst transport.Addr, timeout time.Duration) error {
 		if wait > remain {
 			wait = remain
 		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
 		select {
 		case <-ch:
 			return nil
-		case <-time.After(wait):
+		case <-timer.C:
 			if time.Now().After(deadline) {
 				return ErrTimeout
 			}

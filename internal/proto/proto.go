@@ -12,6 +12,14 @@
 //     busy server can say "still working" without completing.
 //   - Servers suppress duplicate calls per activity and retain the last
 //     result packet for retransmission until the activity's next call.
+//
+// The fast path is engineered the way §4.2 of the paper prescribes: packet
+// buffers come from a pool and are recycled rather than allocated (the
+// paper's on-the-fly receive-buffer replacement), per-call bookkeeping
+// objects are reused, counters are lock-free atomics, and the connection
+// state is sharded into independent locks (outgoing calls, server
+// activities, pings) so concurrent caller threads and the receive
+// goroutine never serialize on one global mutex.
 package proto
 
 import (
@@ -20,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fireflyrpc/internal/buffer"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
@@ -67,10 +76,14 @@ func DefaultConfig() Config {
 }
 
 // Handler executes an incoming call and returns the result payload.
-// A non-nil error turns into a reject packet.
+// A non-nil error turns into a reject packet. args is only valid until the
+// handler returns: the buffer behind it is recycled for the activity's next
+// call, exactly as the Firefly reused call-table packet buffers. Handlers
+// that need the arguments afterwards must copy them.
 type Handler func(src transport.Addr, iface uint32, proc uint16, args []byte) ([]byte, error)
 
-// Stats counts protocol events.
+// Stats counts protocol events. It is the snapshot type returned by
+// Conn.Stats; the live counters are lock-free atomics.
 type Stats struct {
 	CallsSent      int64
 	CallsCompleted int64
@@ -87,25 +100,91 @@ type Stats struct {
 	Probes         int64
 }
 
-// Conn is one protocol endpoint; it can originate calls and serve them.
-type Conn struct {
-	tr  transport.Transport
-	cfg Config
+// statCounters is the live, contention-free form of Stats: each event is a
+// single atomic add, with no mutex on the fast path (§4.2's "fewer cycles
+// on the fast path" applied to bookkeeping).
+type statCounters struct {
+	callsSent      atomic.Int64
+	callsCompleted atomic.Int64
+	callsServed    atomic.Int64
+	retransmits    atomic.Int64
+	dupCalls       atomic.Int64
+	dupFrags       atomic.Int64
+	resultRetrans  atomic.Int64
+	acksSent       atomic.Int64
+	inProgressAcks atomic.Int64
+	rejects        atomic.Int64
+	badFrames      atomic.Int64
+	staleDrops     atomic.Int64
+	probes         atomic.Int64
+}
 
-	mu      sync.Mutex
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		CallsSent:      s.callsSent.Load(),
+		CallsCompleted: s.callsCompleted.Load(),
+		CallsServed:    s.callsServed.Load(),
+		Retransmits:    s.retransmits.Load(),
+		DupCalls:       s.dupCalls.Load(),
+		DupFrags:       s.dupFrags.Load(),
+		ResultRetrans:  s.resultRetrans.Load(),
+		AcksSent:       s.acksSent.Load(),
+		InProgressAcks: s.inProgressAcks.Load(),
+		Rejects:        s.rejects.Load(),
+		BadFrames:      s.badFrames.Load(),
+		StaleDrops:     s.staleDrops.Load(),
+		Probes:         s.probes.Load(),
+	}
+}
+
+// Conn is one protocol endpoint; it can originate calls and serve them.
+//
+// Its mutable state is sharded: outgoing calls, server activities, and
+// pings each have their own lock, so a storm of incoming call fragments
+// never blocks a caller registering a new call, and neither blocks a Ping.
+// No code path holds two of these locks at once.
+type Conn struct {
+	tr      transport.Transport
+	cfg     Config
+	handler Handler // immutable after NewConn
+
+	closed atomic.Bool
+
+	callsMu sync.Mutex
 	calls   map[callKey]*outCall
-	acts    map[actKey]*serverAct
+
+	actsMu sync.Mutex
+	acts   map[actKey]*serverAct
+
+	pingsMu sync.Mutex
 	pings   map[uint32]chan struct{}
 	pingSeq uint32
-	handler Handler
-	closed  bool
 
 	activityCtr atomic.Uint64
-	sem         chan struct{} // server worker semaphore
 	rtt         *rttTracker
 
-	stats   Stats
-	statsMu sync.Mutex
+	// Server execution: a fixed pool of worker goroutines drains work, the
+	// real-stack analogue of the Firefly's pool of server threads waiting
+	// in the call table. workQuit stops them on Close.
+	work     chan execReq
+	workQuit chan struct{}
+
+	// frames recycles outgoing packet buffers (§4.2's buffer management
+	// that avoids allocation).
+	frames buffer.FramePool
+
+	stats statCounters
+}
+
+// execReq hands one complete call to a server worker. The fragment data is
+// snapshotted here when the call completes reassembly, so workers never
+// touch shared maps: args holds a single-packet call's payload, frags a
+// multi-packet call's pieces (joined by the worker, outside any lock).
+type execReq struct {
+	act   *serverAct
+	hdr   wire.RPCHeader
+	args  []byte
+	frags map[uint16][]byte
 }
 
 type callKey struct {
@@ -113,41 +192,117 @@ type callKey struct {
 	seq      uint32
 }
 
+// actKey identifies a caller activity. The src string comes from
+// transport.Addr.String(), which every bundled transport answers from a
+// cached string (memAddr is a string; UDP canonicalizes peers once), so
+// building a key does not allocate per frame.
 type actKey struct {
 	src      string
 	activity uint64
 }
 
-// outCall is an outstanding outgoing call.
+// fragAck is one explicit fragment acknowledgement. It carries the full
+// call identity so a stale ack — of an earlier fragment, an earlier call,
+// or a previous incarnation of a pooled channel — can never satisfy the
+// wrong wait.
+type fragAck struct {
+	activity uint64
+	seq      uint32
+	idx      uint16
+}
+
+// outCall is an outstanding outgoing call. outCalls are pooled and reused
+// across calls; every completion path re-verifies key under mu so a stale
+// reference from a previous incarnation cannot touch the current call.
 type outCall struct {
+	mu       sync.Mutex
 	key      callKey
 	dst      transport.Addr
-	ackCh    chan uint16   // acks of our call fragments
-	progress chan struct{} // "still executing" notifications
-	done     chan struct{}
+	done     chan struct{} // fresh per call; closed exactly once on finish
+	ackCh    chan fragAck  // reused; acks of our call fragments
+	progress chan struct{} // reused; "still executing" notifications
+	timer    *time.Timer   // reused across calls and retries
 
-	mu       sync.Mutex
-	resFrags map[uint16][]byte
+	resBuf   []byte            // caller-provided result space (may be nil)
+	resFrags map[uint16][]byte // lazy: only multi-fragment results
 	resCount uint16
 	result   []byte
 	err      error
 	finished bool
 }
 
+// outCallPool recycles outCall objects with their channels and timers, so
+// the per-call setup cost is one done-channel allocation.
+var outCallPool = sync.Pool{New: func() any {
+	return &outCall{
+		ackCh:    make(chan fragAck, maxFragments),
+		progress: make(chan struct{}, 1),
+	}
+}}
+
+// getOutCall readies a pooled outCall for one call. Stale acks from a
+// previous incarnation are drained; a stale progress signal at worst resets
+// one retry budget, which is harmless.
+func getOutCall(k callKey, dst transport.Addr, resBuf []byte) *outCall {
+	oc := outCallPool.Get().(*outCall)
+	oc.mu.Lock()
+	oc.key = k
+	oc.dst = dst
+	oc.resBuf = resBuf
+	oc.resFrags = nil
+	oc.resCount = 0
+	oc.result = nil
+	oc.err = nil
+	oc.finished = false
+	oc.done = make(chan struct{})
+	oc.mu.Unlock()
+	for {
+		select {
+		case <-oc.ackCh:
+		default:
+			return oc
+		}
+	}
+}
+
+// putOutCall returns a finished outCall to the pool.
+func putOutCall(oc *outCall) {
+	select {
+	case <-oc.progress:
+	default:
+	}
+	oc.mu.Lock()
+	oc.dst = nil
+	oc.resBuf = nil
+	oc.resFrags = nil
+	oc.result = nil
+	oc.mu.Unlock()
+	outCallPool.Put(oc)
+}
+
 // serverAct is the per-(caller, activity) server state: duplicate
-// suppression and the retained result.
+// suppression and the retained result. Mutable fields are guarded by
+// Conn.actsMu; key and src are immutable after creation.
 type serverAct struct {
 	key     actKey
 	src     transport.Addr
 	lastSeq uint32
 	phase   int // receiving, executing, done
-	frags   map[uint16][]byte
-	count   uint16
-	hdr     wire.RPCHeader
-	ackCh   chan uint16 // acks of our result fragments
-	// lastResultFrame is the final fragment of the last result, retained
-	// for retransmission until the next call recycles it.
-	lastResultFrame []byte
+	// argBuf is the recycled single-packet argument buffer: each new call
+	// takes it (or allocates if an overlapping execution still owns it) and
+	// the worker returns it when done, so steady-state calls do not
+	// allocate for arguments.
+	argBuf []byte
+	// frags holds a multi-packet call under reassembly; nil on the
+	// single-packet fast path.
+	frags map[uint16][]byte
+	count uint16
+	hdr   wire.RPCHeader
+	ackCh chan fragAck // acks of our result fragments; lazy, multi-frag only
+	// lastResultFrame is the final packet of the last result, retained in
+	// its pooled buffer for retransmission until the activity's next call
+	// recycles it — the call-table retention scheme of §4.2.
+	lastResultFrame *buffer.Frame
 }
 
 const (
@@ -168,17 +323,51 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		cfg.Workers = DefaultConfig().Workers
 	}
 	c := &Conn{
-		tr:      tr,
-		cfg:     cfg,
-		calls:   make(map[callKey]*outCall),
-		acts:    make(map[actKey]*serverAct),
-		pings:   make(map[uint32]chan struct{}),
-		handler: handler,
-		sem:     make(chan struct{}, cfg.Workers),
-		rtt:     newRTTTracker(),
+		tr:       tr,
+		cfg:      cfg,
+		calls:    make(map[callKey]*outCall),
+		acts:     make(map[actKey]*serverAct),
+		pings:    make(map[uint32]chan struct{}),
+		handler:  handler,
+		work:     make(chan execReq, 8*cfg.Workers),
+		workQuit: make(chan struct{}),
+		rtt:      newRTTTracker(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		go c.worker()
 	}
 	tr.SetReceiver(c.onFrame)
 	return c
+}
+
+// worker is one server thread: it waits for completed calls and executes
+// them, bounding handler concurrency to cfg.Workers.
+func (c *Conn) worker() {
+	for {
+		select {
+		case req := <-c.work:
+			c.execute(req)
+		case <-c.workQuit:
+			return
+		}
+	}
+}
+
+// enqueueExec hands a completed call to the worker pool without ever
+// blocking the receive path. If the queue is full, a transient goroutine
+// waits for room (preserving the concurrency bound) — allocation there is
+// acceptable because a full queue already means the server is saturated.
+func (c *Conn) enqueueExec(req execReq) {
+	select {
+	case c.work <- req:
+	default:
+		go func() {
+			select {
+			case c.work <- req:
+			case <-c.workQuit:
+			}
+		}()
+	}
 }
 
 // NewActivity allocates a fresh activity identifier. Each calling goroutine
@@ -199,53 +388,50 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// Stats returns a snapshot of the counters.
-func (c *Conn) Stats() Stats {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.stats
-}
-
-func (c *Conn) count(f func(*Stats)) {
-	c.statsMu.Lock()
-	f(&c.stats)
-	c.statsMu.Unlock()
-}
+// Stats returns a snapshot of the counters. Each counter is read
+// atomically; the snapshot is consistent in the sense that every counted
+// event is reflected by at most one read.
+func (c *Conn) Stats() Stats { return c.stats.snapshot() }
 
 // LocalAddr names this endpoint.
 func (c *Conn) LocalAddr() transport.Addr { return c.tr.LocalAddr() }
 
 // Close shuts the connection down; outstanding calls fail.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
+	close(c.workQuit)
+	c.callsMu.Lock()
 	calls := make([]*outCall, 0, len(c.calls))
-	for _, oc := range c.calls {
+	keys := make([]callKey, 0, len(c.calls))
+	for k, oc := range c.calls {
 		calls = append(calls, oc)
+		keys = append(keys, k)
 	}
 	c.calls = map[callKey]*outCall{}
-	c.mu.Unlock()
-	for _, oc := range calls {
-		oc.finish(nil, ErrClosed)
+	c.callsMu.Unlock()
+	for i, oc := range calls {
+		oc.finish(keys[i], nil, ErrClosed)
 	}
 	return c.tr.Close()
 }
 
-func (oc *outCall) finish(result []byte, err error) {
+// finish completes the call identified by k. The key check makes stale
+// references (a goroutine that looked an outCall up just before it was
+// recycled) no-ops instead of corrupting the next call.
+func (oc *outCall) finish(k callKey, result []byte, err error) {
 	oc.mu.Lock()
-	if oc.finished {
+	if oc.finished || oc.key != k {
 		oc.mu.Unlock()
 		return
 	}
 	oc.finished = true
 	oc.result = result
 	oc.err = err
+	done := oc.done
 	oc.mu.Unlock()
-	close(oc.done)
+	close(done)
 }
 
 // maxPayload is the per-fragment payload budget.
@@ -268,7 +454,33 @@ func fragment(msg []byte, max int) [][]byte {
 	return out
 }
 
-// buildFrame assembles header+payload into a fresh frame.
+// newFrame assembles header+payload into a pooled frame. The caller owns
+// the frame: either Release it after its last transmission or retain it
+// (call/result retransmission) and Release on recycle.
+func (c *Conn) newFrame(h wire.RPCHeader, payload []byte) *buffer.Frame {
+	h.Version = wire.RPCVersion
+	h.Length = uint32(len(payload))
+	f := c.frames.Get()
+	f.SetLen(wire.RPCHeaderLen + len(payload))
+	b := f.Cap()
+	h.MarshalTo(b)
+	copy(b[wire.RPCHeaderLen:], payload)
+	return f
+}
+
+// sendFrame builds, transmits, and immediately recycles a frame — for
+// packets that are never retransmitted from this buffer (acks, probes,
+// rejects sent off the retention path).
+func (c *Conn) sendFrame(dst transport.Addr, h wire.RPCHeader, payload []byte) error {
+	f := c.newFrame(h, payload)
+	err := c.tr.Send(dst, f.Bytes())
+	f.Release()
+	return err
+}
+
+// buildFrame assembles header+payload into a fresh heap frame. Kept for
+// tests and tools that need a standalone []byte; the protocol fast path
+// uses pooled frames via newFrame/sendFrame.
 func buildFrame(h wire.RPCHeader, payload []byte) []byte {
 	h.Version = wire.RPCVersion
 	h.Length = uint32(len(payload))

@@ -3,17 +3,20 @@ package proto
 import (
 	"time"
 
+	"fireflyrpc/internal/buffer"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
 
 // onFrame is the transport's receive callback — the real-stack analogue of
 // the Firefly's Ethernet interrupt routine: validate, demultiplex against
-// the call table, and hand the packet to the waiting party directly.
+// the call table, and hand the packet to the waiting party directly. The
+// payload slice is only valid for the duration of the call; anything kept
+// longer is copied into recycled per-call buffers.
 func (c *Conn) onFrame(src transport.Addr, frame []byte) {
 	hdr, payload, err := wire.UnmarshalRPC(frame)
 	if err != nil {
-		c.count(func(s *Stats) { s.BadFrames++ })
+		c.stats.badFrames.Add(1)
 		return
 	}
 	switch hdr.Type {
@@ -26,23 +29,27 @@ func (c *Conn) onFrame(src transport.Addr, frame []byte) {
 	case wire.TypeReject:
 		c.onReject(hdr)
 	case wire.TypeProbe:
-		c.count(func(s *Stats) { s.Probes++ })
+		c.stats.probes.Add(1)
 		reply := wire.RPCHeader{Type: wire.TypeProbeReply, Seq: hdr.Seq, FragCount: 1}
-		_ = c.tr.Send(src, buildFrame(reply, nil))
+		_ = c.sendFrame(src, reply, nil)
 	case wire.TypeProbeReply:
-		c.mu.Lock()
+		c.pingsMu.Lock()
 		ch := c.pings[hdr.Seq]
 		delete(c.pings, hdr.Seq)
-		c.mu.Unlock()
+		c.pingsMu.Unlock()
 		if ch != nil {
 			close(ch)
 		}
 	default:
-		c.count(func(s *Stats) { s.BadFrames++ })
+		c.stats.badFrames.Add(1)
 	}
 }
 
-// sendAck acknowledges a fragment.
+// sendAck acknowledges a fragment. Acks are sent inline from whatever
+// goroutine noticed the need (never holding a Conn lock): they are one
+// bounded transport send, and spawning a goroutine per ack — as the
+// multi-fragment path once did — costs an allocation and a scheduler trip
+// per packet.
 func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uint16, ofResult bool) {
 	h := wire.RPCHeader{
 		Type:      wire.TypeAck,
@@ -54,23 +61,26 @@ func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uin
 	if ofResult {
 		h.Flags |= flagAckResult
 	}
-	c.count(func(s *Stats) { s.AcksSent++ })
-	_ = c.tr.Send(dst, buildFrame(h, nil))
+	c.stats.acksSent.Add(1)
+	_ = c.sendFrame(dst, h, nil)
 }
 
 // onCallFrag handles an arriving call fragment on the server side.
 func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
-	c.mu.Lock()
-	if c.handler == nil || c.closed {
-		c.mu.Unlock()
-		c.count(func(s *Stats) { s.Rejects++ })
+	if c.handler == nil || c.closed.Load() {
+		c.stats.rejects.Add(1)
 		rej := wire.RPCHeader{
 			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq, FragCount: 1,
 		}
-		_ = c.tr.Send(src, buildFrame(rej, nil))
+		_ = c.sendFrame(src, rej, nil)
+		return
+	}
+	if hdr.FragCount == 0 || hdr.FragCount > maxFragments {
+		c.stats.badFrames.Add(1)
 		return
 	}
 	key := actKey{src.String(), hdr.Activity}
+	c.actsMu.Lock()
 	act := c.acts[key]
 	if act == nil {
 		act = &serverAct{key: key, src: src}
@@ -80,144 +90,238 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 	switch {
 	case hdr.Seq < act.lastSeq:
 		// A fragment of a superseded call: drop.
-		c.mu.Unlock()
-		c.count(func(s *Stats) { s.StaleDrops++ })
+		c.actsMu.Unlock()
+		c.stats.staleDrops.Add(1)
 		return
 
 	case hdr.Seq == act.lastSeq && act.lastSeq != 0:
 		switch act.phase {
 		case phaseReceiving:
-			c.storeFragLocked(act, src, hdr, payload)
-			c.mu.Unlock()
+			needAck, req, run := c.storeFragLocked(act, hdr, payload)
+			c.actsMu.Unlock()
+			if needAck {
+				c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
+			}
+			if run {
+				c.enqueueExec(req)
+			}
 			return
 		case phaseExecuting:
-			c.mu.Unlock()
-			c.count(func(s *Stats) { s.DupCalls++; s.InProgressAcks++ })
+			c.actsMu.Unlock()
+			c.stats.dupCalls.Add(1)
+			c.stats.inProgressAcks.Add(1)
 			c.sendAck(src, hdr.Activity, hdr.Seq, ackInProgress, false)
 			return
-		default: // phaseDone: retransmit the retained final result frame
-			retained := act.lastResultFrame
-			c.mu.Unlock()
-			c.count(func(s *Stats) { s.DupCalls++ })
-			if retained != nil {
-				c.count(func(s *Stats) { s.ResultRetrans++ })
-				_ = c.tr.Send(src, retained)
+		default: // phaseDone: retransmit the retained final result frame.
+			// The send happens under actsMu: the retained frame lives in a
+			// pooled buffer that the activity's next call releases, so it
+			// must not be recycled mid-transmission. Duplicates are rare;
+			// the fast path never reaches here.
+			c.stats.dupCalls.Add(1)
+			if act.lastResultFrame != nil {
+				c.stats.resultRetrans.Add(1)
+				_ = c.tr.Send(src, act.lastResultFrame.Bytes())
 			}
+			c.actsMu.Unlock()
 			return
 		}
 
 	default: // a new call: implicitly acknowledges the previous result
 		act.lastSeq = hdr.Seq
 		act.phase = phaseReceiving
-		act.frags = make(map[uint16][]byte)
 		act.count = hdr.FragCount
 		act.hdr = hdr
-		act.ackCh = make(chan uint16, maxFragments)
-		act.lastResultFrame = nil // recycle the retained result
-		c.storeFragLocked(act, src, hdr, payload)
-		c.mu.Unlock()
+		if act.lastResultFrame != nil {
+			// Recycle the retained result buffer — the paper's on-the-fly
+			// replacement: the arrival of the next call frees the packet.
+			act.lastResultFrame.Release()
+			act.lastResultFrame = nil
+		}
+		if hdr.FragCount > 1 {
+			// Fragment reassembly state is built only off the fast path.
+			act.frags = make(map[uint16][]byte, hdr.FragCount)
+		} else {
+			act.frags = nil
+		}
+		needAck, req, run := c.storeFragLocked(act, hdr, payload)
+		c.actsMu.Unlock()
+		if needAck {
+			c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
+		}
+		if run {
+			c.enqueueExec(req)
+		}
 		return
 	}
 }
 
-// storeFragLocked records a call fragment (c.mu held) and starts execution
-// when the call is complete. Acks non-final fragments that ask for it.
-func (c *Conn) storeFragLocked(act *serverAct, src transport.Addr, hdr wire.RPCHeader, payload []byte) {
+// storeFragLocked records a call fragment (c.actsMu held) and, when the
+// call is complete, snapshots the argument data into an execRequest so the
+// worker never touches shared state. It reports whether the fragment wants
+// an explicit ack and whether the call is ready to execute; the caller
+// performs both actions after releasing the lock.
+func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byte) (needAck bool, req execReq, run bool) {
 	if hdr.FragCount != act.count {
 		// Inconsistent fragmentation: treat as garbage.
-		c.count(func(s *Stats) { s.BadFrames++ })
-		return
+		c.stats.badFrames.Add(1)
+		return false, execReq{}, false
+	}
+	if act.count == 1 {
+		// Single-packet fast path: no fragment map, no ack, and the
+		// argument buffer is recycled from the activity's previous call.
+		// (A duplicate cannot reach here: the first packet moves the
+		// activity to phaseExecuting under this same lock.)
+		buf := act.argBuf
+		act.argBuf = nil // the worker owns it until execution finishes
+		act.phase = phaseExecuting
+		return false, execReq{act: act, hdr: hdr, args: append(buf[:0], payload...)}, true
 	}
 	if _, dup := act.frags[hdr.FragIndex]; dup {
-		c.count(func(s *Stats) { s.DupFrags++ })
+		c.stats.dupFrags.Add(1)
 	} else {
 		act.frags[hdr.FragIndex] = append([]byte(nil), payload...)
 	}
-	if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
-		go c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
-	}
+	needAck = hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0
 	if len(act.frags) == int(act.count) {
 		act.phase = phaseExecuting
-		go c.execute(act, hdr)
+		frags := act.frags
+		act.frags = nil
+		return needAck, execReq{act: act, hdr: hdr, frags: frags}, true
 	}
+	return needAck, execReq{}, false
 }
 
-// execute runs the handler (bounded by the worker pool) and sends the result.
-func (c *Conn) execute(act *serverAct, hdr wire.RPCHeader) {
-	c.sem <- struct{}{}
-	defer func() { <-c.sem }()
-
-	c.mu.Lock()
-	args := make([]byte, 0)
-	for i := uint16(0); i < act.count; i++ {
-		args = append(args, act.frags[i]...)
+// execute runs one complete call on a worker goroutine and sends the
+// result. All argument data arrives snapshotted in the request, so the
+// fragment join happens without holding any Conn lock.
+func (c *Conn) execute(req execReq) {
+	act, hdr := req.act, req.hdr
+	args := req.args
+	if req.frags != nil {
+		total := 0
+		for _, f := range req.frags {
+			total += len(f)
+		}
+		args = make([]byte, 0, total)
+		for i := uint16(0); i < hdr.FragCount; i++ {
+			args = append(args, req.frags[i]...)
+		}
 	}
-	act.frags = nil
-	src := act.src
-	c.mu.Unlock()
 
-	result, err := c.handler(src, hdr.Interface, hdr.Proc, args)
-	c.count(func(s *Stats) { s.CallsServed++ })
+	result, err := c.handler(act.src, hdr.Interface, hdr.Proc, args)
+	c.stats.callsServed.Add(1)
 	if err != nil {
-		c.count(func(s *Stats) { s.Rejects++ })
+		c.stats.rejects.Add(1)
 		rej := wire.RPCHeader{
 			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq,
 			FragCount: 1, Interface: hdr.Interface, Proc: hdr.Proc,
 		}
-		frame := buildFrame(rej, nil)
-		c.mu.Lock()
-		act.phase = phaseDone
-		act.lastResultFrame = frame
-		c.mu.Unlock()
-		_ = c.tr.Send(src, frame)
-		return
+		f := c.newFrame(rej, nil)
+		_ = c.tr.Send(act.src, f.Bytes())
+		c.retainResult(act, hdr.Seq, f)
+	} else {
+		c.sendResult(act, hdr, result)
 	}
-	c.sendResult(act, hdr, result)
+
+	// Return the single-packet argument buffer for the next call's reuse.
+	// If a newer call already allocated its own (an overlap only a
+	// timed-out caller can produce), the older buffer is simply dropped.
+	if req.args != nil {
+		c.actsMu.Lock()
+		if act.argBuf == nil {
+			act.argBuf = req.args[:0]
+		}
+		c.actsMu.Unlock()
+	}
+}
+
+// retainResult parks the final result frame in the activity's call-table
+// slot for retransmission, releasing its predecessor. If a newer call has
+// superseded seq, the frame is released instead: nobody may retransmit it.
+func (c *Conn) retainResult(act *serverAct, seq uint32, f *buffer.Frame) {
+	c.actsMu.Lock()
+	if act.lastSeq == seq {
+		act.phase = phaseDone
+		if act.lastResultFrame != nil {
+			act.lastResultFrame.Release()
+		}
+		act.lastResultFrame = f
+	} else {
+		f.Release()
+	}
+	c.actsMu.Unlock()
 }
 
 // sendResult transmits the result fragments: stop-and-wait acks on all but
 // the last, whose receipt is acknowledged implicitly by the next call. The
 // final frame is retained for retransmission.
 func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
-	frags := fragment(result, c.maxPayload())
-	if len(frags) > maxFragments {
-		// Result too large to ship: reject so the caller fails cleanly.
-		rej := wire.RPCHeader{
-			Type: wire.TypeReject, Activity: call.Activity, Seq: call.Seq, FragCount: 1,
+	maxP := c.maxPayload()
+	nfrags := 1
+	var frags [][]byte
+	if len(result) > maxP {
+		frags = fragment(result, maxP)
+		if len(frags) > maxFragments {
+			// Result too large to ship: reject so the caller fails cleanly.
+			rej := wire.RPCHeader{
+				Type: wire.TypeReject, Activity: call.Activity, Seq: call.Seq, FragCount: 1,
+			}
+			_ = c.sendFrame(act.src, rej, nil)
+			return
 		}
-		_ = c.tr.Send(act.src, buildFrame(rej, nil))
-		return
+		nfrags = len(frags)
 	}
 	hdr := wire.RPCHeader{
 		Type:      wire.TypeResult,
 		Activity:  call.Activity,
 		Seq:       call.Seq,
-		FragCount: uint16(len(frags)),
+		FragCount: uint16(nfrags),
 		Interface: call.Interface,
 		Proc:      call.Proc,
 	}
-	for i := 0; i < len(frags)-1; i++ {
-		h := hdr
-		h.FragIndex = uint16(i)
-		h.Flags = wire.FlagPleaseAck
-		if !c.sendResultFragWithAck(act, buildFrame(h, frags[i]), uint16(i)) {
-			return // gave up; caller will retransmit and find phaseDone unset
+	if nfrags > 1 {
+		// Multi-fragment results need the explicit-ack channel; create it
+		// lazily and flush stale entries from a previous call.
+		c.actsMu.Lock()
+		if act.ackCh == nil {
+			act.ackCh = make(chan fragAck, maxFragments)
+		}
+		for {
+			select {
+			case <-act.ackCh:
+				continue
+			default:
+			}
+			break
+		}
+		c.actsMu.Unlock()
+		for i := 0; i < nfrags-1; i++ {
+			h := hdr
+			h.FragIndex = uint16(i)
+			h.Flags = wire.FlagPleaseAck
+			f := c.newFrame(h, frags[i])
+			ok := c.sendResultFragWithAck(act, call, f, uint16(i))
+			f.Release()
+			if !ok {
+				return // gave up; caller will retransmit and find phaseDone unset
+			}
 		}
 	}
 	last := hdr
-	last.FragIndex = uint16(len(frags) - 1)
+	last.FragIndex = uint16(nfrags - 1)
 	last.Flags = wire.FlagLastFrag
-	frame := buildFrame(last, frags[len(frags)-1])
-	c.mu.Lock()
-	act.phase = phaseDone
-	act.lastResultFrame = frame
-	c.mu.Unlock()
-	_ = c.tr.Send(act.src, frame)
+	lastPayload := result
+	if frags != nil {
+		lastPayload = frags[nfrags-1]
+	}
+	f := c.newFrame(last, lastPayload)
+	_ = c.tr.Send(act.src, f.Bytes())
+	c.retainResult(act, call.Seq, f)
 }
 
 // sendResultFragWithAck is the server-side stop-and-wait sender.
-func (c *Conn) sendResultFragWithAck(act *serverAct, frame []byte, idx uint16) bool {
-	if err := c.tr.Send(act.src, frame); err != nil {
+func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame *buffer.Frame, idx uint16) bool {
+	if err := c.tr.Send(act.src, frame.Bytes()); err != nil {
 		return false
 	}
 	interval := c.cfg.RetransInterval
@@ -227,7 +331,7 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, frame []byte, idx uint16) b
 	for {
 		select {
 		case got := <-act.ackCh:
-			if got == idx {
+			if got.activity == call.Activity && got.seq == call.Seq && got.idx == idx {
 				return true
 			}
 		case <-timer.C:
@@ -235,8 +339,8 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, frame []byte, idx uint16) b
 			if retries > c.cfg.MaxRetries {
 				return false
 			}
-			c.count(func(s *Stats) { s.Retransmits++ })
-			if err := c.tr.Send(act.src, frame); err != nil {
+			c.stats.retransmits.Add(1)
+			if err := c.tr.Send(act.src, frame.Bytes()); err != nil {
 				return false
 			}
 			if interval < 8*c.cfg.RetransInterval {
@@ -249,46 +353,61 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, frame []byte, idx uint16) b
 
 // onResultFrag handles an arriving result fragment on the caller side.
 func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
-	c.mu.Lock()
-	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
-	c.mu.Unlock()
+	k := callKey{hdr.Activity, hdr.Seq}
+	c.callsMu.Lock()
+	oc := c.calls[k]
+	c.callsMu.Unlock()
+	needAck := hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0
 	if oc == nil {
 		// Late duplicate of a completed call. Re-ack non-final fragments
 		// so a stuck server-side stop-and-wait can finish.
-		c.count(func(s *Stats) { s.StaleDrops++ })
-		if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
+		c.stats.staleDrops.Add(1)
+		if needAck {
 			c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, true)
 		}
 		return
 	}
 
+	var result []byte
+	complete := false
 	oc.mu.Lock()
-	if oc.finished {
+	if oc.finished || oc.key != k {
 		oc.mu.Unlock()
 		return
 	}
-	if oc.resCount == 0 {
-		oc.resCount = hdr.FragCount
-	}
-	if _, dup := oc.resFrags[hdr.FragIndex]; dup {
-		c.count(func(s *Stats) { s.DupFrags++ })
+	if hdr.FragCount == 1 && hdr.Flags&wire.FlagLastFrag != 0 {
+		// Single-packet result fast path: no reassembly map; the payload
+		// lands directly in the caller-supplied buffer (or an exact-size
+		// allocation when none was given).
+		result = append(oc.resBuf[:0], payload...)
+		complete = true
 	} else {
-		oc.resFrags[hdr.FragIndex] = append([]byte(nil), payload...)
-	}
-	complete := len(oc.resFrags) == int(oc.resCount) && hdr.FragCount == oc.resCount
-	var result []byte
-	if complete {
-		for i := uint16(0); i < oc.resCount; i++ {
-			result = append(result, oc.resFrags[i]...)
+		if oc.resCount == 0 {
+			oc.resCount = hdr.FragCount
+		}
+		if oc.resFrags == nil {
+			oc.resFrags = make(map[uint16][]byte, hdr.FragCount)
+		}
+		if _, dup := oc.resFrags[hdr.FragIndex]; dup {
+			c.stats.dupFrags.Add(1)
+		} else {
+			oc.resFrags[hdr.FragIndex] = append([]byte(nil), payload...)
+		}
+		complete = len(oc.resFrags) == int(oc.resCount) && hdr.FragCount == oc.resCount
+		if complete {
+			result = oc.resBuf[:0]
+			for i := uint16(0); i < oc.resCount; i++ {
+				result = append(result, oc.resFrags[i]...)
+			}
 		}
 	}
 	oc.mu.Unlock()
 
-	if hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0 {
+	if needAck {
 		c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, true)
 	}
 	if complete {
-		oc.finish(result, nil)
+		oc.finish(k, result, nil)
 	}
 }
 
@@ -296,25 +415,25 @@ func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []by
 func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
 	if hdr.Flags&flagAckResult != 0 {
 		// Caller acking our result fragment.
-		c.mu.Lock()
+		c.actsMu.Lock()
 		act := c.acts[actKey{src.String(), hdr.Activity}]
-		var ch chan uint16
+		var ch chan fragAck
 		if act != nil && act.lastSeq == hdr.Seq {
 			ch = act.ackCh
 		}
-		c.mu.Unlock()
+		c.actsMu.Unlock()
 		if ch != nil {
 			select {
-			case ch <- hdr.FragIndex:
+			case ch <- fragAck{hdr.Activity, hdr.Seq, hdr.FragIndex}:
 			default:
 			}
 		}
 		return
 	}
 	// Server acking our call fragment, or telling us it is executing.
-	c.mu.Lock()
+	c.callsMu.Lock()
 	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
-	c.mu.Unlock()
+	c.callsMu.Unlock()
 	if oc == nil {
 		return
 	}
@@ -326,17 +445,18 @@ func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
 		return
 	}
 	select {
-	case oc.ackCh <- hdr.FragIndex:
+	case oc.ackCh <- fragAck{hdr.Activity, hdr.Seq, hdr.FragIndex}:
 	default:
 	}
 }
 
 // onReject completes an outstanding call with ErrRejected.
 func (c *Conn) onReject(hdr wire.RPCHeader) {
-	c.mu.Lock()
-	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
-	c.mu.Unlock()
+	k := callKey{hdr.Activity, hdr.Seq}
+	c.callsMu.Lock()
+	oc := c.calls[k]
+	c.callsMu.Unlock()
 	if oc != nil {
-		oc.finish(nil, ErrRejected)
+		oc.finish(k, nil, ErrRejected)
 	}
 }

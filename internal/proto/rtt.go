@@ -12,9 +12,16 @@ import (
 // worst-case interval: on a fast LAN the first retransmission fires within
 // a few round trips, while the configured interval remains the ceiling (and
 // the starting point for peers we have never heard from).
+//
+// Peers are keyed by the Addr value itself rather than Addr.String(), so
+// the per-call lookup does not allocate. Both bundled transports hand out
+// canonical addresses (memAddr is a comparable string value; the UDP
+// transport interns one *udpAddr per peer), so equal peers compare equal.
+// A caller that constructs a fresh Addr per call merely gets an independent
+// estimate, which only costs adaptivity, never correctness.
 type rttTracker struct {
 	mu    sync.Mutex
-	peers map[string]*rttState
+	peers map[transport.Addr]*rttState
 }
 
 type rttState struct {
@@ -24,7 +31,7 @@ type rttState struct {
 }
 
 func newRTTTracker() *rttTracker {
-	return &rttTracker{peers: make(map[string]*rttState)}
+	return &rttTracker{peers: make(map[transport.Addr]*rttState)}
 }
 
 // observe folds a completed call's round trip into the estimate. Samples
@@ -36,10 +43,10 @@ func (t *rttTracker) observe(dst transport.Addr, sample time.Duration) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.peers[dst.String()]
+	st := t.peers[dst]
 	if st == nil {
 		st = &rttState{}
-		t.peers[dst.String()] = st
+		t.peers[dst] = st
 	}
 	if !st.valid {
 		st.srtt = sample
@@ -60,7 +67,7 @@ func (t *rttTracker) observe(dst transport.Addr, sample time.Duration) {
 // ceiling when no estimate exists yet.
 func (t *rttTracker) interval(dst transport.Addr, floor, ceiling time.Duration) time.Duration {
 	t.mu.Lock()
-	st := t.peers[dst.String()]
+	st := t.peers[dst]
 	var est time.Duration
 	valid := false
 	if st != nil && st.valid {
@@ -84,7 +91,7 @@ func (t *rttTracker) interval(dst transport.Addr, floor, ceiling time.Duration) 
 func (c *Conn) RTT(dst transport.Addr) (time.Duration, bool) {
 	c.rtt.mu.Lock()
 	defer c.rtt.mu.Unlock()
-	st := c.rtt.peers[dst.String()]
+	st := c.rtt.peers[dst]
 	if st == nil || !st.valid {
 		return 0, false
 	}

@@ -1,0 +1,224 @@
+// Package realbench benchmarks the real (non-simulated) RPC stack: the
+// modern-hardware analogue of the paper's Table I, run over the in-process
+// exchange and real UDP loopback instead of the Firefly's Ethernet.
+//
+// Each case drives Null, MaxArg (1440-byte VAR IN argument), or MaxResult
+// (1440-byte VAR OUT result) from a fixed number of caller threads, one
+// Client (activity) per thread as on the Firefly, and reports latency,
+// allocation, and throughput figures via the standard testing.Benchmark
+// machinery so the numbers are directly comparable to `go test -bench`.
+package realbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/testsvc"
+	"fireflyrpc/internal/transport"
+)
+
+// payloadBytes is the single-packet payload used by MaxArg and MaxResult.
+const payloadBytes = 1440
+
+// Result is one benchmark case.
+type Result struct {
+	Bench       string  `json:"bench"`     // Null | MaxArg | MaxResult
+	Transport   string  `json:"transport"` // mem | udp
+	Threads     int     `json:"threads"`
+	N           int     `json:"n"` // calls measured
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	MbitPerSec  float64 `json:"mbit_per_sec,omitempty"` // payload throughput
+}
+
+// Suite is the full run, serialized to BENCH_realstack.json.
+type Suite struct {
+	Generated string   `json:"generated"`
+	Note      string   `json:"note"`
+	Results   []Result `json:"results"`
+}
+
+// impl is the benchmark server: procedures do minimal work so the stack,
+// not the service, is measured.
+type impl struct{}
+
+func (impl) Null() error { return nil }
+func (impl) MaxResult(buffer []byte) error {
+	for i := range buffer {
+		buffer[i] = byte(i)
+	}
+	return nil
+}
+func (impl) MaxArg(buffer []byte) error             { return nil }
+func (impl) Add4(a, b, c, d int32) (int32, error)   { return a + b + c + d, nil }
+func (impl) Reverse(data []byte, out *[]byte) error { *out = data; return nil }
+func (impl) Increment(counter *uint32) error        { *counter++; return nil }
+func (impl) Greet(n *marshal.Text) (*marshal.Text, error) {
+	return marshal.NewText("hi " + n.String()), nil
+}
+
+// pair builds a caller/server node pair over the requested transport.
+// It returns an error (rather than failing) when UDP loopback is
+// unavailable, so sandboxed environments just skip those cases.
+func pair(overUDP bool, workers int) (*core.Binding, func(), error) {
+	cfg := proto.DefaultConfig()
+	if workers > cfg.Workers {
+		cfg.Workers = workers
+	}
+	var callerTr, serverTr transport.Transport
+	if overUDP {
+		var err error
+		serverTr, err = transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		callerTr, err = transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			serverTr.Close()
+			return nil, nil, err
+		}
+	} else {
+		ex := transport.NewExchange()
+		serverTr = ex.Port("server")
+		callerTr = ex.Port("caller")
+	}
+	server := core.NewNode(serverTr, cfg)
+	caller := core.NewNode(callerTr, cfg)
+	server.Export(testsvc.ExportTest(impl{}))
+	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
+	return binding, func() { caller.Close(); server.Close() }, nil
+}
+
+// callFunc runs one call on a per-thread client with a per-thread buffer.
+type callFunc func(cl *testsvc.TestClient, buf []byte) error
+
+var cases = []struct {
+	name  string
+	bytes int // payload bytes moved per call, for Mb/s
+	call  callFunc
+}{
+	{"Null", 0, func(cl *testsvc.TestClient, _ []byte) error { return cl.Null() }},
+	{"MaxArg", payloadBytes, func(cl *testsvc.TestClient, buf []byte) error { return cl.MaxArg(buf) }},
+	{"MaxResult", payloadBytes, func(cl *testsvc.TestClient, buf []byte) error { return cl.MaxResult(buf) }},
+}
+
+// runCase measures one (bench, transport, threads) cell. The b.N calls are
+// split across exactly `threads` caller goroutines, each with its own
+// Client, mirroring the paper's caller-thread scaling rather than
+// RunParallel's GOMAXPROCS-coupled parallelism.
+func runCase(overUDP bool, call callFunc, threads int) (testing.BenchmarkResult, error) {
+	binding, done, err := pair(overUDP, 2*threads)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer done()
+
+	var failure error
+	var failMu sync.Mutex
+	r := testing.Benchmark(func(b *testing.B) {
+		clients := make([]*testsvc.TestClient, threads)
+		for i := range clients {
+			clients[i] = testsvc.NewTestClient(binding)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			n := b.N / threads
+			if t < b.N%threads {
+				n++
+			}
+			wg.Add(1)
+			go func(cl *testsvc.TestClient, n int) {
+				defer wg.Done()
+				buf := make([]byte, payloadBytes)
+				for i := 0; i < n; i++ {
+					if err := call(cl, buf); err != nil {
+						failMu.Lock()
+						failure = err
+						failMu.Unlock()
+						return
+					}
+				}
+			}(clients[t], n)
+		}
+		wg.Wait()
+	})
+	return r, failure
+}
+
+// Options configures a suite run.
+type Options struct {
+	Threads []int     // caller-thread counts; default 1,2,4,8
+	Log     io.Writer // progress output; nil for quiet
+}
+
+// Run executes the full real-stack suite and returns it.
+func Run(opts Options) Suite {
+	threads := opts.Threads
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8}
+	}
+	logf := func(format string, a ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format, a...)
+		}
+	}
+	suite := Suite{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note: "Real-stack Table I analogue: Null/MaxArg/MaxResult over the " +
+			"in-process exchange (mem) and UDP loopback (udp), one client " +
+			"activity per caller thread.",
+	}
+	for _, tr := range []struct {
+		name    string
+		overUDP bool
+	}{{"mem", false}, {"udp", true}} {
+		for _, c := range cases {
+			for _, th := range threads {
+				br, err := runCase(tr.overUDP, c.call, th)
+				if err != nil {
+					logf("  %-9s %-3s %d threads: skipped (%v)\n", c.name, tr.name, th, err)
+					continue
+				}
+				res := Result{
+					Bench:       c.name,
+					Transport:   tr.name,
+					Threads:     th,
+					N:           br.N,
+					NsPerOp:     float64(br.NsPerOp()),
+					AllocsPerOp: br.AllocsPerOp(),
+					BytesPerOp:  br.AllocedBytesPerOp(),
+				}
+				if res.NsPerOp > 0 {
+					res.CallsPerSec = 1e9 / res.NsPerOp
+					res.MbitPerSec = res.CallsPerSec * float64(c.bytes) * 8 / 1e6
+				}
+				suite.Results = append(suite.Results, res)
+				logf("  %-9s %-3s %d threads: %8.0f ns/op  %3d allocs/op  %9.0f calls/s\n",
+					c.name, tr.name, th, res.NsPerOp, res.AllocsPerOp, res.CallsPerSec)
+			}
+		}
+	}
+	return suite
+}
+
+// WriteJSON writes the suite to path.
+func (s Suite) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

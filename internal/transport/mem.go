@@ -4,16 +4,25 @@ import (
 	"fmt"
 	"sync"
 
+	"fireflyrpc/internal/buffer"
 	"fireflyrpc/internal/wire"
 )
 
 // Exchange is an in-process datagram switch: the shared-memory transport
 // for same-machine RPC. It can inject faults (loss, duplication, reordering)
 // for protocol tests, which real sockets cannot do deterministically.
+//
+// Frames in flight live in pooled fixed-size buffers (the software analogue
+// of the Firefly's ring of receive buffers): Send copies the caller's frame
+// into a pooled buffer, the receiver callback sees that buffer, and it is
+// recycled as soon as the callback returns — steady-state traffic allocates
+// nothing.
 type Exchange struct {
 	mu    sync.Mutex
 	ports map[string]*MemPort
 	seq   int
+
+	frames buffer.FramePool
 
 	// Fault injection, applied per frame under mu.
 	LossEvery int // drop every Nth frame (0 = none)
@@ -28,7 +37,9 @@ func NewExchange() *Exchange {
 	return &Exchange{ports: make(map[string]*MemPort)}
 }
 
-// memAddr names an exchange port.
+// memAddr names an exchange port. It is a comparable value type whose
+// String() is a free conversion, so upper layers can key maps by either the
+// Addr or its string without allocating.
 type memAddr string
 
 func (a memAddr) String() string  { return string(a) }
@@ -36,9 +47,12 @@ func (a memAddr) Network() string { return "mem" }
 
 // MemPort is one endpoint attached to an Exchange.
 type MemPort struct {
-	ex     *Exchange
-	addr   memAddr
-	mu     sync.RWMutex
+	ex   *Exchange
+	addr memAddr
+	// addr boxed as an Addr once, so the per-frame delivery does not heap-
+	// allocate an interface conversion of the string value.
+	addrIface Addr
+	mu        sync.RWMutex
 	recv   Receiver
 	closed bool
 	q      chan delivery
@@ -47,8 +61,8 @@ type MemPort struct {
 }
 
 type delivery struct {
-	src   Addr
-	frame []byte
+	src Addr
+	f   *buffer.Frame
 }
 
 // Port attaches a new endpoint. name must be unique within the exchange;
@@ -70,6 +84,7 @@ func (e *Exchange) Port(name string) *MemPort {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	p.addrIface = p.addr
 	e.ports[name] = p
 	go p.deliverLoop()
 	return p
@@ -84,6 +99,18 @@ func (e *Exchange) SetFaults(lossEvery, dupEvery int) {
 	e.mu.Unlock()
 }
 
+// enqueue hands a pooled frame to target, reclaiming it immediately if the
+// port's queue is full or the port has shut down (a dropped packet).
+func enqueue(target *MemPort, d delivery) {
+	select {
+	case target.q <- d:
+	case <-target.quit: // port shut down: dropped
+		d.f.Release()
+	default: // receiver overwhelmed: drop, like a full ring
+		d.f.Release()
+	}
+}
+
 // SendFrom injects a frame into the exchange as if sent by the port named
 // src — a test hook for spoofing retransmissions and stale packets.
 func (e *Exchange) SendFrom(src, dst string, frame []byte) error {
@@ -93,11 +120,9 @@ func (e *Exchange) SendFrom(src, dst string, frame []byte) error {
 	if target == nil {
 		return nil
 	}
-	cp := append([]byte(nil), frame...)
-	select {
-	case target.q <- delivery{src: memAddr(src), frame: cp}:
-	default:
-	}
+	f := e.frames.Get()
+	f.CopyFrom(frame)
+	enqueue(target, delivery{src: memAddr(src), f: f})
 	return nil
 }
 
@@ -117,8 +142,13 @@ func (p *MemPort) deliverLoop() {
 			recv := p.recv
 			p.mu.RUnlock()
 			if recv != nil {
-				recv(d.src, d.frame)
+				// The Receiver contract says the slice is only valid during
+				// the callback, so the buffer can be recycled the moment it
+				// returns — the "processing packets on the fly" trick that
+				// kept the Firefly's receive buffers circulating.
+				recv(d.src, d.f.Bytes())
 			}
+			d.f.Release()
 		case <-p.quit:
 			return
 		}
@@ -152,19 +182,18 @@ func (p *MemPort) Send(dst Addr, frame []byte) error {
 	if target == nil || drop {
 		return nil // silently lost, like the wire
 	}
-	cp := append([]byte(nil), frame...)
 	n := 1
 	if dup {
 		n = 2
 	}
+	// Each copy gets its own pooled buffer, since each is released
+	// independently after its delivery (or drop).
 	for i := 0; i < n; i++ {
+		f := e.frames.Get()
+		f.CopyFrom(frame)
 		// The queue is never closed, so a send racing the target's Close is
 		// benign: the frame just goes undelivered, like any late packet.
-		select {
-		case target.q <- delivery{src: p.addr, frame: cp}:
-		case <-target.quit: // port shut down: dropped
-		default: // receiver overwhelmed: drop, like a full ring
-		}
+		enqueue(target, delivery{src: p.addrIface, f: f})
 	}
 	return nil
 }

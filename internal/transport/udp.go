@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"net/netip"
 	"sync"
 
 	"fireflyrpc/internal/wire"
@@ -12,14 +13,41 @@ import (
 // with 20 IP + 8 UDP + 14 Ethernet is exactly the 1514-byte maximum frame.
 const UDPMaxFrame = wire.RPCHeaderLen + wire.MaxSinglePacketPayload
 
+// udpAddr is the canonical address handed to receivers and returned by
+// LocalAddr/ResolveUDPAddr. It caches the printable form so Addr.String()
+// never allocates on a hot path, and the transport interns one value per
+// peer so the same pointer arrives with every packet — letting upper layers
+// key maps by the Addr itself (or its string, taken for free) instead of
+// formatting an address per frame.
+type udpAddr struct {
+	ap  netip.AddrPort
+	str string
+}
+
+func newUDPAddr(ap netip.AddrPort) *udpAddr {
+	// Normalize IPv4-mapped IPv6 (what an IPv4 packet arrives as on a
+	// dual-stack socket) so interning and dialing agree on one form.
+	if ap.Addr().Is4In6() {
+		ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	return &udpAddr{ap: ap, str: ap.String()}
+}
+
+func (a *udpAddr) String() string  { return a.str }
+func (a *udpAddr) Network() string { return "udp" }
+
 // UDP is a Transport over a real UDP socket.
 type UDP struct {
 	conn *net.UDPConn
+	self *udpAddr
 
 	mu     sync.RWMutex
 	recv   Receiver
 	closed bool
 	done   chan struct{}
+
+	peersMu sync.Mutex
+	peers   map[netip.AddrPort]*udpAddr
 }
 
 // ListenUDP opens a UDP transport on addr ("host:port"; ":0" picks a port).
@@ -32,21 +60,45 @@ func ListenUDP(addr string) (*UDP, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &UDP{conn: conn, done: make(chan struct{})}
+	u := &UDP{
+		conn:  conn,
+		self:  newUDPAddr(conn.LocalAddr().(*net.UDPAddr).AddrPort()),
+		done:  make(chan struct{}),
+		peers: make(map[netip.AddrPort]*udpAddr),
+	}
 	go u.readLoop()
 	return u, nil
 }
 
 // ResolveUDPAddr names a peer for Send.
 func ResolveUDPAddr(addr string) (Addr, error) {
-	return net.ResolveUDPAddr("udp", addr)
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newUDPAddr(ua.AddrPort()), nil
+}
+
+// peer returns the interned address for ap, creating it on first contact.
+func (u *UDP) peer(ap netip.AddrPort) *udpAddr {
+	if ap.Addr().Is4In6() {
+		ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	u.peersMu.Lock()
+	a := u.peers[ap]
+	if a == nil {
+		a = &udpAddr{ap: ap, str: ap.String()}
+		u.peers[ap] = a
+	}
+	u.peersMu.Unlock()
+	return a
 }
 
 func (u *UDP) readLoop() {
 	defer close(u.done)
 	buf := make([]byte, UDPMaxFrame+1)
 	for {
-		n, src, err := u.conn.ReadFromUDP(buf)
+		n, src, err := u.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
@@ -57,7 +109,7 @@ func (u *UDP) readLoop() {
 		recv := u.recv
 		u.mu.RUnlock()
 		if recv != nil {
-			recv(src, buf[:n])
+			recv(u.peer(src), buf[:n])
 		}
 	}
 }
@@ -73,16 +125,21 @@ func (u *UDP) Send(dst Addr, frame []byte) error {
 	if len(frame) > UDPMaxFrame {
 		return ErrFrameTooLarge
 	}
-	ua, ok := dst.(*net.UDPAddr)
-	if !ok {
-		var err error
-		ua, err = net.ResolveUDPAddr("udp", dst.String())
+	switch a := dst.(type) {
+	case *udpAddr:
+		_, err := u.conn.WriteToUDPAddrPort(frame, a.ap)
+		return err
+	case *net.UDPAddr:
+		_, err := u.conn.WriteToUDP(frame, a)
+		return err
+	default:
+		ua, err := net.ResolveUDPAddr("udp", dst.String())
 		if err != nil {
 			return err
 		}
+		_, err = u.conn.WriteToUDP(frame, ua)
+		return err
 	}
-	_, err := u.conn.WriteToUDP(frame, ua)
-	return err
 }
 
 // SetReceiver implements Transport.
@@ -93,7 +150,7 @@ func (u *UDP) SetReceiver(r Receiver) {
 }
 
 // LocalAddr implements Transport.
-func (u *UDP) LocalAddr() Addr { return u.conn.LocalAddr().(*net.UDPAddr) }
+func (u *UDP) LocalAddr() Addr { return u.self }
 
 // MaxFrame implements Transport.
 func (u *UDP) MaxFrame() int { return UDPMaxFrame }
