@@ -31,10 +31,11 @@ func main() {
 	real := flag.Bool("real", false, "benchmark the real RPC stack (exchange + UDP loopback) instead of the simulation")
 	realOut := flag.String("realout", "BENCH_realstack.json", "output path for -real results")
 	realThreads := flag.String("realthreads", "1,2,4,8", "comma-separated caller-thread counts for -real")
+	realFanout := flag.String("realfanout", "1,8,64", "comma-separated async fan-out widths for -real")
 	flag.Parse()
 
 	if *real {
-		runReal(*realOut, *realThreads)
+		runReal(*realOut, *realThreads, *realFanout)
 		return
 	}
 
@@ -76,18 +77,23 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec string) {
-	var threads []int
-	for _, s := range strings.Split(threadSpec, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "fireflybench: bad -realthreads entry %q\n", s)
-			os.Exit(2)
+func runReal(outPath, threadSpec, fanoutSpec string) {
+	parse := func(spec, flagName string) []int {
+		var out []int
+		for _, s := range strings.Split(spec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "fireflybench: bad %s entry %q\n", flagName, s)
+				os.Exit(2)
+			}
+			out = append(out, n)
 		}
-		threads = append(threads, n)
+		return out
 	}
-	fmt.Printf("Real-stack Table I analogue (threads %v)\n", threads)
-	suite := realbench.Run(realbench.Options{Threads: threads, Log: os.Stdout})
+	threads := parse(threadSpec, "-realthreads")
+	fanout := parse(fanoutSpec, "-realfanout")
+	fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v)\n", threads, fanout)
+	suite := realbench.Run(realbench.Options{Threads: threads, Outstanding: fanout, Log: os.Stdout})
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
 		os.Exit(1)

@@ -1,12 +1,15 @@
 // Command rpcclient measures the real UDP stack the way Table I measures
 // the Firefly: K goroutines (threads) each performing sequenced calls to
 // Null() and MaxResult(b) against an rpcserver, reporting latency,
-// calls/second, and megabits/second per thread count.
+// calls/second, and megabits/second per thread count. With -k above 1,
+// each thread keeps that many calls in flight through the asynchronous
+// Go/Await API instead of blocking one call at a time.
 //
-//	rpcclient -server 127.0.0.1:5530 -calls 10000 -threads 1,2,3,4,8
+//	rpcclient -server 127.0.0.1:5530 -calls 10000 -threads 1,2,3,4,8 -k 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/stats"
 	"fireflyrpc/internal/testsvc"
@@ -27,7 +31,11 @@ func main() {
 	server := flag.String("server", "127.0.0.1:5530", "rpcserver address")
 	calls := flag.Int("calls", 10000, "total calls per measurement")
 	threadList := flag.String("threads", "1,2,3,4,8", "comma-separated caller thread counts")
+	fanout := flag.Int("k", 1, "async calls kept in flight per thread (1 = blocking)")
 	flag.Parse()
+	if *fanout < 1 {
+		log.Fatalf("rpcclient: -k must be at least 1")
+	}
 
 	tr, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
@@ -51,12 +59,27 @@ func main() {
 		if err != nil || n < 1 {
 			log.Fatalf("rpcclient: bad thread count %q", f)
 		}
-		nullLat, nullRate := run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
-			return c.Null()
-		})
-		maxLat, maxRate := run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
-			return c.MaxResult(buf)
-		})
+		var nullLat, nullRate, maxLat, maxRate float64
+		if *fanout == 1 {
+			nullLat, nullRate = run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
+				return c.Null()
+			})
+			maxLat, maxRate = run(binding, n, *calls, func(c *testsvc.TestClient, buf []byte) error {
+				return c.MaxResult(buf)
+			})
+		} else {
+			nullLat, nullRate = runAsync(binding, n, *calls, *fanout,
+				func(cl *core.Client, ctx context.Context) (*core.Pending, error) {
+					return cl.Go(ctx, testsvc.TestProcNull, 0, nil)
+				}, nil)
+			maxLat, maxRate = runAsync(binding, n, *calls, *fanout,
+				func(cl *core.Client, ctx context.Context) (*core.Pending, error) {
+					return cl.Go(ctx, testsvc.TestProcMaxResult, 0, nil)
+				},
+				func(buf []byte) func(*marshal.Dec) {
+					return func(d *marshal.Dec) { d.FixedBytes(buf) }
+				})
+		}
 		fmt.Printf("%-8d %-12.1f %-10.0f %-14.1f %-10.2f\n",
 			n, nullLat, nullRate, maxLat,
 			maxRate*float64(wire.MaxSinglePacketPayload)*8/1e6)
@@ -88,6 +111,71 @@ func run(b *core.Binding, n, total int, call func(*testsvc.TestClient, []byte) e
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	count := 0
+	var meanSum float64
+	for i := range samples {
+		meanSum += samples[i].Mean() * float64(samples[i].N())
+		count += samples[i].N()
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return meanSum / float64(count), stats.Rate(int64(count), elapsed)
+}
+
+// runAsync drives n goroutines, each keeping k calls in flight through the
+// async API, and returns (mean µs per call, calls/s). Per-call latency is
+// the batch round-trip amortized over the k calls it carried.
+func runAsync(b *core.Binding, n, total, k int,
+	start func(*core.Client, context.Context) (*core.Pending, error),
+	mkDec func([]byte) func(*marshal.Dec)) (float64, float64) {
+	per := total / n
+	var wg sync.WaitGroup
+	samples := make([]stats.Sample, n)
+	ctx := context.Background()
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := b.NewClient()
+			var dec func(*marshal.Dec)
+			if mkDec != nil {
+				dec = mkDec(make([]byte, wire.MaxSinglePacketPayload))
+			}
+			pend := make([]*core.Pending, 0, k)
+			for done := 0; done < per; {
+				batch := k
+				if per-done < batch {
+					batch = per - done
+				}
+				bt0 := time.Now()
+				pend = pend[:0]
+				for j := 0; j < batch; j++ {
+					p, err := start(cl, ctx)
+					if err != nil {
+						log.Printf("rpcclient: Go failed: %v", err)
+						return
+					}
+					pend = append(pend, p)
+				}
+				for _, p := range pend {
+					if err := p.Await(ctx, dec); err != nil {
+						log.Printf("rpcclient: Await failed: %v", err)
+						return
+					}
+				}
+				perCall := time.Since(bt0) / time.Duration(batch)
+				for j := 0; j < batch; j++ {
+					samples[i].Add(perCall)
+				}
+				done += batch
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
 	count := 0
 	var meanSum float64
 	for i := range samples {

@@ -1,6 +1,7 @@
 package fireflyrpc
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,6 +47,101 @@ func TestNullAllocBudget(t *testing.T) {
 		t.Fatalf("Null() allocates %.1f objects/call, budget is %d", avg, nullAllocBudget)
 	}
 	t.Logf("Null() allocates %.1f objects/call (budget %d)", avg, nullAllocBudget)
+}
+
+// TestAsyncNullAllocBudget pins the asynchronous fast path to the same
+// allocation budget as the blocking one: Client.Go + Pending.Await over
+// pooled slots must not cost more objects per call than Client.Call, or
+// fan-out callers pay a hidden per-call tax the blocking path doesn't.
+func TestAsyncNullAllocBudget(t *testing.T) {
+	ex := transport.NewExchange()
+	server := NewNode(ex.Port("server"), proto.DefaultConfig())
+	caller := NewNode(ex.Port("caller"), proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(benchImpl{}))
+	client := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion).NewClient()
+	ctx := context.Background()
+
+	const fanout = 8
+	pendings := make([]*Pending, fanout)
+	// Warm the pools: slots, activities, frames, outCalls, server state.
+	for round := 0; round < 30; round++ {
+		for i := range pendings {
+			p, err := client.Go(ctx, testsvc.TestProcNull, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendings[i] = p
+		}
+		for _, p := range pendings {
+			if err := p.Await(ctx, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	perBatch := testing.AllocsPerRun(100, func() {
+		for i := range pendings {
+			p, err := client.Go(ctx, testsvc.TestProcNull, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendings[i] = p
+		}
+		for _, p := range pendings {
+			if err := p.Await(ctx, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	perCall := perBatch / fanout
+	if perCall > nullAllocBudget {
+		t.Fatalf("async Null() allocates %.1f objects/call, budget is %d (blocking budget)", perCall, nullAllocBudget)
+	}
+	t.Logf("async Null() allocates %.1f objects/call with %d outstanding (budget %d)", perCall, fanout, nullAllocBudget)
+}
+
+// TestAsyncResultsCorrect sanity-checks the async API end to end through
+// generated-stub marshalling: interleaved Go calls with distinct payloads
+// come back to the right Await.
+func TestAsyncResultsCorrect(t *testing.T) {
+	ex := transport.NewExchange()
+	server := NewNode(ex.Port("server"), proto.DefaultConfig())
+	caller := NewNode(ex.Port("caller"), proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(benchImpl{}))
+	client := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion).NewClient()
+	ctx := context.Background()
+
+	const fanout = 16
+	for round := 0; round < 20; round++ {
+		pendings := make([]*Pending, fanout)
+		for i := 0; i < fanout; i++ {
+			a, b := int32(round), int32(i)
+			p, err := client.Go(ctx, testsvc.TestProcAdd4, 16, func(e *Enc) {
+				e.PutInt32(a)
+				e.PutInt32(b)
+				e.PutInt32(10)
+				e.PutInt32(100)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendings[i] = p
+		}
+		for i, p := range pendings {
+			var got int32
+			if err := p.Await(ctx, func(d *Dec) { got = d.Int32() }); err != nil {
+				t.Fatal(err)
+			}
+			want := int32(round) + int32(i) + 110
+			if got != want {
+				t.Fatalf("round %d call %d: Add4 = %d, want %d", round, i, got, want)
+			}
+		}
+	}
 }
 
 // TestConcurrentClientsStress exercises the sharded-lock fast path from 8

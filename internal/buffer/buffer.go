@@ -16,6 +16,7 @@ package buffer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fireflyrpc/internal/wire"
 )
@@ -196,11 +197,14 @@ func (f *Frame) Release() { f.pool.put(f) }
 // FramePool is a lock-free pool of packet Frames. The zero value is ready
 // to use; it is safe for concurrent use from any number of goroutines.
 type FramePool struct {
-	p sync.Pool
+	p    sync.Pool
+	gets atomic.Int64
+	puts atomic.Int64
 }
 
 // Get returns a frame with length 0. It never blocks and never fails.
 func (fp *FramePool) Get() *Frame {
+	fp.gets.Add(1)
 	if f, ok := fp.p.Get().(*Frame); ok {
 		f.n = 0
 		return f
@@ -208,7 +212,16 @@ func (fp *FramePool) Get() *Frame {
 	return &Frame{pool: fp}
 }
 
-func (fp *FramePool) put(f *Frame) { fp.p.Put(f) }
+func (fp *FramePool) put(f *Frame) {
+	fp.puts.Add(1)
+	fp.p.Put(f)
+}
+
+// InUse reports how many frames are currently checked out (Gets minus
+// Releases). Leak tests assert it returns to zero once a connection has
+// quiesced: every sent frame released, every retained call-table frame
+// recycled.
+func (fp *FramePool) InUse() int64 { return fp.gets.Load() - fp.puts.Load() }
 
 // Stats reports pool counters.
 type Stats struct {

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -157,6 +158,15 @@ type Client struct {
 	resBuf []byte
 	enc    marshal.Enc
 	dec    marshal.Dec
+
+	// Async-call slots. The packet-exchange protocol permits one call in
+	// flight per activity (the next call's seq supersedes the previous), so
+	// each concurrently outstanding Go needs its own activity; slots bundle
+	// that activity with its own reusable marshalling state and are
+	// recycled through a freelist, so steady-state fan-out allocates
+	// nothing per call.
+	slotMu   sync.Mutex
+	freeSlot *slot
 }
 
 // NewClient allocates an activity on the binding.
@@ -179,6 +189,13 @@ func (b *Binding) NewClient() *Client {
 // primitives — FixedBytes, VarBytes, VarBytesInto, String — are safe; the
 // server-side aliasing primitives must not be used here).
 func (c *Client) Call(proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
+	return c.CallCtx(context.Background(), proc, argSize, enc, dec)
+}
+
+// CallCtx is Call with cancellation: the ctx deadline bounds the whole
+// exchange (retransmissions included) and cancelling ctx abandons the call
+// immediately, releasing its protocol-level state and notifying the server.
+func (c *Client) CallCtx(ctx context.Context, proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
 	var args []byte
 	if argSize > 0 {
 		if cap(c.argBuf) < argSize {
@@ -198,7 +215,7 @@ func (c *Client) Call(proc uint16, argSize int, enc func(*marshal.Enc), dec func
 		enc(&c.enc)
 	}
 	seq := c.seq.Add(1)
-	res, err := c.b.node.conn.CallBuf(c.b.remote, c.activity, seq, c.b.iface, proc, args, c.resBuf)
+	res, err := c.b.node.conn.CallBufCtx(ctx, c.b.remote, c.activity, seq, c.b.iface, proc, args, c.resBuf)
 	if err != nil {
 		return err
 	}
@@ -215,6 +232,126 @@ func (c *Client) Call(proc uint16, argSize int, enc func(*marshal.Enc), dec func
 		}
 	}
 	return nil
+}
+
+// slot is one async call's context: an activity of its own (the protocol
+// allows one outstanding call per activity), reusable argument/result
+// buffers, marshalling state, and the protocol-level pending handle. Slots
+// live on the Client's freelist between calls.
+type slot struct {
+	activity uint64
+	seq      uint32
+	argBuf   []byte
+	resBuf   []byte
+	enc      marshal.Enc
+	dec      marshal.Dec
+	pc       proto.Pending
+	pending  Pending
+	next     *slot
+}
+
+// Pending is the handle to one in-flight asynchronous call started with
+// Client.Go. Exactly one Await must follow each Go; after Await returns,
+// the handle is dead (its slot is recycled into the next Go).
+type Pending struct {
+	c       *Client
+	s       *slot
+	awaited bool
+	err     error
+}
+
+// Done returns a channel closed when the call has completed; collect the
+// outcome with Await. Valid only until Await returns.
+func (p *Pending) Done() <-chan struct{} { return p.s.pc.Done() }
+
+// Await blocks until the call completes or ctx is cancelled, runs dec over
+// the result (dec reads a buffer the slot's next call overwrites, so it
+// must copy anything it keeps), and recycles the slot.
+func (p *Pending) Await(ctx context.Context, dec func(*marshal.Dec)) error {
+	if p.awaited {
+		return p.err
+	}
+	s, c := p.s, p.c
+	res, err := s.pc.Await(ctx)
+	if err == nil {
+		if cap(res) > cap(s.resBuf) {
+			s.resBuf = res[:0]
+		}
+		if dec != nil {
+			s.dec.Reset(res)
+			dec(&s.dec)
+			err = s.dec.Err()
+			s.dec.Reset(nil)
+		}
+	}
+	p.awaited = true
+	p.err = err
+	c.putSlot(s)
+	return err
+}
+
+func (c *Client) getSlot() *slot {
+	c.slotMu.Lock()
+	s := c.freeSlot
+	if s != nil {
+		c.freeSlot = s.next
+		s.next = nil
+	}
+	c.slotMu.Unlock()
+	if s == nil {
+		s = &slot{
+			activity: c.b.node.conn.NewActivity(),
+			resBuf:   make([]byte, 0, wire.MaxSinglePacketPayload),
+		}
+		s.pending = Pending{c: c, s: s}
+	}
+	s.pending.awaited = false
+	s.pending.err = nil
+	return s
+}
+
+func (c *Client) putSlot(s *slot) {
+	c.slotMu.Lock()
+	s.next = c.freeSlot
+	c.freeSlot = s
+	c.slotMu.Unlock()
+}
+
+// Go starts an asynchronous call and returns its pending handle. argSize
+// and enc are as in Call. The call proceeds without a dedicated goroutine:
+// the protocol's retransmission engine drives it, and the result is
+// collected with Await (or awaited after Done fires). A Client may have
+// any number of Gos outstanding; each uses a pooled slot with its own
+// activity. Like Call, Go and Await must be used from the Client's owning
+// goroutine.
+func (c *Client) Go(ctx context.Context, proc uint16, argSize int, enc func(*marshal.Enc)) (*Pending, error) {
+	s := c.getSlot()
+	var args []byte
+	if argSize > 0 {
+		if cap(s.argBuf) < argSize {
+			s.argBuf = make([]byte, argSize)
+		}
+		args = s.argBuf[:argSize]
+		s.enc.Reset(args)
+		if enc != nil {
+			enc(&s.enc)
+		}
+		if s.enc.Err() != nil {
+			err := fmt.Errorf("%w: %v", ErrMarshal, s.enc.Err())
+			c.putSlot(s)
+			return nil, err
+		}
+		args = s.enc.Bytes()
+	} else if enc != nil {
+		s.enc.Reset(nil)
+		enc(&s.enc)
+	}
+	s.seq++
+	if err := c.b.node.conn.StartCall(ctx, c.b.remote, s.activity, s.seq, c.b.iface, proc, args, s.resBuf, &s.pc); err != nil {
+		c.putSlot(s)
+		return nil, err
+	}
+	return &s.pending, nil
 }
 
 // CheckLen validates a fixed-length array argument against its IDL-declared

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"time"
 
 	"fireflyrpc/internal/buffer"
@@ -9,8 +10,8 @@ import (
 )
 
 // armTimer readies the call's reusable retransmission timer. The timer is
-// pooled with the outCall so the fast path never allocates runtime timers
-// (Ping and Call previously burned one per call or, worse, per retry).
+// pooled with the outCall so the fragment stop-and-wait path never
+// allocates runtime timers.
 func (oc *outCall) armTimer(d time.Duration) *time.Timer {
 	if oc.timer == nil {
 		oc.timer = time.NewTimer(d)
@@ -31,22 +32,130 @@ func (oc *outCall) quiesceTimer() {
 	}
 }
 
-// Call performs one remote procedure call: it transmits args to dst as one
-// or more fragments, waits for the result, and drives retransmission. It
-// blocks the calling goroutine, exactly as a caller thread blocks in the
-// call table. seq must increase across calls of the same activity.
-func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
-	iface uint32, proc uint16, args []byte) ([]byte, error) {
-	return c.CallBuf(dst, activity, seq, iface, proc, args, nil)
+// Pending is the handle to one in-flight asynchronous call started with Go
+// or StartCall. Exactly one goroutine must eventually call Await, which
+// collects the result and recycles the call's pooled state; after Await
+// returns, the handle is inert (further Awaits return the cached outcome)
+// and Done's channel must not be reused for a new call.
+type Pending struct {
+	c      *Conn
+	ch     *channel
+	oc     *outCall
+	k      callKey
+	doneCh <-chan struct{}
+	pump   chan struct{} // non-nil for multi-fragment calls; closed when the send pump exits
+	res    []byte
+	err    error
 }
 
-// CallBuf is Call with a caller-supplied result buffer: the result is
-// appended to resBuf[:0] when capacity allows, so a caller thread that
-// reuses one buffer across calls (as core.Client does) receives results
-// without a per-call allocation. The returned slice aliases resBuf when it
-// fits; callers that retain results across calls must copy them.
-func (c *Conn) CallBuf(dst transport.Addr, activity uint64, seq uint32,
-	iface uint32, proc uint16, args []byte, resBuf []byte) ([]byte, error) {
+// Done returns a channel that is closed when the call has completed
+// (result, rejection, timeout, or connection close). It lets a fan-out
+// caller select across many pending calls; collect the outcome with Await.
+func (p *Pending) Done() <-chan struct{} { return p.doneCh }
+
+// Await blocks until the call completes or ctx is cancelled, then returns
+// the result and releases every per-call resource: the call-table entry,
+// the retained retransmission frame, the engine's timer slot, and the
+// pooled outCall. On cancellation the call fails with ctx.Err() and a
+// best-effort cancel packet tells the server the caller has abandoned it.
+func (p *Pending) Await(ctx context.Context) ([]byte, error) {
+	if p.oc == nil {
+		return p.res, p.err
+	}
+	oc, k, c := p.oc, p.k, p.c
+	if cd := ctx.Done(); cd == nil {
+		// Non-cancellable context (the blocking wrappers' common case): a
+		// plain receive skips selectgo on the fast path.
+		<-oc.done
+	} else {
+		select {
+		case <-oc.done:
+		case <-cd:
+			p.cancelNotify(ctx.Err())
+			<-oc.done
+		}
+	}
+	// A multi-fragment send pump may still hold the args slice and the
+	// reusable timer; join it before recycling anything.
+	if p.pump != nil {
+		<-p.pump
+	}
+	c.unscheduleRetrans(oc, k)
+	p.ch.callsMu.Lock()
+	if p.ch.calls[k] == oc {
+		delete(p.ch.calls, k)
+	}
+	p.ch.callsMu.Unlock()
+	oc.mu.Lock()
+	res, err := oc.result, oc.err
+	frame := oc.frame
+	oc.frame = nil
+	retries := oc.retries
+	sentAt := oc.sentAt
+	oc.mu.Unlock()
+	if frame != nil {
+		frame.Release()
+	}
+	if err == nil {
+		c.stats.callsCompleted.Add(1)
+		if retries == 0 && !sentAt.IsZero() {
+			// Karn's rule: only un-retransmitted calls feed the per-peer
+			// round-trip estimator.
+			p.ch.rttObserve(time.Since(sentAt))
+		}
+	}
+	oc.quiesceTimer()
+	putOutCall(oc)
+	p.oc = nil
+	p.res, p.err = res, err
+	return res, err
+}
+
+// cancelNotify fails the call with cause and tells the server — best
+// effort, one unacknowledged packet — that the caller has abandoned it, so
+// the server can drop reassembly state and skip retaining the result.
+func (p *Pending) cancelNotify(cause error) {
+	oc, k := p.oc, p.k
+	oc.mu.Lock()
+	already := oc.finished
+	if !already {
+		oc.finishLocked(k, nil, cause)
+	}
+	oc.mu.Unlock()
+	if already {
+		return
+	}
+	h := wire.RPCHeader{Type: wire.TypeCancel, Activity: k.activity, Seq: k.seq, FragCount: 1}
+	_ = p.c.sendFrame(p.ch.peer, h, nil)
+}
+
+// Go starts an asynchronous call and returns its handle. It transmits args
+// to dst (spawning a goroutine only for multi-fragment sends), registers
+// the call with the retransmission engine, and returns immediately; the
+// result is collected with Await. seq must increase across calls of the
+// same activity, and an activity may have at most one call in flight —
+// fan-out callers use one activity per outstanding call (as core.Client's
+// slots do).
+func (c *Conn) Go(ctx context.Context, dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte, resBuf []byte) (*Pending, error) {
+	p := new(Pending)
+	if err := c.StartCall(ctx, dst, activity, seq, iface, proc, args, resBuf, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// StartCall is Go with a caller-provided Pending, so callers that pool
+// their per-call state (core.Client's slots, the blocking wrappers' stack
+// frame) start a call without allocating the handle.
+func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte, resBuf []byte, p *Pending) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err // cancelled before sending anything
+	}
 
 	// Single-packet calls — the fast path — skip the fragmentation helper
 	// and its slice allocation entirely.
@@ -56,31 +165,50 @@ func (c *Conn) CallBuf(dst transport.Addr, activity uint64, seq uint32,
 	if len(args) > maxP {
 		frags = fragment(args, maxP)
 		if len(frags) > maxFragments {
-			return nil, ErrTooLarge
+			return ErrTooLarge
 		}
 		nfrags = len(frags)
 	}
 
+	// The call's absolute deadline: the earlier of Config.CallTimeout and
+	// the context's deadline. The retransmission engine enforces it, so it
+	// holds even while retransmissions keep being answered.
+	var deadline time.Time
+	if c.cfg.CallTimeout > 0 {
+		deadline = time.Now().Add(c.cfg.CallTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+
 	k := callKey{activity, seq}
 	oc := getOutCall(k, dst, resBuf)
-	c.callsMu.Lock()
+	oc.mu.Lock()
+	oc.deadline = deadline
+	oc.mu.Unlock()
+	ch := c.channelOf(dst)
+	ch.callsMu.Lock()
+	ch.calls[k] = oc
+	ch.callsMu.Unlock()
 	if c.closed.Load() {
-		c.callsMu.Unlock()
-		putOutCall(oc)
-		return nil, ErrClosed
-	}
-	c.calls[k] = oc
-	c.callsMu.Unlock()
-	c.stats.callsSent.Add(1)
-	defer func() {
-		c.callsMu.Lock()
-		if c.calls[k] == oc {
-			delete(c.calls, k)
+		// Close may already have swept this channel; do not strand the call.
+		ch.callsMu.Lock()
+		if ch.calls[k] == oc {
+			delete(ch.calls, k)
 		}
-		c.callsMu.Unlock()
-		oc.quiesceTimer()
+		ch.callsMu.Unlock()
 		putOutCall(oc)
-	}()
+		return ErrClosed
+	}
+	now := time.Now()
+	ch.touch(now)
+	c.stats.callsSent.Add(1)
+	*p = Pending{c: c, ch: ch, oc: oc, k: k, doneCh: oc.done}
+
+	// Start retransmission from the adaptive per-peer estimate
+	// (Jacobson-style), with the configured interval as both the ceiling
+	// and the cold-start value.
+	iv := ch.rttInterval(c.cfg.RetransInterval/8, c.cfg.RetransInterval)
 
 	hdr := wire.RPCHeader{
 		Type:      wire.TypeCall,
@@ -91,96 +219,156 @@ func (c *Conn) CallBuf(dst transport.Addr, activity uint64, seq uint32,
 		Proc:      proc,
 	}
 
-	// Stop-and-wait for all but the final fragment.
+	if nfrags == 1 {
+		last := hdr
+		last.Flags = wire.FlagLastFrag
+		frame := c.newFrame(last, args)
+		sent := now
+		if err := c.tr.Send(dst, frame.Bytes()); err != nil {
+			frame.Release()
+			ch.callsMu.Lock()
+			if ch.calls[k] == oc {
+				delete(ch.calls, k)
+			}
+			ch.callsMu.Unlock()
+			putOutCall(oc)
+			return err
+		}
+		c.armRetrans(oc, k, frame, sent, iv, deadline)
+		return nil
+	}
+
+	// Multi-fragment calls hand the stop-and-wait send to a pump goroutine
+	// so Go still returns immediately; the args slice stays referenced
+	// until the pump exits, which Await waits for.
+	pump := make(chan struct{})
+	p.pump = pump
+	go c.pumpCall(oc, ch, k, hdr, frags, iv, deadline, pump)
+	return nil
+}
+
+// armRetrans retains the final call fragment's frame and schedules the
+// retransmission engine for it, clamping the first check to the deadline.
+func (c *Conn) armRetrans(oc *outCall, k callKey, frame *buffer.Frame, sent time.Time, iv time.Duration, deadline time.Time) {
+	oc.mu.Lock()
+	if oc.finished || oc.key != k {
+		oc.mu.Unlock()
+		frame.Release()
+		return
+	}
+	oc.frame = frame
+	oc.sentAt = sent
+	oc.interval = iv
+	oc.nextAt = sent.Add(iv)
+	at := oc.nextAt
+	if !deadline.IsZero() && deadline.Before(at) {
+		at = deadline
+	}
+	oc.mu.Unlock()
+	c.scheduleRetrans(oc, k, at)
+}
+
+// pumpCall drives a multi-fragment call's stop-and-wait sends off the
+// caller's goroutine, then arms the retransmission engine for the final
+// fragment. It exits promptly if the call completes or is cancelled
+// mid-stream (sendFragWithAck watches oc.done).
+func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
+	frags [][]byte, iv time.Duration, deadline time.Time, pump chan struct{}) {
+	defer close(pump)
+	nfrags := len(frags)
 	for i := 0; i < nfrags-1; i++ {
 		h := hdr
 		h.FragIndex = uint16(i)
 		h.Flags = wire.FlagPleaseAck
 		f := c.newFrame(h, frags[i])
-		err := c.sendFragWithAck(oc, f, uint16(i))
+		err := c.sendFragWithAck(oc, k, f, uint16(i), deadline)
 		f.Release()
 		if err != nil {
-			return nil, err
+			oc.finish(k, nil, err)
+			return
 		}
 	}
-
-	// Final fragment: acknowledged implicitly by the result. The frame is
-	// retained in its pooled buffer for retransmission until the call
-	// completes.
 	last := hdr
 	last.FragIndex = uint16(nfrags - 1)
 	last.Flags = wire.FlagLastFrag
-	lastPayload := args
-	if frags != nil {
-		lastPayload = frags[nfrags-1]
+	frame := c.newFrame(last, frags[nfrags-1])
+	sent := time.Now()
+	if err := c.tr.Send(ch.peer, frame.Bytes()); err != nil {
+		frame.Release()
+		oc.finish(k, nil, err)
+		return
 	}
-	frame := c.newFrame(last, lastPayload)
-	defer frame.Release()
-	started := time.Now()
-	if err := c.tr.Send(dst, frame.Bytes()); err != nil {
+	c.armRetrans(oc, k, frame, sent, iv, deadline)
+}
+
+// CallCtx performs one remote procedure call, blocking until the result
+// arrives, ctx is cancelled, or the call's deadline expires.
+func (c *Conn) CallCtx(ctx context.Context, dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte) ([]byte, error) {
+	return c.CallBufCtx(ctx, dst, activity, seq, iface, proc, args, nil)
+}
+
+// Call is CallCtx without cancellation. seq must increase across calls of
+// the same activity.
+func (c *Conn) Call(dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte) ([]byte, error) {
+	return c.CallBufCtx(context.Background(), dst, activity, seq, iface, proc, args, nil)
+}
+
+// CallBuf is Call with a caller-supplied result buffer: the result is
+// appended to resBuf[:0] when capacity allows, so a caller thread that
+// reuses one buffer across calls (as core.Client does) receives results
+// without a per-call allocation. The returned slice aliases resBuf when it
+// fits; callers that retain results across calls must copy them.
+func (c *Conn) CallBuf(dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte, resBuf []byte) ([]byte, error) {
+	return c.CallBufCtx(context.Background(), dst, activity, seq, iface, proc, args, resBuf)
+}
+
+// CallBufCtx is the blocking form of the async API: StartCall with a
+// stack-allocated handle, then Await. All the blocking entry points funnel
+// here, so the call table, retransmission engine, deadlines, and
+// cancellation behave identically for sync and async callers.
+func (c *Conn) CallBufCtx(ctx context.Context, dst transport.Addr, activity uint64, seq uint32,
+	iface uint32, proc uint16, args []byte, resBuf []byte) ([]byte, error) {
+	var p Pending
+	if err := c.StartCall(ctx, dst, activity, seq, iface, proc, args, resBuf, &p); err != nil {
 		return nil, err
 	}
-
-	// Start from the adaptive per-peer estimate (Jacobson-style), with the
-	// configured interval as both the ceiling and the cold-start value.
-	interval := c.rtt.interval(dst, c.cfg.RetransInterval/8, c.cfg.RetransInterval)
-	retries := 0
-	timer := oc.armTimer(interval)
-	for {
-		select {
-		case <-oc.done:
-			oc.mu.Lock()
-			res, err := oc.result, oc.err
-			oc.mu.Unlock()
-			if err == nil {
-				c.stats.callsCompleted.Add(1)
-				if retries == 0 {
-					// Karn's rule: only un-retransmitted calls feed the
-					// round-trip estimator.
-					c.rtt.observe(dst, time.Since(started))
-				}
-			}
-			return res, err
-		case <-oc.progress:
-			// Server says it is still executing: reset patience.
-			retries = 0
-			oc.quiesceTimer()
-			timer.Reset(interval)
-		case <-timer.C:
-			retries++
-			if retries > c.cfg.MaxRetries {
-				return nil, ErrTimeout
-			}
-			c.stats.retransmits.Add(1)
-			// Retransmissions request an explicit acknowledgement so a
-			// busy server can answer without completing. The flag is
-			// flipped in place in the retained frame (byte 3 of the wire
-			// header) rather than rebuilding the packet.
-			frame.Bytes()[3] |= wire.FlagPleaseAck
-			if err := c.tr.Send(dst, frame.Bytes()); err != nil {
-				return nil, err
-			}
-			if interval < 8*c.cfg.RetransInterval {
-				interval *= 2
-			}
-			timer.Reset(interval)
-		}
-	}
+	return p.Await(ctx)
 }
 
 // sendFragWithAck transmits one non-final fragment and waits for its
-// explicit acknowledgement, retransmitting as needed.
-func (c *Conn) sendFragWithAck(oc *outCall, frame *buffer.Frame, idx uint16) error {
+// explicit acknowledgement, retransmitting as needed and honoring the
+// call's absolute deadline.
+func (c *Conn) sendFragWithAck(oc *outCall, k callKey, frame *buffer.Frame, idx uint16, deadline time.Time) error {
 	if err := c.tr.Send(oc.dst, frame.Bytes()); err != nil {
 		return err
 	}
 	interval := c.cfg.RetransInterval
+	wait := func() (time.Duration, bool) {
+		w := interval
+		if !deadline.IsZero() {
+			r := time.Until(deadline)
+			if r <= 0 {
+				return 0, false
+			}
+			if r < w {
+				w = r
+			}
+		}
+		return w, true
+	}
+	w, ok := wait()
+	if !ok {
+		return ErrTimeout
+	}
 	retries := 0
-	timer := oc.armTimer(interval)
+	timer := oc.armTimer(w)
 	defer oc.quiesceTimer()
 	for {
 		select {
-		case <-oc.done: // rejected or canceled mid-stream
+		case <-oc.done: // rejected or cancelled mid-stream
 			oc.mu.Lock()
 			err := oc.err
 			oc.mu.Unlock()
@@ -189,11 +377,14 @@ func (c *Conn) sendFragWithAck(oc *outCall, frame *buffer.Frame, idx uint16) err
 			}
 			return err
 		case got := <-oc.ackCh:
-			if got.activity == oc.key.activity && got.seq == oc.key.seq && got.idx == idx {
+			if got.activity == k.activity && got.seq == k.seq && got.idx == idx {
 				return nil
 			}
 			// Stale ack of an earlier fragment or call: keep waiting.
 		case <-timer.C:
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return ErrTimeout
+			}
 			retries++
 			if retries > c.cfg.MaxRetries {
 				return ErrTimeout
@@ -205,7 +396,11 @@ func (c *Conn) sendFragWithAck(oc *outCall, frame *buffer.Frame, idx uint16) err
 			if interval < 8*c.cfg.RetransInterval {
 				interval *= 2
 			}
-			timer.Reset(interval)
+			w, ok := wait()
+			if !ok {
+				return ErrTimeout
+			}
+			timer.Reset(w)
 		}
 	}
 }

@@ -13,13 +13,25 @@
 //   - Servers suppress duplicate calls per activity and retain the last
 //     result packet for retransmission until the activity's next call.
 //
+// Beyond the 1989 single-segment design, the connection state is organized
+// per peer: each remote endpoint gets a channel object holding its own
+// call-table shard, duplicate-suppression state, and Jacobson/Karels
+// round-trip estimator, managed through a sharded peer map that evicts
+// idle peers. A single retransmission-engine goroutine drives every
+// pending call's timer from one heap, which is what makes the asynchronous
+// call API (Go/Pending) cost no goroutine per in-flight call. Calls take a
+// context.Context: deadlines bound the whole exchange (winning over the
+// retry budget) and cancellation releases the call-table entry and pooled
+// buffers immediately, notifying the server with a best-effort cancel
+// packet.
+//
 // The fast path is engineered the way §4.2 of the paper prescribes: packet
 // buffers come from a pool and are recycled rather than allocated (the
 // paper's on-the-fly receive-buffer replacement), per-call bookkeeping
-// objects are reused, counters are lock-free atomics, and the connection
-// state is sharded into independent locks (outgoing calls, server
-// activities, pings) so concurrent caller threads and the receive
-// goroutine never serialize on one global mutex.
+// objects are reused, counters are lock-free atomics, and the locks are
+// per-peer and per-concern (outgoing calls, server activities, pings) so
+// concurrent caller threads and the receive goroutine never serialize on
+// one global mutex.
 package proto
 
 import (
@@ -54,8 +66,10 @@ const maxFragments = 256
 
 // Config tunes the protocol engine.
 type Config struct {
-	// RetransInterval is the initial retransmission timeout; it doubles on
-	// each retry up to 8× the initial value. The Firefly used ~600 ms.
+	// RetransInterval is the initial retransmission timeout for peers with
+	// no round-trip estimate, and the ceiling for peers with one; it
+	// doubles on each retry up to 8× the initial value. The Firefly used
+	// ~600 ms.
 	RetransInterval time.Duration
 	// MaxRetries bounds retransmissions per fragment before ErrTimeout.
 	MaxRetries int
@@ -63,6 +77,17 @@ type Config struct {
 	// execute simultaneously (the Firefly kept a pool of server threads
 	// waiting in the call table).
 	Workers int
+	// CallTimeout, when positive, bounds each call's total duration. It is
+	// enforced by the retransmission engine, so it holds even while
+	// retransmissions keep succeeding — a server that answers every retry
+	// with "still executing" cannot stretch a call past its deadline. A
+	// caller context with an earlier deadline tightens it further.
+	CallTimeout time.Duration
+	// PeerIdleTimeout, when positive, evicts a peer's channel (call-table
+	// shard, duplicate state, retained result frames, RTT estimate) after
+	// it has been quiet this long with nothing in flight. Zero disables
+	// eviction.
+	PeerIdleTimeout time.Duration
 }
 
 // DefaultConfig mirrors sensible Firefly-like settings scaled to modern
@@ -72,6 +97,7 @@ func DefaultConfig() Config {
 		RetransInterval: 50 * time.Millisecond,
 		MaxRetries:      10,
 		Workers:         8,
+		PeerIdleTimeout: 2 * time.Minute,
 	}
 }
 
@@ -98,6 +124,8 @@ type Stats struct {
 	BadFrames      int64
 	StaleDrops     int64
 	Probes         int64
+	Cancels        int64 // cancel notices received (caller abandoned a call)
+	PeersEvicted   int64 // idle peer channels reclaimed
 }
 
 // statCounters is the live, contention-free form of Stats: each event is a
@@ -117,6 +145,8 @@ type statCounters struct {
 	badFrames      atomic.Int64
 	staleDrops     atomic.Int64
 	probes         atomic.Int64
+	cancels        atomic.Int64
+	peersEvicted   atomic.Int64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -134,15 +164,18 @@ func (s *statCounters) snapshot() Stats {
 		BadFrames:      s.badFrames.Load(),
 		StaleDrops:     s.staleDrops.Load(),
 		Probes:         s.probes.Load(),
+		Cancels:        s.cancels.Load(),
+		PeersEvicted:   s.peersEvicted.Load(),
 	}
 }
 
 // Conn is one protocol endpoint; it can originate calls and serve them.
 //
-// Its mutable state is sharded: outgoing calls, server activities, and
-// pings each have their own lock, so a storm of incoming call fragments
-// never blocks a caller registering a new call, and neither blocks a Ping.
-// No code path holds two of these locks at once.
+// Per-peer state (outgoing calls, server activities, RTT estimates) lives
+// in channel objects behind a sharded peer map; only pings and the
+// retransmission heap are Conn-global, each behind its own lock. No code
+// path holds two of these locks at once except the documented
+// retransMu → outCall.mu nesting in the retransmission engine.
 type Conn struct {
 	tr      transport.Transport
 	cfg     Config
@@ -150,22 +183,29 @@ type Conn struct {
 
 	closed atomic.Bool
 
-	callsMu sync.Mutex
-	calls   map[callKey]*outCall
-
-	actsMu sync.Mutex
-	acts   map[actKey]*serverAct
+	// peers is the sharded per-peer channel directory.
+	peers peerMap
 
 	pingsMu sync.Mutex
 	pings   map[uint32]chan struct{}
 	pingSeq uint32
 
 	activityCtr atomic.Uint64
-	rtt         *rttTracker
+
+	// Retransmission engine state: a min-heap of pending calls ordered by
+	// next-fire time, drained by the retransLoop goroutine. earliestNs is
+	// the engine's published wake time so schedulers know when a kick is
+	// needed. All guarded by retransMu.
+	retransMu    sync.Mutex
+	rheap        []*outCall
+	earliestNs   int64
+	retransSched uint64 // schedules since startup; lets the engine see recent traffic
+	retransKick  chan struct{}
 
 	// Server execution: a fixed pool of worker goroutines drains work, the
 	// real-stack analogue of the Firefly's pool of server threads waiting
-	// in the call table. workQuit stops them on Close.
+	// in the call table. workQuit stops them (and the retransmission
+	// engine) on Close.
 	work     chan execReq
 	workQuit chan struct{}
 
@@ -192,15 +232,6 @@ type callKey struct {
 	seq      uint32
 }
 
-// actKey identifies a caller activity. The src string comes from
-// transport.Addr.String(), which every bundled transport answers from a
-// cached string (memAddr is a string; UDP canonicalizes peers once), so
-// building a key does not allocate per frame.
-type actKey struct {
-	src      string
-	activity uint64
-}
-
 // fragAck is one explicit fragment acknowledgement. It carries the full
 // call identity so a stale ack — of an earlier fragment, an earlier call,
 // or a previous incarnation of a pooled channel — can never satisfy the
@@ -214,14 +245,31 @@ type fragAck struct {
 // outCall is an outstanding outgoing call. outCalls are pooled and reused
 // across calls; every completion path re-verifies key under mu so a stale
 // reference from a previous incarnation cannot touch the current call.
+//
+// Retransmission state (frame, interval, nextAt, deadline, retries) is
+// guarded by mu and driven by the Conn's retransmission engine; the heap
+// bookkeeping fields (heapAt, heapIdx, inHeap) are guarded by
+// Conn.retransMu.
 type outCall struct {
-	mu       sync.Mutex
-	key      callKey
-	dst      transport.Addr
-	done     chan struct{} // fresh per call; closed exactly once on finish
-	ackCh    chan fragAck  // reused; acks of our call fragments
-	progress chan struct{} // reused; "still executing" notifications
-	timer    *time.Timer   // reused across calls and retries
+	mu    sync.Mutex
+	key   callKey
+	dst   transport.Addr
+	done  chan struct{} // fresh per call; closed exactly once on finish
+	ackCh chan fragAck  // reused; acks of our call fragments
+	timer *time.Timer   // reused across fragment sends and pings
+
+	// Retransmission engine state.
+	frame    *buffer.Frame // retained final call fragment
+	interval time.Duration // current backoff interval
+	nextAt   time.Time     // authoritative next retransmission time
+	deadline time.Time     // absolute call deadline; zero = none
+	sentAt   time.Time     // when the final fragment was first sent (RTT sample)
+	retries  int
+
+	// Heap bookkeeping (guarded by Conn.retransMu, not mu).
+	heapAt  time.Time
+	heapIdx int
+	inHeap  bool
 
 	resBuf   []byte            // caller-provided result space (may be nil)
 	resFrags map[uint16][]byte // lazy: only multi-fragment results
@@ -235,14 +283,12 @@ type outCall struct {
 // the per-call setup cost is one done-channel allocation.
 var outCallPool = sync.Pool{New: func() any {
 	return &outCall{
-		ackCh:    make(chan fragAck, maxFragments),
-		progress: make(chan struct{}, 1),
+		ackCh: make(chan fragAck, maxFragments),
 	}
 }}
 
 // getOutCall readies a pooled outCall for one call. Stale acks from a
-// previous incarnation are drained; a stale progress signal at worst resets
-// one retry budget, which is harmless.
+// previous incarnation are drained.
 func getOutCall(k callKey, dst transport.Addr, resBuf []byte) *outCall {
 	oc := outCallPool.Get().(*outCall)
 	oc.mu.Lock()
@@ -254,6 +300,12 @@ func getOutCall(k callKey, dst transport.Addr, resBuf []byte) *outCall {
 	oc.result = nil
 	oc.err = nil
 	oc.finished = false
+	oc.frame = nil
+	oc.retries = 0
+	oc.interval = 0
+	oc.nextAt = time.Time{}
+	oc.deadline = time.Time{}
+	oc.sentAt = time.Time{}
 	oc.done = make(chan struct{})
 	oc.mu.Unlock()
 	for {
@@ -267,27 +319,27 @@ func getOutCall(k callKey, dst transport.Addr, resBuf []byte) *outCall {
 
 // putOutCall returns a finished outCall to the pool.
 func putOutCall(oc *outCall) {
-	select {
-	case <-oc.progress:
-	default:
-	}
 	oc.mu.Lock()
 	oc.dst = nil
 	oc.resBuf = nil
 	oc.resFrags = nil
 	oc.result = nil
+	oc.frame = nil
 	oc.mu.Unlock()
 	outCallPool.Put(oc)
 }
 
-// serverAct is the per-(caller, activity) server state: duplicate
-// suppression and the retained result. Mutable fields are guarded by
-// Conn.actsMu; key and src are immutable after creation.
+// serverAct is the per-activity server state within a peer's channel:
+// duplicate suppression and the retained result. Mutable fields are
+// guarded by the owning channel's actsMu; activity, src, and ch are
+// immutable after creation.
 type serverAct struct {
-	key     actKey
-	src     transport.Addr
-	lastSeq uint32
-	phase   int // receiving, executing, done
+	activity  uint64
+	src       transport.Addr
+	ch        *channel
+	lastSeq   uint32
+	phase     int // receiving, executing, done
+	abandoned bool
 	// argBuf is the recycled single-packet argument buffer: each new call
 	// takes it (or allocates if an overlapping execution still owns it) and
 	// the worker returns it when done, so steady-state calls do not
@@ -323,19 +375,22 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		cfg.Workers = DefaultConfig().Workers
 	}
 	c := &Conn{
-		tr:       tr,
-		cfg:      cfg,
-		calls:    make(map[callKey]*outCall),
-		acts:     make(map[actKey]*serverAct),
-		pings:    make(map[uint32]chan struct{}),
-		handler:  handler,
-		work:     make(chan execReq, 8*cfg.Workers),
-		workQuit: make(chan struct{}),
-		rtt:      newRTTTracker(),
+		tr:          tr,
+		cfg:         cfg,
+		pings:       make(map[uint32]chan struct{}),
+		handler:     handler,
+		work:        make(chan execReq, 8*cfg.Workers),
+		workQuit:    make(chan struct{}),
+		retransKick: make(chan struct{}, 1),
+		earliestNs:  int64(1) << 62,
+	}
+	for i := range c.peers.shards {
+		c.peers.shards[i].peers = make(map[string]*channel)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		go c.worker()
 	}
+	go c.retransLoop()
 	tr.SetReceiver(c.onFrame)
 	return c
 }
@@ -365,6 +420,7 @@ func (c *Conn) enqueueExec(req execReq) {
 			select {
 			case c.work <- req:
 			case <-c.workQuit:
+				req.act.ch.executing.Add(-1)
 			}
 		}()
 	}
@@ -396,24 +452,29 @@ func (c *Conn) Stats() Stats { return c.stats.snapshot() }
 // LocalAddr names this endpoint.
 func (c *Conn) LocalAddr() transport.Addr { return c.tr.LocalAddr() }
 
-// Close shuts the connection down; outstanding calls fail.
+// Close shuts the connection down; outstanding calls fail with ErrClosed,
+// every peer channel's retained result frames are released, and the worker
+// pool and retransmission engine stop.
 func (c *Conn) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
 	close(c.workQuit)
-	c.callsMu.Lock()
-	calls := make([]*outCall, 0, len(c.calls))
-	keys := make([]callKey, 0, len(c.calls))
-	for k, oc := range c.calls {
-		calls = append(calls, oc)
-		keys = append(keys, k)
-	}
-	c.calls = map[callKey]*outCall{}
-	c.callsMu.Unlock()
-	for i, oc := range calls {
-		oc.finish(keys[i], nil, ErrClosed)
-	}
+	c.forEachChannel(func(ch *channel) {
+		ch.callsMu.Lock()
+		calls := make([]*outCall, 0, len(ch.calls))
+		keys := make([]callKey, 0, len(ch.calls))
+		for k, oc := range ch.calls {
+			calls = append(calls, oc)
+			keys = append(keys, k)
+		}
+		ch.calls = map[callKey]*outCall{}
+		ch.callsMu.Unlock()
+		for i, oc := range calls {
+			oc.finish(keys[i], nil, ErrClosed)
+		}
+		c.evictChannel(ch)
+	})
 	return c.tr.Close()
 }
 
@@ -422,16 +483,20 @@ func (c *Conn) Close() error {
 // recycled) no-ops instead of corrupting the next call.
 func (oc *outCall) finish(k callKey, result []byte, err error) {
 	oc.mu.Lock()
+	oc.finishLocked(k, result, err)
+	oc.mu.Unlock()
+}
+
+// finishLocked is finish with oc.mu already held (the retransmission
+// engine's completion path).
+func (oc *outCall) finishLocked(k callKey, result []byte, err error) {
 	if oc.finished || oc.key != k {
-		oc.mu.Unlock()
 		return
 	}
 	oc.finished = true
 	oc.result = result
 	oc.err = err
-	done := oc.done
-	oc.mu.Unlock()
-	close(done)
+	close(oc.done)
 }
 
 // maxPayload is the per-fragment payload budget.

@@ -138,7 +138,7 @@ func TestAdaptiveRTTConverges(t *testing.T) {
 	}
 	// The adaptive initial retransmission interval is below the ceiling but
 	// at least the floor.
-	iv := caller.rtt.interval(sa, cfg.RetransInterval/8, cfg.RetransInterval)
+	iv := caller.channelOf(sa).rttInterval(cfg.RetransInterval/8, cfg.RetransInterval)
 	if iv >= cfg.RetransInterval {
 		t.Fatalf("adaptive interval %v did not drop below the ceiling %v", iv, cfg.RetransInterval)
 	}

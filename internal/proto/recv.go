@@ -9,8 +9,8 @@ import (
 )
 
 // onFrame is the transport's receive callback — the real-stack analogue of
-// the Firefly's Ethernet interrupt routine: validate, demultiplex against
-// the call table, and hand the packet to the waiting party directly. The
+// the Firefly's Ethernet interrupt routine: validate, demultiplex to the
+// peer's channel, and hand the packet to the waiting party directly. The
 // payload slice is only valid for the duration of the call; anything kept
 // longer is copied into recycled per-call buffers.
 func (c *Conn) onFrame(src transport.Addr, frame []byte) {
@@ -27,7 +27,9 @@ func (c *Conn) onFrame(src transport.Addr, frame []byte) {
 	case wire.TypeAck:
 		c.onAck(src, hdr)
 	case wire.TypeReject:
-		c.onReject(hdr)
+		c.onReject(src, hdr)
+	case wire.TypeCancel:
+		c.onCancel(src, hdr)
 	case wire.TypeProbe:
 		c.stats.probes.Add(1)
 		reply := wire.RPCHeader{Type: wire.TypeProbeReply, Seq: hdr.Seq, FragCount: 1}
@@ -45,8 +47,22 @@ func (c *Conn) onFrame(src transport.Addr, frame []byte) {
 	}
 }
 
+// lookupCall finds the outstanding call k in src's channel, if both exist.
+// Receive paths that only complete existing state use lookupChannel, so
+// stray packets from unknown peers never populate the peer map.
+func (c *Conn) lookupCall(src transport.Addr, k callKey) (*channel, *outCall) {
+	ch := c.lookupChannel(src)
+	if ch == nil {
+		return nil, nil
+	}
+	ch.callsMu.Lock()
+	oc := ch.calls[k]
+	ch.callsMu.Unlock()
+	return ch, oc
+}
+
 // sendAck acknowledges a fragment. Acks are sent inline from whatever
-// goroutine noticed the need (never holding a Conn lock): they are one
+// goroutine noticed the need (never holding a channel lock): they are one
 // bounded transport send, and spawning a goroutine per ack — as the
 // multi-fragment path once did — costs an allocation and a scheduler trip
 // per packet.
@@ -65,7 +81,8 @@ func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uin
 	_ = c.sendFrame(dst, h, nil)
 }
 
-// onCallFrag handles an arriving call fragment on the server side.
+// onCallFrag handles an arriving call fragment on the server side. All the
+// duplicate-suppression state lives in the calling peer's channel.
 func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
 	if c.handler == nil || c.closed.Load() {
 		c.stats.rejects.Add(1)
@@ -79,18 +96,19 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 		c.stats.badFrames.Add(1)
 		return
 	}
-	key := actKey{src.String(), hdr.Activity}
-	c.actsMu.Lock()
-	act := c.acts[key]
+	ch := c.channelOf(src)
+	ch.touch(time.Now())
+	ch.actsMu.Lock()
+	act := ch.acts[hdr.Activity]
 	if act == nil {
-		act = &serverAct{key: key, src: src}
-		c.acts[key] = act
+		act = &serverAct{activity: hdr.Activity, src: src, ch: ch}
+		ch.acts[hdr.Activity] = act
 	}
 
 	switch {
 	case hdr.Seq < act.lastSeq:
 		// A fragment of a superseded call: drop.
-		c.actsMu.Unlock()
+		ch.actsMu.Unlock()
 		c.stats.staleDrops.Add(1)
 		return
 
@@ -98,7 +116,10 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 		switch act.phase {
 		case phaseReceiving:
 			needAck, req, run := c.storeFragLocked(act, hdr, payload)
-			c.actsMu.Unlock()
+			if run {
+				ch.executing.Add(1)
+			}
+			ch.actsMu.Unlock()
 			if needAck {
 				c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
 			}
@@ -107,7 +128,7 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 			}
 			return
 		case phaseExecuting:
-			c.actsMu.Unlock()
+			ch.actsMu.Unlock()
 			c.stats.dupCalls.Add(1)
 			c.stats.inProgressAcks.Add(1)
 			c.sendAck(src, hdr.Activity, hdr.Seq, ackInProgress, false)
@@ -122,13 +143,14 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 				c.stats.resultRetrans.Add(1)
 				_ = c.tr.Send(src, act.lastResultFrame.Bytes())
 			}
-			c.actsMu.Unlock()
+			ch.actsMu.Unlock()
 			return
 		}
 
 	default: // a new call: implicitly acknowledges the previous result
 		act.lastSeq = hdr.Seq
 		act.phase = phaseReceiving
+		act.abandoned = false
 		act.count = hdr.FragCount
 		act.hdr = hdr
 		if act.lastResultFrame != nil {
@@ -144,7 +166,10 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 			act.frags = nil
 		}
 		needAck, req, run := c.storeFragLocked(act, hdr, payload)
-		c.actsMu.Unlock()
+		if run {
+			ch.executing.Add(1)
+		}
+		ch.actsMu.Unlock()
 		if needAck {
 			c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
 		}
@@ -155,11 +180,12 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 	}
 }
 
-// storeFragLocked records a call fragment (c.actsMu held) and, when the
-// call is complete, snapshots the argument data into an execRequest so the
-// worker never touches shared state. It reports whether the fragment wants
-// an explicit ack and whether the call is ready to execute; the caller
-// performs both actions after releasing the lock.
+// storeFragLocked records a call fragment (the channel's actsMu held) and,
+// when the call is complete, snapshots the argument data into an execReq so
+// the worker never touches shared state. It reports whether the fragment
+// wants an explicit ack and whether the call is ready to execute; the
+// caller performs both actions after releasing the lock (and bumps the
+// channel's executing count under it when run is true).
 func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byte) (needAck bool, req execReq, run bool) {
 	if hdr.FragCount != act.count {
 		// Inconsistent fragmentation: treat as garbage.
@@ -193,9 +219,11 @@ func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byt
 
 // execute runs one complete call on a worker goroutine and sends the
 // result. All argument data arrives snapshotted in the request, so the
-// fragment join happens without holding any Conn lock.
+// fragment join happens without holding any channel lock.
 func (c *Conn) execute(req execReq) {
 	act, hdr := req.act, req.hdr
+	ch := act.ch
+	defer ch.executing.Add(-1)
 	args := req.args
 	if req.frags != nil {
 		total := 0
@@ -210,7 +238,24 @@ func (c *Conn) execute(req execReq) {
 
 	result, err := c.handler(act.src, hdr.Interface, hdr.Proc, args)
 	c.stats.callsServed.Add(1)
-	if err != nil {
+	// No touch here: every inbound frame (including the retransmissions a
+	// waiting caller sends during a long handler) already stamps the
+	// channel in onCallFrag, and the executing counter blocks eviction
+	// while the handler runs.
+	ch.actsMu.Lock()
+	abandoned := act.abandoned && act.lastSeq == hdr.Seq
+	ch.actsMu.Unlock()
+	switch {
+	case abandoned:
+		// The caller cancelled this call while it executed: nobody is
+		// waiting, so skip the result send entirely and leave nothing
+		// retained. A new call on the activity resets the state.
+		ch.actsMu.Lock()
+		if act.lastSeq == hdr.Seq && act.phase == phaseExecuting {
+			act.phase = phaseDone
+		}
+		ch.actsMu.Unlock()
+	case err != nil:
 		c.stats.rejects.Add(1)
 		rej := wire.RPCHeader{
 			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq,
@@ -219,7 +264,7 @@ func (c *Conn) execute(req execReq) {
 		f := c.newFrame(rej, nil)
 		_ = c.tr.Send(act.src, f.Bytes())
 		c.retainResult(act, hdr.Seq, f)
-	} else {
+	default:
 		c.sendResult(act, hdr, result)
 	}
 
@@ -227,35 +272,42 @@ func (c *Conn) execute(req execReq) {
 	// If a newer call already allocated its own (an overlap only a
 	// timed-out caller can produce), the older buffer is simply dropped.
 	if req.args != nil {
-		c.actsMu.Lock()
-		if act.argBuf == nil {
+		ch.actsMu.Lock()
+		if act.argBuf == nil && !ch.evicted {
 			act.argBuf = req.args[:0]
 		}
-		c.actsMu.Unlock()
+		ch.actsMu.Unlock()
 	}
 }
 
 // retainResult parks the final result frame in the activity's call-table
 // slot for retransmission, releasing its predecessor. If a newer call has
-// superseded seq, the frame is released instead: nobody may retransmit it.
+// superseded seq, the caller abandoned the call, or the channel was evicted
+// while the handler ran, the frame is released instead: nobody may (or
+// will) retransmit it.
 func (c *Conn) retainResult(act *serverAct, seq uint32, f *buffer.Frame) {
-	c.actsMu.Lock()
-	if act.lastSeq == seq {
+	ch := act.ch
+	ch.actsMu.Lock()
+	if act.lastSeq == seq && !act.abandoned && !ch.evicted {
 		act.phase = phaseDone
 		if act.lastResultFrame != nil {
 			act.lastResultFrame.Release()
 		}
 		act.lastResultFrame = f
 	} else {
+		if act.lastSeq == seq && act.phase == phaseExecuting {
+			act.phase = phaseDone
+		}
 		f.Release()
 	}
-	c.actsMu.Unlock()
+	ch.actsMu.Unlock()
 }
 
 // sendResult transmits the result fragments: stop-and-wait acks on all but
 // the last, whose receipt is acknowledged implicitly by the next call. The
 // final frame is retained for retransmission.
 func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
+	ch := act.ch
 	maxP := c.maxPayload()
 	nfrags := 1
 	var frags [][]byte
@@ -282,7 +334,7 @@ func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
 	if nfrags > 1 {
 		// Multi-fragment results need the explicit-ack channel; create it
 		// lazily and flush stale entries from a previous call.
-		c.actsMu.Lock()
+		ch.actsMu.Lock()
 		if act.ackCh == nil {
 			act.ackCh = make(chan fragAck, maxFragments)
 		}
@@ -294,7 +346,7 @@ func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
 			}
 			break
 		}
-		c.actsMu.Unlock()
+		ch.actsMu.Unlock()
 		for i := 0; i < nfrags-1; i++ {
 			h := hdr
 			h.FragIndex = uint16(i)
@@ -319,11 +371,13 @@ func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
 	c.retainResult(act, call.Seq, f)
 }
 
-// sendResultFragWithAck is the server-side stop-and-wait sender.
+// sendResultFragWithAck is the server-side stop-and-wait sender. It gives
+// up early when the caller abandons the call mid-stream.
 func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame *buffer.Frame, idx uint16) bool {
 	if err := c.tr.Send(act.src, frame.Bytes()); err != nil {
 		return false
 	}
+	ch := act.ch
 	interval := c.cfg.RetransInterval
 	retries := 0
 	timer := time.NewTimer(interval)
@@ -335,6 +389,12 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame 
 				return true
 			}
 		case <-timer.C:
+			ch.actsMu.Lock()
+			gone := act.abandoned || act.lastSeq != call.Seq || ch.evicted
+			ch.actsMu.Unlock()
+			if gone {
+				return false
+			}
 			retries++
 			if retries > c.cfg.MaxRetries {
 				return false
@@ -354,9 +414,7 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame 
 // onResultFrag handles an arriving result fragment on the caller side.
 func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
 	k := callKey{hdr.Activity, hdr.Seq}
-	c.callsMu.Lock()
-	oc := c.calls[k]
-	c.callsMu.Unlock()
+	_, oc := c.lookupCall(src, k)
 	needAck := hdr.Flags&wire.FlagPleaseAck != 0 && hdr.Flags&wire.FlagLastFrag == 0
 	if oc == nil {
 		// Late duplicate of a completed call. Re-ack non-final fragments
@@ -367,6 +425,8 @@ func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []by
 		}
 		return
 	}
+	// No touch here: StartCall stamped the channel when this call left, and
+	// a registered call blocks eviction regardless of the stamp's age.
 
 	var result []byte
 	complete := false
@@ -415,33 +475,43 @@ func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []by
 func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
 	if hdr.Flags&flagAckResult != 0 {
 		// Caller acking our result fragment.
-		c.actsMu.Lock()
-		act := c.acts[actKey{src.String(), hdr.Activity}]
-		var ch chan fragAck
-		if act != nil && act.lastSeq == hdr.Seq {
-			ch = act.ackCh
+		ch := c.lookupChannel(src)
+		if ch == nil {
+			return
 		}
-		c.actsMu.Unlock()
-		if ch != nil {
+		ch.actsMu.Lock()
+		act := ch.acts[hdr.Activity]
+		var ackCh chan fragAck
+		if act != nil && act.lastSeq == hdr.Seq {
+			ackCh = act.ackCh
+		}
+		ch.actsMu.Unlock()
+		if ackCh != nil {
 			select {
-			case ch <- fragAck{hdr.Activity, hdr.Seq, hdr.FragIndex}:
+			case ackCh <- fragAck{hdr.Activity, hdr.Seq, hdr.FragIndex}:
 			default:
 			}
 		}
 		return
 	}
 	// Server acking our call fragment, or telling us it is executing.
-	c.callsMu.Lock()
-	oc := c.calls[callKey{hdr.Activity, hdr.Seq}]
-	c.callsMu.Unlock()
+	k := callKey{hdr.Activity, hdr.Seq}
+	_, oc := c.lookupCall(src, k)
 	if oc == nil {
 		return
 	}
 	if hdr.FragIndex == ackInProgress {
-		select {
-		case oc.progress <- struct{}{}:
-		default:
+		// Server says it is still executing: reset patience. The engine
+		// sees the pushed-out nextAt when this entry fires and re-arms
+		// without retransmitting.
+		oc.mu.Lock()
+		if !oc.finished && oc.key == k {
+			oc.retries = 0
+			if oc.interval > 0 {
+				oc.nextAt = time.Now().Add(oc.interval)
+			}
 		}
+		oc.mu.Unlock()
 		return
 	}
 	select {
@@ -451,12 +521,35 @@ func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
 }
 
 // onReject completes an outstanding call with ErrRejected.
-func (c *Conn) onReject(hdr wire.RPCHeader) {
+func (c *Conn) onReject(src transport.Addr, hdr wire.RPCHeader) {
 	k := callKey{hdr.Activity, hdr.Seq}
-	c.callsMu.Lock()
-	oc := c.calls[k]
-	c.callsMu.Unlock()
+	_, oc := c.lookupCall(src, k)
 	if oc != nil {
 		oc.finish(k, nil, ErrRejected)
 	}
+}
+
+// onCancel handles a caller's best-effort abandonment notice: drop any
+// reassembly state for the cancelled call and mark the activity so the
+// executing handler's result is neither sent nor retained. A later call on
+// the activity clears the mark.
+func (c *Conn) onCancel(src transport.Addr, hdr wire.RPCHeader) {
+	ch := c.lookupChannel(src)
+	if ch == nil {
+		return
+	}
+	c.stats.cancels.Add(1)
+	ch.actsMu.Lock()
+	act := ch.acts[hdr.Activity]
+	if act != nil && act.lastSeq == hdr.Seq && act.phase != phaseDone {
+		act.abandoned = true
+		if act.phase == phaseReceiving {
+			// Mid-reassembly: free the partial fragments now; stray
+			// retransmitted fragments of this seq will be dropped because
+			// the activity is parked in phaseDone with nothing retained.
+			act.frags = nil
+			act.phase = phaseDone
+		}
+	}
+	ch.actsMu.Unlock()
 }

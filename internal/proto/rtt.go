@@ -1,52 +1,34 @@
 package proto
 
 import (
-	"sync"
 	"time"
 
 	"fireflyrpc/internal/transport"
 )
 
-// rttTracker keeps a Jacobson/Karels smoothed round-trip estimate per peer,
-// so retransmission timers adapt to the path instead of waiting a full
-// worst-case interval: on a fast LAN the first retransmission fires within
-// a few round trips, while the configured interval remains the ceiling (and
-// the starting point for peers we have never heard from).
+// rttState is a Jacobson/Karels smoothed round-trip estimate for one peer,
+// embedded in that peer's channel so retransmission timers adapt to the
+// path instead of waiting a full worst-case interval: on a fast LAN the
+// first retransmission fires within a few round trips, while the
+// configured interval remains the ceiling (and the cold-start value for
+// peers we have never heard from).
 //
-// Peers are keyed by the Addr value itself rather than Addr.String(), so
-// the per-call lookup does not allocate. Both bundled transports hand out
-// canonical addresses (memAddr is a comparable string value; the UDP
-// transport interns one *udpAddr per peer), so equal peers compare equal.
-// A caller that constructs a fresh Addr per call merely gets an independent
-// estimate, which only costs adaptivity, never correctness.
-type rttTracker struct {
-	mu    sync.Mutex
-	peers map[transport.Addr]*rttState
-}
-
+// The state lives inside the channel (guarded by channel.rttMu), so there
+// is no global estimator map and no cross-peer contention: looking up the
+// estimate is part of looking up the channel, which the call path does
+// anyway.
 type rttState struct {
 	srtt   time.Duration
 	rttvar time.Duration
 	valid  bool
 }
 
-func newRTTTracker() *rttTracker {
-	return &rttTracker{peers: make(map[transport.Addr]*rttState)}
-}
-
 // observe folds a completed call's round trip into the estimate. Samples
 // from retransmitted calls must not be fed in (Karn's rule); the caller
 // enforces that.
-func (t *rttTracker) observe(dst transport.Addr, sample time.Duration) {
+func (st *rttState) observe(sample time.Duration) {
 	if sample <= 0 {
 		return
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	st := t.peers[dst]
-	if st == nil {
-		st = &rttState{}
-		t.peers[dst] = st
 	}
 	if !st.valid {
 		st.srtt = sample
@@ -62,22 +44,14 @@ func (t *rttTracker) observe(dst transport.Addr, sample time.Duration) {
 	st.srtt = (7*st.srtt + sample) / 8
 }
 
-// interval returns the initial retransmission interval for dst: the
-// adaptive srtt + 4·rttvar estimate clamped to [floor, ceiling], or the
-// ceiling when no estimate exists yet.
-func (t *rttTracker) interval(dst transport.Addr, floor, ceiling time.Duration) time.Duration {
-	t.mu.Lock()
-	st := t.peers[dst]
-	var est time.Duration
-	valid := false
-	if st != nil && st.valid {
-		est = st.srtt + 4*st.rttvar
-		valid = true
-	}
-	t.mu.Unlock()
-	if !valid {
+// interval returns the initial retransmission interval: the adaptive
+// srtt + 4·rttvar estimate clamped to [floor, ceiling], or the ceiling
+// when no estimate exists yet.
+func (st *rttState) interval(floor, ceiling time.Duration) time.Duration {
+	if !st.valid {
 		return ceiling
 	}
+	est := st.srtt + 4*st.rttvar
 	if est < floor {
 		return floor
 	}
@@ -89,11 +63,14 @@ func (t *rttTracker) interval(dst transport.Addr, floor, ceiling time.Duration) 
 
 // RTT reports the smoothed round-trip estimate for dst, if one exists.
 func (c *Conn) RTT(dst transport.Addr) (time.Duration, bool) {
-	c.rtt.mu.Lock()
-	defer c.rtt.mu.Unlock()
-	st := c.rtt.peers[dst]
-	if st == nil || !st.valid {
+	ch := c.lookupChannel(dst)
+	if ch == nil {
 		return 0, false
 	}
-	return st.srtt, true
+	ch.rttMu.Lock()
+	defer ch.rttMu.Unlock()
+	if !ch.rtt.valid {
+		return 0, false
+	}
+	return ch.rtt.srtt, true
 }

@@ -10,6 +10,7 @@
 package realbench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ type Result struct {
 	Bench       string  `json:"bench"`     // Null | MaxArg | MaxResult
 	Transport   string  `json:"transport"` // mem | udp
 	Threads     int     `json:"threads"`
+	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
 	N           int     `json:"n"` // calls measured
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -157,10 +159,81 @@ func runCase(overUDP bool, call callFunc, threads int) (testing.BenchmarkResult,
 	return r, failure
 }
 
+// asyncCall issues one async call on a pooled slot; the procedure is Null
+// for latency-shaped cases and MaxResult for throughput-shaped ones.
+type asyncCall func(cl *core.Client, ctx context.Context) (*core.Pending, error)
+
+var asyncCases = []struct {
+	name  string
+	bytes int
+	start asyncCall
+	// mkDec builds the per-run result decoder over a reusable buffer
+	// (nil when the procedure returns nothing).
+	mkDec func(buf []byte) func(*marshal.Dec)
+}{
+	{"Null", 0, func(cl *core.Client, ctx context.Context) (*core.Pending, error) {
+		return cl.Go(ctx, testsvc.TestProcNull, 0, nil)
+	}, nil},
+	{"MaxResult", payloadBytes, func(cl *core.Client, ctx context.Context) (*core.Pending, error) {
+		return cl.Go(ctx, testsvc.TestProcMaxResult, 0, nil)
+	}, func(buf []byte) func(*marshal.Dec) {
+		return func(d *marshal.Dec) { d.FixedBytes(buf) }
+	}},
+}
+
+// runAsyncCase measures the asynchronous fan-out path: one caller
+// goroutine keeps `outstanding` calls in flight through Client.Go/Await,
+// so the cell reports per-call cost when the engine — not a goroutine per
+// call — carries the in-flight state.
+func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int) (testing.BenchmarkResult, error) {
+	binding, done, err := pair(overUDP, 8)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer done()
+
+	var failure error
+	r := testing.Benchmark(func(b *testing.B) {
+		cl := binding.NewClient()
+		ctx := context.Background()
+		pend := make([]*core.Pending, 0, outstanding)
+		var dec func(*marshal.Dec)
+		if mkDec != nil {
+			dec = mkDec(make([]byte, payloadBytes))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; {
+			batch := outstanding
+			if b.N-i < batch {
+				batch = b.N - i
+			}
+			pend = pend[:0]
+			for j := 0; j < batch; j++ {
+				p, err := ac(cl, ctx)
+				if err != nil {
+					failure = err
+					return
+				}
+				pend = append(pend, p)
+			}
+			for _, p := range pend {
+				if err := p.Await(ctx, dec); err != nil {
+					failure = err
+					return
+				}
+			}
+			i += batch
+		}
+	})
+	return r, failure
+}
+
 // Options configures a suite run.
 type Options struct {
-	Threads []int     // caller-thread counts; default 1,2,4,8
-	Log     io.Writer // progress output; nil for quiet
+	Threads     []int     // caller-thread counts; default 1,2,4,8
+	Outstanding []int     // async fan-out widths; default 1,8,64
+	Log         io.Writer // progress output; nil for quiet
 }
 
 // Run executes the full real-stack suite and returns it.
@@ -174,11 +247,16 @@ func Run(opts Options) Suite {
 			fmt.Fprintf(opts.Log, format, a...)
 		}
 	}
+	outstanding := opts.Outstanding
+	if len(outstanding) == 0 {
+		outstanding = []int{1, 8, 64}
+	}
 	suite := Suite{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Note: "Real-stack Table I analogue: Null/MaxArg/MaxResult over the " +
 			"in-process exchange (mem) and UDP loopback (udp), one client " +
-			"activity per caller thread.",
+			"activity per caller thread. Async cells keep N calls in flight " +
+			"from one goroutine via Client.Go/Await.",
 	}
 	for _, tr := range []struct {
 		name    string
@@ -207,6 +285,32 @@ func Run(opts Options) Suite {
 				suite.Results = append(suite.Results, res)
 				logf("  %-9s %-3s %d threads: %8.0f ns/op  %3d allocs/op  %9.0f calls/s\n",
 					c.name, tr.name, th, res.NsPerOp, res.AllocsPerOp, res.CallsPerSec)
+			}
+		}
+		for _, c := range asyncCases {
+			for _, out := range outstanding {
+				br, err := runAsyncCase(tr.overUDP, c.start, c.mkDec, out)
+				if err != nil {
+					logf("  %-9s %-3s async %2d outstanding: skipped (%v)\n", c.name, tr.name, out, err)
+					continue
+				}
+				res := Result{
+					Bench:       c.name + "Async",
+					Transport:   tr.name,
+					Threads:     1,
+					Outstanding: out,
+					N:           br.N,
+					NsPerOp:     float64(br.NsPerOp()),
+					AllocsPerOp: br.AllocsPerOp(),
+					BytesPerOp:  br.AllocedBytesPerOp(),
+				}
+				if res.NsPerOp > 0 {
+					res.CallsPerSec = 1e9 / res.NsPerOp
+					res.MbitPerSec = res.CallsPerSec * float64(c.bytes) * 8 / 1e6
+				}
+				suite.Results = append(suite.Results, res)
+				logf("  %-9s %-3s async %2d outstanding: %8.0f ns/op  %3d allocs/op  %9.0f calls/s\n",
+					c.name, tr.name, out, res.NsPerOp, res.AllocsPerOp, res.CallsPerSec)
 			}
 		}
 	}

@@ -10,6 +10,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -173,9 +174,15 @@ func NewClient(node *core.Node, addr transport.Addr) *Client {
 
 // Register advertises a service name at addr with a lease of ttl.
 func (r *Client) Register(name, addr string, ttl time.Duration) error {
+	return r.RegisterCtx(context.Background(), name, addr, ttl)
+}
+
+// RegisterCtx is Register with cancellation: useful when a registry may be
+// slow or unreachable and the caller has its own startup deadline.
+func (r *Client) RegisterCtx(ctx context.Context, name, addr string, ttl time.Duration) error {
 	n, a := marshal.NewText(name), marshal.NewText(addr)
 	size := marshal.TextWireSize(n) + marshal.TextWireSize(a) + 4
-	return r.c.Call(procRegister, size, func(e *marshal.Enc) {
+	return r.c.CallCtx(ctx, procRegister, size, func(e *marshal.Enc) {
 		e.PutText(n)
 		e.PutText(a)
 		e.PutUint32(uint32(ttl / time.Second))
@@ -184,9 +191,14 @@ func (r *Client) Register(name, addr string, ttl time.Duration) error {
 
 // Lookup resolves a service name to its address string.
 func (r *Client) Lookup(name string) (string, error) {
+	return r.LookupCtx(context.Background(), name)
+}
+
+// LookupCtx is Lookup with cancellation.
+func (r *Client) LookupCtx(ctx context.Context, name string) (string, error) {
 	n := marshal.NewText(name)
 	var out *marshal.Text
-	err := r.c.Call(procLookup, marshal.TextWireSize(n),
+	err := r.c.CallCtx(ctx, procLookup, marshal.TextWireSize(n),
 		func(e *marshal.Enc) { e.PutText(n) },
 		func(d *marshal.Dec) { out = d.GetText() })
 	if err != nil {
@@ -200,9 +212,14 @@ func (r *Client) Lookup(name string) (string, error) {
 
 // List returns the registered names with the given prefix.
 func (r *Client) List(prefix string) ([]string, error) {
+	return r.ListCtx(context.Background(), prefix)
+}
+
+// ListCtx is List with cancellation.
+func (r *Client) ListCtx(ctx context.Context, prefix string) ([]string, error) {
 	p := marshal.NewText(prefix)
 	var out *marshal.Text
-	err := r.c.Call(procList, marshal.TextWireSize(p),
+	err := r.c.CallCtx(ctx, procList, marshal.TextWireSize(p),
 		func(e *marshal.Enc) { e.PutText(p) },
 		func(d *marshal.Dec) { out = d.GetText() })
 	if err != nil {
@@ -225,7 +242,12 @@ func (r *Client) List(prefix string) ([]string, error) {
 
 // Deregister removes a service name.
 func (r *Client) Deregister(name string) error {
+	return r.DeregisterCtx(context.Background(), name)
+}
+
+// DeregisterCtx is Deregister with cancellation.
+func (r *Client) DeregisterCtx(ctx context.Context, name string) error {
 	n := marshal.NewText(name)
-	return r.c.Call(procDeregist, marshal.TextWireSize(n),
+	return r.c.CallCtx(ctx, procDeregist, marshal.TextWireSize(n),
 		func(e *marshal.Enc) { e.PutText(n) }, nil)
 }

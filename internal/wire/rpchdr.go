@@ -26,6 +26,12 @@ const (
 	TypeProbeReply
 	// TypeReject reports a binding or dispatch failure back to the caller.
 	TypeReject
+	// TypeCancel tells the server the caller has abandoned the identified
+	// call (its context was cancelled): partial reassembly state can be
+	// dropped and the eventual result need not be sent or retained. It is
+	// advisory and best-effort, like everything else on a lossy datagram
+	// transport — a lost cancel merely wastes one execution.
+	TypeCancel
 )
 
 // String names the packet type.
@@ -43,6 +49,8 @@ func (t PacketType) String() string {
 		return "probe-reply"
 	case TypeReject:
 		return "reject"
+	case TypeCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -1,9 +1,16 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, full test suite, then the race-detector
-# pass over the two packages with lock-sharded concurrent fast paths.
+# Tier-1 verification: build, vet (examples and commands included via ./...),
+# full test suite, then the race-detector pass over the packages with
+# lock-sharded concurrent fast paths — proto now carries the per-peer channel
+# map and central retransmission engine, so its channel/cancellation tests run
+# under -race here. The final step pins the async fast path's allocation
+# budget: Client.Go/Await must cost no more objects per call than blocking
+# Call (TestAsyncNullAllocBudget fails the run otherwise).
 set -ex
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/proto ./internal/core
+go test -race -run 'TestLossyAsyncStressNoLeaks|TestCancel' ./internal/proto
+go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
