@@ -8,6 +8,8 @@
 //	fireflybench -quality 0.1     # 10% of the paper's call counts (fast)
 //	fireflybench -list            # list experiments
 //	fireflybench -real            # benchmark the real stack, write BENCH_realstack.json
+//	fireflybench -breakdown       # traced per-stage latency accounting (Tables VI/VII style)
+//	fireflybench -realcheck F     # validate a BENCH_realstack.json and exit
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"fireflyrpc/internal/exper"
@@ -32,10 +35,31 @@ func main() {
 	realOut := flag.String("realout", "BENCH_realstack.json", "output path for -real results")
 	realThreads := flag.String("realthreads", "1,2,4,8", "comma-separated caller-thread counts for -real")
 	realFanout := flag.String("realfanout", "1,8,64", "comma-separated async fan-out widths for -real")
+	realCases := flag.String("realcases", "", "comma-separated -real case names (Null, MaxArg, MaxResult); empty = all")
+	realTime := flag.String("realtime", "", "per-cell benchmark time for -real (e.g. 50ms); empty = the testing default (1s)")
+	realMemOnly := flag.Bool("realmem", false, "restrict -real to the in-process exchange transport")
+	realCheck := flag.String("realcheck", "", "validate this BENCH_realstack.json and exit")
+	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
+	breakdownCalls := flag.Int("breakdowncalls", 2000, "calls to trace for -breakdown")
+	breakdownSample := flag.Int("breakdownsample", 64, "sampling stride for the -breakdown overhead measurement")
 	flag.Parse()
 
+	if *realCheck != "" {
+		if err := realbench.CheckFile(*realCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "fireflybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *realCheck)
+		return
+	}
+
+	if *breakdown {
+		runBreakdown(*breakdownCalls, *breakdownSample)
+		return
+	}
+
 	if *real {
-		runReal(*realOut, *realThreads, *realFanout)
+		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly)
 		return
 	}
 
@@ -77,7 +101,7 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec, fanoutSpec string) {
+func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool) {
 	parse := func(spec, flagName string) []int {
 		var out []int
 		for _, s := range strings.Split(spec, ",") {
@@ -92,11 +116,58 @@ func runReal(outPath, threadSpec, fanoutSpec string) {
 	}
 	threads := parse(threadSpec, "-realthreads")
 	fanout := parse(fanoutSpec, "-realfanout")
+	var caseNames []string
+	if caseSpec != "" {
+		for _, s := range strings.Split(caseSpec, ",") {
+			caseNames = append(caseNames, strings.TrimSpace(s))
+		}
+	}
+	if timeSpec != "" {
+		// realbench drives testing.Benchmark, which sizes each cell from the
+		// standard -test.benchtime flag; registering the testing flags makes
+		// it settable from this non-test binary (CI's bench-smoke job uses
+		// this to cut the run from minutes to seconds).
+		testing.Init()
+		if err := flag.Set("test.benchtime", timeSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "fireflybench: bad -realtime %q: %v\n", timeSpec, err)
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v)\n", threads, fanout)
-	suite := realbench.Run(realbench.Options{Threads: threads, Outstanding: fanout, Log: os.Stdout})
+	suite := realbench.Run(realbench.Options{
+		Threads:     threads,
+		Outstanding: fanout,
+		Cases:       caseNames,
+		MemOnly:     memOnly,
+		Log:         os.Stdout,
+	})
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", outPath, len(suite.Results))
+}
+
+// runBreakdown prints the stage accounting table and the tracing overhead,
+// exiting non-zero when the telescoping stage sum fails to explain the
+// measured end-to-end latency within 10% — the same self-check the paper
+// applies to Table VIII's model-vs-measurement comparison.
+func runBreakdown(calls, sample int) {
+	res, err := realbench.Breakdown(calls, sample)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fireflybench: breakdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Null call stage breakdown (exchange transport, %d traced calls)\n\n", res.Report.Calls)
+	fmt.Print(res.Report.Format())
+	fmt.Printf("\ntracing overhead on Null at 1-in-%d sampling: %.0f ns/call untraced, %.0f ns/call traced (%+.1f%%)\n",
+		res.SampleEvery, res.NullNsUntraced, res.NullNsTraced, res.OverheadPercent)
+	if un := res.Report.Unaccounted(); un < -0.10 || un > 0.10 {
+		fmt.Fprintf(os.Stderr, "fireflybench: stage sum is off by %+.1f%% of end-to-end latency (tolerance 10%%)\n", 100*un)
+		os.Exit(1)
+	}
+	if res.Report.Calls == 0 {
+		fmt.Fprintln(os.Stderr, "fireflybench: no fully-stamped calls were accounted")
+		os.Exit(1)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/debughttp"
 	"fireflyrpc/internal/marshal"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/stats"
@@ -32,6 +33,8 @@ func main() {
 	calls := flag.Int("calls", 10000, "total calls per measurement")
 	threadList := flag.String("threads", "1,2,3,4,8", "comma-separated caller thread counts")
 	fanout := flag.Int("k", 1, "async calls kept in flight per thread (1 = blocking)")
+	debugAddr := flag.String("debug", "", "serve /debug/rpc, expvar, and pprof on this HTTP address; empty = off")
+	traceN := flag.Int("trace", 0, "stage-trace one call in N and record latency histograms; 0 = off")
 	flag.Parse()
 	if *fanout < 1 {
 		log.Fatalf("rpcclient: -k must be at least 1")
@@ -43,6 +46,18 @@ func main() {
 	}
 	node := core.NewNode(tr, proto.DefaultConfig())
 	defer node.Close()
+	if *traceN > 0 {
+		node.Conn().SetTracing(*traceN, proto.DefaultTraceRing)
+	}
+	if *debugAddr != "" {
+		debughttp.Register("client", node.Conn())
+		dbg, err := debughttp.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("rpcclient: debug listener: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("rpcclient: debug surface on http://%s/debug/rpc\n", dbg.Addr())
+	}
 	remote, err := transport.ResolveUDPAddr(*server)
 	if err != nil {
 		log.Fatalf("rpcclient: %v", err)
@@ -83,6 +98,14 @@ func main() {
 		fmt.Printf("%-8d %-12.1f %-10.0f %-14.1f %-10.2f\n",
 			n, nullLat, nullRate, maxLat,
 			maxRate*float64(wire.MaxSinglePacketPayload)*8/1e6)
+	}
+
+	if *traceN > 0 {
+		for _, ph := range node.Conn().PeerHistograms() {
+			s := ph.Hist.Summarize()
+			fmt.Printf("latency to %s: n=%d p50=%.1fµs p95=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs\n",
+				ph.Peer, s.N, s.P50Us, s.P95Us, s.P99Us, s.P999Us, s.MaxUs)
+		}
 	}
 }
 

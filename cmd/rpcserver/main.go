@@ -13,6 +13,7 @@ import (
 	"os/signal"
 
 	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/debughttp"
 	"fireflyrpc/internal/marshal"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/testsvc"
@@ -58,6 +59,8 @@ func (service) Increment(counter *uint32) error { *counter++; return nil }
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5530", "UDP address to serve on")
 	workers := flag.Int("workers", 8, "server threads kept waiting for calls")
+	debugAddr := flag.String("debug", "", "serve /debug/rpc, expvar, and pprof on this HTTP address (e.g. 127.0.0.1:6060); empty = off")
+	traceN := flag.Int("trace", 0, "stage-trace one call in N and record latency histograms; 0 = off")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -68,6 +71,18 @@ func main() {
 	cfg.Workers = *workers
 	node := core.NewNode(tr, cfg)
 	node.Export(testsvc.ExportTest(service{}))
+	if *traceN > 0 {
+		node.Conn().SetTracing(*traceN, proto.DefaultTraceRing)
+	}
+	if *debugAddr != "" {
+		debughttp.Register("server", node.Conn())
+		dbg, err := debughttp.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("rpcserver: debug listener: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("rpcserver: debug surface on http://%s/debug/rpc\n", dbg.Addr())
+	}
 	fmt.Printf("rpcserver: Test interface v%d on %s (%d workers)\n",
 		testsvc.TestVersion, node.Addr(), *workers)
 

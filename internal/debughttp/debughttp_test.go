@@ -1,0 +1,131 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/testsvc"
+	"fireflyrpc/internal/transport"
+)
+
+type nullImpl struct{}
+
+func (nullImpl) Null() error                            { return nil }
+func (nullImpl) MaxResult(b []byte) error               { return nil }
+func (nullImpl) MaxArg(b []byte) error                  { return nil }
+func (nullImpl) Add4(a, b, c, d int32) (int32, error)   { return a + b + c + d, nil }
+func (nullImpl) Reverse(data []byte, out *[]byte) error { *out = data; return nil }
+func (nullImpl) Increment(counter *uint32) error        { *counter++; return nil }
+func (nullImpl) Greet(n *marshal.Text) (*marshal.Text, error) {
+	return marshal.NewText("hi " + n.String()), nil
+}
+
+func TestDebugSurface(t *testing.T) {
+	ex := transport.NewExchange()
+	server := core.NewNode(ex.Port("server"), proto.DefaultConfig())
+	caller := core.NewNode(ex.Port("caller"), proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(nullImpl{}))
+	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
+	cl := testsvc.NewTestClient(binding)
+
+	caller.Conn().SetTracing(1, 128)
+	server.Conn().SetTracing(1, 128)
+	for i := 0; i < 32; i++ {
+		if err := cl.Null(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	Register("caller", caller.Conn())
+	Register("server", server.Conn())
+	defer Unregister("caller")
+	defer Unregister("server")
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/rpc"), &snap); err != nil {
+		t.Fatalf("bad /debug/rpc JSON: %v", err)
+	}
+	if len(snap.Conns) != 2 {
+		t.Fatalf("snapshot has %d conns, want 2", len(snap.Conns))
+	}
+	byName := map[string]ConnView{}
+	for _, c := range snap.Conns {
+		byName[c.Name] = c
+	}
+	cv := byName["caller"]
+	if cv.Stats.CallsCompleted < 32 {
+		t.Errorf("caller completed %d calls in snapshot, want ≥32", cv.Stats.CallsCompleted)
+	}
+	if len(cv.PeerHists) != 1 || cv.PeerHists[0].Summary.N < 32 {
+		t.Errorf("caller peer hists: %+v", cv.PeerHists)
+	}
+	if len(cv.MethodHists) == 0 {
+		t.Error("caller method hists empty")
+	}
+	if !cv.Tracing {
+		t.Error("caller view should report tracing enabled")
+	}
+	if snap.Accounting == nil || snap.Accounting.Calls == 0 {
+		t.Errorf("joined accounting: %+v", snap.Accounting)
+	}
+	sv := byName["server"]
+	if sv.Stats.CallsServed < 32 {
+		t.Errorf("server served %d calls in snapshot, want ≥32", sv.Stats.CallsServed)
+	}
+	if len(sv.Peers) != 1 {
+		t.Errorf("server peer table: %+v", sv.Peers)
+	}
+
+	// Sub-pages and the expvar surface must parse too.
+	for _, path := range []string{"/debug/rpc/peers", "/debug/rpc/hist", "/debug/rpc/trace", "/debug/vars"} {
+		var v map[string]any
+		if err := json.Unmarshal(get(path), &v); err != nil {
+			t.Errorf("bad %s JSON: %v", path, err)
+		}
+	}
+	if _, ok := func() (any, bool) {
+		var v map[string]any
+		_ = json.Unmarshal(get("/debug/vars"), &v)
+		x, ok := v["fireflyrpc"]
+		return x, ok
+	}(); !ok {
+		t.Error("/debug/vars is missing the fireflyrpc var")
+	}
+
+	// pprof index answers.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %v (resp %+v)", err, resp)
+	}
+	resp.Body.Close()
+}

@@ -92,16 +92,30 @@ func (p *Pending) Await(ctx context.Context) ([]byte, error) {
 	oc.frame = nil
 	retries := oc.retries
 	sentAt := oc.sentAt
+	iface, proc := oc.iface, oc.proc
+	rec := oc.trace
+	oc.trace = nil
 	oc.mu.Unlock()
+	if rec != nil {
+		rec.stamp(StageWakeup)
+	}
 	if frame != nil {
 		frame.Release()
 	}
 	if err == nil {
 		c.stats.callsCompleted.Add(1)
-		if retries == 0 && !sentAt.IsZero() {
-			// Karn's rule: only un-retransmitted calls feed the per-peer
-			// round-trip estimator.
-			p.ch.rttObserve(time.Since(sentAt))
+		if !sentAt.IsZero() {
+			elapsed := time.Since(sentAt)
+			if retries == 0 {
+				// Karn's rule: only un-retransmitted calls feed the per-peer
+				// round-trip estimator.
+				p.ch.rttObserve(elapsed)
+			}
+			if c.trace.sampleN.Load() != 0 {
+				// Observability on: fold the call into the per-peer and
+				// per-method latency histograms.
+				c.observeLatency(p.ch, iface, proc, elapsed)
+			}
 		}
 	}
 	oc.quiesceTimer()
@@ -183,8 +197,17 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 
 	k := callKey{activity, seq}
 	oc := getOutCall(k, dst, resBuf)
+	// Sampled stage tracing: claim a pooled ring record and stamp the
+	// start. One atomic load when tracing is disabled (rec stays nil).
+	rec := c.trace.sample()
 	oc.mu.Lock()
 	oc.deadline = deadline
+	oc.iface, oc.proc = iface, proc
+	if rec != nil {
+		rec.claim(activity, seq)
+		rec.stamp(StageStart)
+		oc.trace = rec
+	}
 	oc.mu.Unlock()
 	ch := c.channelOf(dst)
 	ch.callsMu.Lock()
@@ -222,6 +245,10 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 	if nfrags == 1 {
 		last := hdr
 		last.Flags = wire.FlagLastFrag
+		if rec != nil {
+			// Ask the server to stamp its stages for this call too.
+			last.Flags |= wire.FlagTraced
+		}
 		frame := c.newFrame(last, args)
 		sent := now
 		if err := c.tr.Send(dst, frame.Bytes()); err != nil {
@@ -233,6 +260,9 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 			ch.callsMu.Unlock()
 			putOutCall(oc)
 			return err
+		}
+		if rec != nil {
+			rec.stamp(StageSent)
 		}
 		c.armRetrans(oc, k, frame, sent, iv, deadline)
 		return nil
@@ -291,12 +321,21 @@ func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
 	last := hdr
 	last.FragIndex = uint16(nfrags - 1)
 	last.Flags = wire.FlagLastFrag
+	oc.mu.Lock()
+	rec := oc.trace
+	oc.mu.Unlock()
+	if rec != nil {
+		last.Flags |= wire.FlagTraced
+	}
 	frame := c.newFrame(last, frags[nfrags-1])
 	sent := time.Now()
 	if err := c.tr.Send(ch.peer, frame.Bytes()); err != nil {
 		frame.Release()
 		oc.finish(k, nil, err)
 		return
+	}
+	if rec != nil {
+		rec.stamp(StageSent)
 	}
 	c.armRetrans(oc, k, frame, sent, iv, deadline)
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fireflyrpc/internal/stats"
 	"fireflyrpc/internal/transport"
 )
 
@@ -39,6 +40,10 @@ type channel struct {
 	// executing counts in-flight server handler executions for this peer;
 	// a busy channel is never evicted.
 	executing atomic.Int64
+
+	// hist is this peer's call-latency histogram, installed lazily on the
+	// first completed call while observability is enabled (metrics.go).
+	hist atomic.Pointer[stats.Hist]
 }
 
 func (ch *channel) touch(now time.Time) { ch.lastUsed.Store(now.UnixNano()) }

@@ -214,6 +214,16 @@ type Conn struct {
 	frames buffer.FramePool
 
 	stats statCounters
+
+	// trace is the observability switch: per-call stage tracing into a
+	// fixed record ring (sampled 1-in-N) plus per-peer and per-method
+	// latency histograms. Disabled (the default), the call path pays one
+	// atomic load; see trace.go.
+	trace tracer
+
+	// methods is the per-method latency histogram table, populated only
+	// while tracing is enabled.
+	methods methodTable
 }
 
 // execReq hands one complete call to a server worker. The fragment data is
@@ -225,6 +235,9 @@ type execReq struct {
 	hdr   wire.RPCHeader
 	args  []byte
 	frags map[uint16][]byte
+	// trace carries the server-side stage record for a FlagTraced call
+	// through the dispatch queue to the worker; nil when not traced.
+	trace *traceRec
 }
 
 type callKey struct {
@@ -277,6 +290,13 @@ type outCall struct {
 	result   []byte
 	err      error
 	finished bool
+
+	// Observability state (guarded by mu): the call's interface/procedure
+	// identity for per-method histograms, and the sampled stage record
+	// (nil for unsampled calls and whenever tracing is disabled).
+	iface uint32
+	proc  uint16
+	trace *traceRec
 }
 
 // outCallPool recycles outCall objects with their channels and timers, so
@@ -306,6 +326,9 @@ func getOutCall(k callKey, dst transport.Addr, resBuf []byte) *outCall {
 	oc.nextAt = time.Time{}
 	oc.deadline = time.Time{}
 	oc.sentAt = time.Time{}
+	oc.iface = 0
+	oc.proc = 0
+	oc.trace = nil
 	oc.done = make(chan struct{})
 	oc.mu.Unlock()
 	for {
@@ -325,6 +348,7 @@ func putOutCall(oc *outCall) {
 	oc.resFrags = nil
 	oc.result = nil
 	oc.frame = nil
+	oc.trace = nil
 	oc.mu.Unlock()
 	outCallPool.Put(oc)
 }

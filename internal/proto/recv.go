@@ -81,9 +81,30 @@ func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uin
 	_ = c.sendFrame(dst, h, nil)
 }
 
+// traceServerRecv claims a server-side stage record for a FlagTraced call
+// that has just become ready to execute, stamping its arrival (recvNs,
+// captured at frame entry) and its hand-off to the dispatch queue. The
+// record rides the execReq to the worker for the remaining stages.
+func (c *Conn) traceServerRecv(req *execReq, recvNs int64) {
+	rec := c.trace.claimFlagged()
+	if rec == nil {
+		return
+	}
+	rec.claim(req.hdr.Activity, req.hdr.Seq)
+	rec.stampAt(StageSrvRecv, recvNs)
+	rec.stamp(StageSrvQueued)
+	req.trace = rec
+}
+
 // onCallFrag handles an arriving call fragment on the server side. All the
 // duplicate-suppression state lives in the calling peer's channel.
 func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte) {
+	// Traced calls stamp their arrival before any locking; untraced calls
+	// pay one branch on an already-loaded header byte.
+	var recvNs int64
+	if hdr.Flags&wire.FlagTraced != 0 {
+		recvNs = traceNow()
+	}
 	if c.handler == nil || c.closed.Load() {
 		c.stats.rejects.Add(1)
 		rej := wire.RPCHeader{
@@ -124,6 +145,9 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 				c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
 			}
 			if run {
+				if recvNs != 0 {
+					c.traceServerRecv(&req, recvNs)
+				}
 				c.enqueueExec(req)
 			}
 			return
@@ -174,6 +198,9 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 			c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, false)
 		}
 		if run {
+			if recvNs != 0 {
+				c.traceServerRecv(&req, recvNs)
+			}
 			c.enqueueExec(req)
 		}
 		return
@@ -224,6 +251,9 @@ func (c *Conn) execute(req execReq) {
 	act, hdr := req.act, req.hdr
 	ch := act.ch
 	defer ch.executing.Add(-1)
+	if req.trace != nil {
+		req.trace.stamp(StageSrvDispatch)
+	}
 	args := req.args
 	if req.frags != nil {
 		total := 0
@@ -238,6 +268,9 @@ func (c *Conn) execute(req execReq) {
 
 	result, err := c.handler(act.src, hdr.Interface, hdr.Proc, args)
 	c.stats.callsServed.Add(1)
+	if req.trace != nil {
+		req.trace.stamp(StageSrvDone)
+	}
 	// No touch here: every inbound frame (including the retransmissions a
 	// waiting caller sends during a long handler) already stamps the
 	// channel in onCallFrag, and the executing counter blocks eviction
@@ -266,6 +299,9 @@ func (c *Conn) execute(req execReq) {
 		c.retainResult(act, hdr.Seq, f)
 	default:
 		c.sendResult(act, hdr, result)
+	}
+	if req.trace != nil {
+		req.trace.stamp(StageSrvResultSent)
 	}
 
 	// Return the single-packet argument buffer for the next call's reuse.
@@ -460,6 +496,9 @@ func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []by
 				result = append(result, oc.resFrags[i]...)
 			}
 		}
+	}
+	if complete && oc.trace != nil {
+		oc.trace.stamp(StageResultRecv)
 	}
 	oc.mu.Unlock()
 

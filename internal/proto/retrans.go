@@ -182,6 +182,12 @@ func (c *Conn) fireRetrans(oc *outCall) {
 		oc.mu.Unlock()
 		return
 	}
+	if oc.trace != nil {
+		// Stamp the (latest) retransmission so the accounting can flag
+		// calls whose latency includes a retry, and count the retries.
+		oc.trace.stamp(StageRetransmit)
+		oc.trace.retries.Store(int32(oc.retries))
+	}
 	if oc.interval < 8*c.cfg.RetransInterval {
 		oc.interval *= 2
 	}

@@ -35,7 +35,7 @@ type Result struct {
 	Transport   string  `json:"transport"` // mem | udp
 	Threads     int     `json:"threads"`
 	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
-	N           int     `json:"n"` // calls measured
+	N           int     `json:"n"`                     // calls measured
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -69,10 +69,19 @@ func (impl) Greet(n *marshal.Text) (*marshal.Text, error) {
 	return marshal.NewText("hi " + n.String()), nil
 }
 
+// benchPair is one caller/server node pair plus the caller's binding to
+// the server's test service. The nodes are exposed so the breakdown runner
+// can enable stage tracing on both underlying Conns.
+type benchPair struct {
+	binding *core.Binding
+	caller  *core.Node
+	server  *core.Node
+}
+
 // pair builds a caller/server node pair over the requested transport.
 // It returns an error (rather than failing) when UDP loopback is
 // unavailable, so sandboxed environments just skip those cases.
-func pair(overUDP bool, workers int) (*core.Binding, func(), error) {
+func pair(overUDP bool, workers int) (*benchPair, func(), error) {
 	cfg := proto.DefaultConfig()
 	if workers > cfg.Workers {
 		cfg.Workers = workers
@@ -98,7 +107,8 @@ func pair(overUDP bool, workers int) (*core.Binding, func(), error) {
 	caller := core.NewNode(callerTr, cfg)
 	server.Export(testsvc.ExportTest(impl{}))
 	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
-	return binding, func() { caller.Close(); server.Close() }, nil
+	p := &benchPair{binding: binding, caller: caller, server: server}
+	return p, func() { caller.Close(); server.Close() }, nil
 }
 
 // callFunc runs one call on a per-thread client with a per-thread buffer.
@@ -119,11 +129,12 @@ var cases = []struct {
 // Client, mirroring the paper's caller-thread scaling rather than
 // RunParallel's GOMAXPROCS-coupled parallelism.
 func runCase(overUDP bool, call callFunc, threads int) (testing.BenchmarkResult, error) {
-	binding, done, err := pair(overUDP, 2*threads)
+	p, done, err := pair(overUDP, 2*threads)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
 	defer done()
+	binding := p.binding
 
 	var failure error
 	var failMu sync.Mutex
@@ -186,11 +197,12 @@ var asyncCases = []struct {
 // so the cell reports per-call cost when the engine — not a goroutine per
 // call — carries the in-flight state.
 func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int) (testing.BenchmarkResult, error) {
-	binding, done, err := pair(overUDP, 8)
+	p, done, err := pair(overUDP, 8)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
 	defer done()
+	binding := p.binding
 
 	var failure error
 	r := testing.Benchmark(func(b *testing.B) {
@@ -233,7 +245,22 @@ func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.D
 type Options struct {
 	Threads     []int     // caller-thread counts; default 1,2,4,8
 	Outstanding []int     // async fan-out widths; default 1,8,64
+	Cases       []string  // case names (Null, MaxArg, MaxResult); empty = all
+	MemOnly     bool      // skip the UDP loopback transport
 	Log         io.Writer // progress output; nil for quiet
+}
+
+// wantCase reports whether name passed the Options.Cases filter.
+func (o *Options) wantCase(name string) bool {
+	if len(o.Cases) == 0 {
+		return true
+	}
+	for _, c := range o.Cases {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the full real-stack suite and returns it.
@@ -258,11 +285,18 @@ func Run(opts Options) Suite {
 			"activity per caller thread. Async cells keep N calls in flight " +
 			"from one goroutine via Client.Go/Await.",
 	}
-	for _, tr := range []struct {
+	transports := []struct {
 		name    string
 		overUDP bool
-	}{{"mem", false}, {"udp", true}} {
+	}{{"mem", false}, {"udp", true}}
+	if opts.MemOnly {
+		transports = transports[:1]
+	}
+	for _, tr := range transports {
 		for _, c := range cases {
+			if !opts.wantCase(c.name) {
+				continue
+			}
 			for _, th := range threads {
 				br, err := runCase(tr.overUDP, c.call, th)
 				if err != nil {
@@ -288,6 +322,9 @@ func Run(opts Options) Suite {
 			}
 		}
 		for _, c := range asyncCases {
+			if !opts.wantCase(c.name) {
+				continue
+			}
 			for _, out := range outstanding {
 				br, err := runAsyncCase(tr.overUDP, c.start, c.mkDec, out)
 				if err != nil {

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.ns); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+		lo, hi := BucketBounds(histBucket(c.ns))
+		if d := time.Duration(c.ns); d < lo || d >= hi {
+			t.Errorf("%dns outside its own bucket bounds [%d, %d)", c.ns, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 1 {
+		t.Errorf("bucket 0 bounds [%d, %d), want [0, 1)", lo, hi)
+	}
+	if lo, hi := BucketBounds(5); lo != 16 || hi != 32 {
+		t.Errorf("bucket 5 bounds [%d, %d), want [16, 32)", lo, hi)
+	}
+}
+
+func TestHistObserveAndSnapshot(t *testing.T) {
+	var h Hist
+	h.Observe(-5 * time.Nanosecond) // clamps to zero
+	h.Observe(0)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Microsecond)
+	s := h.Snapshot()
+	if s.N != 4 {
+		t.Fatalf("N = %d, want 4", s.N)
+	}
+	if want := int64(100 + 100_000); s.SumNs != want {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, want)
+	}
+	if s.Counts[0] != 2 {
+		t.Errorf("zero bucket holds %d, want 2", s.Counts[0])
+	}
+	if got := s.Mean(); got != time.Duration((100+100_000)/4) {
+		t.Errorf("Mean = %v", got)
+	}
+	bks := s.Buckets()
+	var total int64
+	for _, b := range bks {
+		total += b.N
+	}
+	if total != 4 {
+		t.Errorf("bucket list accounts for %d of 4 observations", total)
+	}
+}
+
+func TestHistQuantileInterpolation(t *testing.T) {
+	var h Hist
+	// 100 observations of 1µs: all land in one bucket, [512, 1024)ns.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	s := h.Snapshot()
+	lo, hi := BucketBounds(histBucket(int64(time.Microsecond)))
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %v, outside bucket [%v, %v]", q, got, lo, hi)
+		}
+	}
+	// Median of a single-bucket distribution interpolates to ~mid-bucket.
+	if med := s.Quantile(0.5); med < lo+(hi-lo)/4 || med > hi-(hi-lo)/4 {
+		t.Errorf("Quantile(0.5) = %v, want near middle of [%v, %v]", med, lo, hi)
+	}
+
+	// Bimodal: 90 fast + 10 slow. p50 must report the fast mode, p99 the slow.
+	var b Hist
+	for i := 0; i < 90; i++ {
+		b.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(time.Millisecond)
+	}
+	bs := b.Snapshot()
+	if p50 := bs.Quantile(0.50); p50 > 2*time.Microsecond {
+		t.Errorf("bimodal p50 = %v, want ≈1µs", p50)
+	}
+	if p99 := bs.Quantile(0.99); p99 < 500*time.Microsecond {
+		t.Errorf("bimodal p99 = %v, want ≈1ms", p99)
+	}
+	if bs.Quantile(0) > bs.Quantile(0.5) || bs.Quantile(0.5) > bs.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot should report zero")
+	}
+	var h Hist
+	h.Observe(42 * time.Nanosecond)
+	s := h.Snapshot()
+	// Out-of-range q clamps.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Error("out-of-range quantiles should clamp")
+	}
+}
+
+func TestHistMergeShardedAndConcurrent(t *testing.T) {
+	// Concurrent observers spread across shards; the snapshot must still
+	// account for every observation, and merging per-histogram snapshots
+	// must behave like one combined histogram.
+	var a, b Hist
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := &a
+			if w%2 == 1 {
+				h = &b
+			}
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(1+i%3) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.N+sb.N != workers*per {
+		t.Fatalf("snapshots hold %d observations, want %d", sa.N+sb.N, workers*per)
+	}
+	merged := sa
+	merged.Merge(&sb)
+	if merged.N != workers*per || merged.SumNs != sa.SumNs+sb.SumNs {
+		t.Fatalf("merge lost observations: %+v", merged)
+	}
+	var total int64
+	for _, c := range merged.Counts {
+		total += c
+	}
+	if total != merged.N {
+		t.Fatalf("merged bucket counts sum to %d, want %d", total, merged.N)
+	}
+	sum := merged.Summarize()
+	if sum.N != int64(workers*per) || sum.P50Us <= 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}

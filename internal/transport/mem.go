@@ -53,11 +53,11 @@ type MemPort struct {
 	// allocate an interface conversion of the string value.
 	addrIface Addr
 	mu        sync.RWMutex
-	recv   Receiver
-	closed bool
-	q      chan delivery
-	quit   chan struct{}
-	done   chan struct{}
+	recv      Receiver
+	closed    bool
+	q         chan delivery
+	quit      chan struct{}
+	done      chan struct{}
 }
 
 type delivery struct {

@@ -63,6 +63,12 @@ const (
 	FlagPleaseAck = 1 << 0
 	// FlagLastFrag marks the final fragment of a multi-packet call/result.
 	FlagLastFrag = 1 << 1
+	// FlagTraced marks a call the caller sampled for stage tracing, asking
+	// the server to stamp its own receive/dispatch/execute/result stages
+	// into its trace ring so the two sides' records can be joined into a
+	// full-path latency accounting. Advisory: a server with tracing
+	// disabled ignores it.
+	FlagTraced = 1 << 3
 )
 
 // RPCHeader is the 32-byte RPC packet-exchange header.

@@ -1,16 +1,61 @@
 #!/bin/sh
 # Tier-1 verification: build, vet (examples and commands included via ./...),
 # full test suite, then the race-detector pass over the packages with
-# lock-sharded concurrent fast paths — proto now carries the per-peer channel
-# map and central retransmission engine, so its channel/cancellation tests run
-# under -race here. The final step pins the async fast path's allocation
-# budget: Client.Go/Await must cost no more objects per call than blocking
-# Call (TestAsyncNullAllocBudget fails the run otherwise).
-set -ex
+# lock-sharded concurrent fast paths — proto carries the per-peer channel
+# map, central retransmission engine, and the stage-trace ring, so its
+# channel/cancellation/trace tests run under -race here. The final steps pin
+# the fast path's allocation budgets: Client.Go/Await must cost no more
+# objects per call than blocking Call, and the observability machinery must
+# add nothing to a call while tracing is disabled.
+#
+# Usage: verify.sh [-q]
+#   -q  quiet: only failures (with the failing step's output) and the final
+#       verdict are printed. Used by CI so the log is signal, not scroll.
+#
+# Every step failure prints "FAIL: <step>" to stderr and exits non-zero;
+# scripts/test_verify.sh asserts this contract holds.
+set -eu
+
 cd "$(dirname "$0")/.."
-go build ./...
-go vet ./...
-go test ./...
-go test -race ./internal/proto ./internal/core
-go test -race -run 'TestLossyAsyncStressNoLeaks|TestCancel' ./internal/proto
-go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
+
+QUIET=0
+for arg in "$@"; do
+	case "$arg" in
+	-q | --quiet) QUIET=1 ;;
+	*)
+		echo "usage: verify.sh [-q]" >&2
+		exit 2
+		;;
+	esac
+done
+
+# run <description> <command...>: execute one verification step, echoing it
+# unless quiet, and convert any failure into an explicit FAIL message plus a
+# non-zero exit (the captured output is replayed on failure in quiet mode).
+run() {
+	desc="$1"
+	shift
+	if [ "$QUIET" -eq 1 ]; then
+		if ! out=$("$@" 2>&1); then
+			echo "FAIL: $desc" >&2
+			echo "$out" >&2
+			exit 1
+		fi
+	else
+		echo "==> $desc: $*"
+		if ! "$@"; then
+			echo "FAIL: $desc" >&2
+			exit 1
+		fi
+	fi
+}
+
+run "build" go build ./...
+run "vet" go vet ./...
+run "tests" go test ./...
+run "race: proto + core" go test -race ./internal/proto ./internal/core
+run "race: cancellation + leak stress" go test -race -run 'TestLossyAsyncStressNoLeaks|TestCancel' ./internal/proto
+run "alloc budgets: fast path" go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
+run "alloc budget: tracing disabled" go test -run 'TestTraceDisabledAllocBudget' -count=1 ./internal/proto
+
+echo "verify: all checks passed"
