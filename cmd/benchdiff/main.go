@@ -1,0 +1,53 @@
+// Command benchdiff compares two BENCH_realstack.json files cell by cell
+// and exits non-zero when a regression crosses the fail thresholds.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -failratio 0 -allocslack 0 BENCH_realstack.json bench-smoke.json
+//
+// Time thresholds are ratios with a noise floor; -failratio 0 disables time
+// failures entirely (CI compares runs from different machines and gates on
+// allocation counts, which are machine-independent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fireflyrpc/internal/realbench"
+)
+
+func main() {
+	warnRatio := flag.Float64("warnratio", 1.30, "warn when new/old ns-per-op exceeds this ratio (0 disables)")
+	failRatio := flag.Float64("failratio", 2.0, "fail when new/old ns-per-op exceeds this ratio (0 disables)")
+	allocSlack := flag.Int64("allocslack", 0, "allowed allocs/op increase before a cell fails")
+	minNs := flag.Float64("minns", 200, "noise floor: skip time comparison when both sides are below this many ns/op")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	oldSuite, err := realbench.ReadSuite(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSuite, err := realbench.ReadSuite(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rep := realbench.Diff(oldSuite, newSuite, realbench.DiffOptions{
+		WarnRatio:  *warnRatio,
+		FailRatio:  *failRatio,
+		AllocSlack: *allocSlack,
+		MinNs:      *minNs,
+	})
+	fmt.Printf("benchdiff %s -> %s\n", flag.Arg(0), flag.Arg(1))
+	fmt.Print(rep.Format())
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@
 //	fireflybench -real            # benchmark the real stack, write BENCH_realstack.json
 //	fireflybench -breakdown       # traced per-stage latency accounting (Tables VI/VII style)
 //	fireflybench -realcheck F     # validate a BENCH_realstack.json and exit
+//	fireflybench -simtrace out.json  # Perfetto timeline + utilization report for a simulated run
 package main
 
 import (
@@ -42,6 +43,9 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
 	breakdownCalls := flag.Int("breakdowncalls", 2000, "calls to trace for -breakdown")
 	breakdownSample := flag.Int("breakdownsample", 64, "sampling stride for the -breakdown overhead measurement")
+	simTrace := flag.String("simtrace", "", "write a Chrome trace-event JSON timeline of a simulated run to this path and exit")
+	simTraceThreads := flag.Int("simtracethreads", 4, "caller threads for -simtrace")
+	simTraceCalls := flag.Int("simtracecalls", 200, "total calls for -simtrace")
 	flag.Parse()
 
 	if *realCheck != "" {
@@ -55,6 +59,11 @@ func main() {
 
 	if *breakdown {
 		runBreakdown(*breakdownCalls, *breakdownSample)
+		return
+	}
+
+	if *simTrace != "" {
+		runSimTrace(*simTrace, *seed, *simTraceThreads, *simTraceCalls)
 		return
 	}
 

@@ -12,6 +12,8 @@
 //	/debug/rpc/peers  peer/channel table only
 //	/debug/rpc/hist   per-peer and per-method latency summaries only
 //	/debug/rpc/trace  stage-trace accounting (empty unless tracing is on)
+//	/debug/rpc/sim    registered simulation kernels: clock + per-resource stats
+//	/debug/rpc/metrics  Prometheus text format: counters, latency histograms, sim gauges
 //	/debug/vars       expvar (includes the "fireflyrpc" snapshot var)
 //	/debug/pprof/     the standard runtime profiles
 package debughttp
@@ -178,6 +180,13 @@ func Handler() http.Handler {
 			out["joined"] = snap.Accounting
 		}
 		writeJSON(w, out)
+	})
+	mux.HandleFunc("/debug/rpc/sim", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, simSnapshot())
+	})
+	mux.HandleFunc("/debug/rpc/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

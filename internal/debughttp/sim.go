@@ -1,0 +1,183 @@
+package debughttp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/stats"
+)
+
+// simReg holds the kernels the surface reports on, alongside the Conn
+// registry. A simulation registered here can be watched live over HTTP while
+// another goroutine drives it: snapshots go through Kernel.Inspect, which
+// interleaves with the run between events and never perturbs virtual time.
+var (
+	simMu  sync.Mutex
+	simReg = map[string]*sim.Kernel{}
+)
+
+// RegisterSim adds (or replaces) a named simulation kernel on the debug
+// surface.
+func RegisterSim(name string, k *sim.Kernel) {
+	simMu.Lock()
+	simReg[name] = k
+	simMu.Unlock()
+}
+
+// UnregisterSim removes a named kernel.
+func UnregisterSim(name string) {
+	simMu.Lock()
+	delete(simReg, name)
+	simMu.Unlock()
+}
+
+// SimView is one kernel's snapshot: the virtual clock and every registered
+// resource's utilization/queueing accounting.
+type SimView struct {
+	NowNs     int64               `json:"now_ns"`
+	Pending   int                 `json:"pending_events"`
+	Resources []sim.ResourceStats `json:"resources"`
+}
+
+func simSnapshot() map[string]SimView {
+	simMu.Lock()
+	names := make([]string, 0, len(simReg))
+	for name := range simReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	kernels := make([]*sim.Kernel, len(names))
+	for i, name := range names {
+		kernels[i] = simReg[name]
+	}
+	simMu.Unlock()
+
+	out := make(map[string]SimView, len(names))
+	for i, name := range names {
+		k := kernels[i]
+		var v SimView
+		k.Inspect(func() {
+			v.NowNs = int64(k.Now())
+			v.Pending = k.Pending()
+			for _, r := range k.Resources() {
+				v.Resources = append(v.Resources, r.Stats())
+			}
+		})
+		out[name] = v
+	}
+	return out
+}
+
+// --- Prometheus text exposition ---
+
+// promEscape escapes a label value.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeHist renders one stats.Hist snapshot as a Prometheus histogram
+// (cumulative le buckets in seconds, then +Inf, _sum, _count).
+func writeHist(w io.Writer, name, labels string, snap stats.HistSnapshot) {
+	var cum int64
+	for _, b := range snap.Buckets() {
+		cum += b.N
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, float64(b.HiNs)/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, snap.N)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, strings.TrimSuffix(labels, ","), float64(snap.SumNs)/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, strings.TrimSuffix(labels, ","), snap.N)
+}
+
+// registeredConns returns the Conn registry in name order.
+func registeredConns() ([]string, []*proto.Conn) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	conns := make([]*proto.Conn, len(names))
+	for i, name := range names {
+		conns[i] = reg[name]
+	}
+	return names, conns
+}
+
+// writeMetrics renders every registered Conn's counters and latency
+// histograms plus every registered kernel's resource gauges in the
+// Prometheus text exposition format.
+func writeMetrics(w io.Writer) {
+	names, conns := registeredConns()
+
+	fmt.Fprint(w, "# TYPE fireflyrpc_counter_total counter\n")
+	for i, c := range conns {
+		l := fmt.Sprintf(`conn="%s",`, promEscape(names[i]))
+		s := c.Stats()
+		for _, kv := range []struct {
+			name string
+			v    int64
+		}{
+			{"calls_sent", s.CallsSent},
+			{"calls_completed", s.CallsCompleted},
+			{"calls_served", s.CallsServed},
+			{"retransmits", s.Retransmits},
+			{"dup_calls", s.DupCalls},
+			{"dup_frags", s.DupFrags},
+			{"result_retrans", s.ResultRetrans},
+			{"acks_sent", s.AcksSent},
+			{"in_progress_acks", s.InProgressAcks},
+			{"rejects", s.Rejects},
+			{"bad_frames", s.BadFrames},
+			{"stale_drops", s.StaleDrops},
+			{"probes", s.Probes},
+			{"cancels", s.Cancels},
+			{"peers_evicted", s.PeersEvicted},
+		} {
+			fmt.Fprintf(w, "fireflyrpc_counter_total{%scounter=\"%s\"} %d\n", l, kv.name, kv.v)
+		}
+	}
+
+	fmt.Fprint(w, "# TYPE fireflyrpc_peer_latency_seconds histogram\n")
+	for i, c := range conns {
+		for _, ph := range c.PeerHistograms() {
+			labels := fmt.Sprintf(`conn="%s",peer="%s",`, promEscape(names[i]), promEscape(ph.Peer))
+			writeHist(w, "fireflyrpc_peer_latency_seconds", labels, ph.Hist)
+		}
+	}
+	fmt.Fprint(w, "# TYPE fireflyrpc_method_latency_seconds histogram\n")
+	for i, c := range conns {
+		for _, mh := range c.MethodHistograms() {
+			labels := fmt.Sprintf(`conn="%s",interface="%d",proc="%d",`,
+				promEscape(names[i]), mh.Interface, mh.Proc)
+			writeHist(w, "fireflyrpc_method_latency_seconds", labels, mh.Hist)
+		}
+	}
+
+	sims := simSnapshot()
+	simNames := make([]string, 0, len(sims))
+	for name := range sims {
+		simNames = append(simNames, name)
+	}
+	sort.Strings(simNames)
+	fmt.Fprint(w, "# TYPE fireflyrpc_sim_resource_utilization gauge\n")
+	for _, name := range simNames {
+		v := sims[name]
+		kl := promEscape(name)
+		fmt.Fprintf(w, "fireflyrpc_sim_now_seconds{kernel=\"%s\"} %g\n", kl, float64(v.NowNs)/1e9)
+		for _, st := range v.Resources {
+			labels := fmt.Sprintf(`kernel="%s",resource="%s",`, kl, promEscape(st.Name))
+			fmt.Fprintf(w, "fireflyrpc_sim_resource_utilization{%s} %g\n", strings.TrimSuffix(labels, ","), st.Utilization)
+			fmt.Fprintf(w, "fireflyrpc_sim_resource_mean_queue_depth{%s} %g\n", strings.TrimSuffix(labels, ","), st.MeanQueueDepth)
+			fmt.Fprintf(w, "fireflyrpc_sim_resource_served_total{%s} %d\n", strings.TrimSuffix(labels, ","), st.Served)
+			writeHist(w, "fireflyrpc_sim_resource_wait_seconds", labels, st.WaitHist)
+		}
+	}
+}

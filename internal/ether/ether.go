@@ -25,7 +25,31 @@ type Segment struct {
 	// LossRate drops a fraction of frames at delivery time, for protocol
 	// fault-injection tests. Zero on the fast path.
 	LossRate float64
+
+	// tracer, when non-nil, observes the packet lifecycle; frame ids are
+	// assigned in transmit order so traces can draw src→dst flow arrows.
+	tracer    Tracer
+	nextFrame uint64
 }
+
+// Tracer observes the segment's packet lifecycle. Hooks fire after the
+// segment's own accounting and must only record.
+type Tracer interface {
+	// FrameOnWire reports that frame id finished its wire transmission at
+	// `at`, having occupied the medium for txTime (the span [at-txTime, at]).
+	// lost marks frames dropped by fault injection; dst is empty when the
+	// frame's Ethernet header failed to parse.
+	FrameOnWire(at sim.Time, id uint64, src, dst string, bytes int, txTime sim.Duration, lost bool)
+	// FrameDelivered reports delivery of frame id to station dst (same
+	// instant as FrameOnWire; broadcast frames deliver more than once).
+	FrameDelivered(at sim.Time, id uint64, dst string, bytes int)
+}
+
+// SetTracer installs (nil removes) the segment's packet tracer.
+func (s *Segment) SetTracer(tr Tracer) { s.tracer = tr }
+
+// Medium exposes the wire's underlying resource for utilization reporting.
+func (s *Segment) Medium() *sim.Resource { return s.medium }
 
 // NewSegment creates an empty segment on the kernel's clock.
 func NewSegment(k *sim.Kernel) *Segment {
@@ -68,28 +92,44 @@ func (p *Port) MAC() wire.MAC { return p.mac }
 // a copying network stack).
 func (p *Port) Transmit(frame []byte, txTime sim.Duration, onSent func()) {
 	s := p.seg
+	id := s.nextFrame
+	s.nextFrame++
 	s.medium.Submit(txTime, func() {
 		s.frames++
 		s.bytes += int64(len(frame))
 		if onSent != nil {
 			onSent()
 		}
-		if s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate {
+		lost := s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate
+		hdr, _, err := wire.UnmarshalEthernet(frame)
+		if tr := s.tracer; tr != nil {
+			dstName := ""
+			if err == nil {
+				dstName = hdr.Dst.String()
+			}
+			tr.FrameOnWire(s.k.Now(), id, p.mac.String(), dstName, len(frame), txTime, lost)
+		}
+		if lost {
 			return // frame lost on the wire
 		}
-		hdr, _, err := wire.UnmarshalEthernet(frame)
 		if err != nil {
 			return
 		}
 		if hdr.Dst == wire.Broadcast {
 			for _, dst := range s.order { // attachment order: deterministic
 				if dst.mac != p.mac {
+					if tr := s.tracer; tr != nil {
+						tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
+					}
 					dst.deliver(frame)
 				}
 			}
 			return
 		}
 		if dst, ok := s.stations[hdr.Dst]; ok {
+			if tr := s.tracer; tr != nil {
+				tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
+			}
 			dst.deliver(frame)
 		} else {
 			s.dropNoDst++

@@ -303,3 +303,40 @@ func TestAblationsAllCostSomething(t *testing.T) {
 		t.Errorf("datalink-demux ablation costs %.0f µs, want ~800", demuxDelta)
 	}
 }
+
+// TestUtilizationReproducesPaperCPUClaim pins §2.1's "about 1.2 CPUs busy on
+// the calling machine at maximum throughput, slightly less on the server"
+// against the utilization report's measurement.
+func TestUtilizationReproducesPaperCPUClaim(t *testing.T) {
+	_, r, _, _ := utilMeasurement(Options{Quality: 0.3, Seed: 1})
+	within(t, "caller busy CPUs at saturation", r.CallerCPU, 1.2, 0.25, 0)
+	if r.ServerCPU >= r.CallerCPU+0.1 {
+		t.Errorf("server busy CPUs %.2f not 'slightly less' than caller %.2f",
+			r.ServerCPU, r.CallerCPU)
+	}
+	if r.ServerCPU < 0.5 {
+		t.Errorf("server busy CPUs %.2f implausibly low", r.ServerCPU)
+	}
+}
+
+// TestUtilTableShape checks the util experiment renders the ethernet
+// resource row plus derived CPU/DEQNA rows with sane fractions.
+func TestUtilTableShape(t *testing.T) {
+	tb := TableUtil(quick)
+	rows := map[string][]string{}
+	for _, row := range tb.Rows {
+		rows[row[0]] = row
+	}
+	for _, want := range []string{"ethernet", "caller CPUs", "server CPUs", "caller DEQNA", "server DEQNA"} {
+		if rows[want] == nil {
+			t.Fatalf("missing %q row in util table: %v", want, tb.Rows)
+		}
+	}
+	ethUtil := cell(t, rows["ethernet"][2])
+	if ethUtil <= 5 || ethUtil > 100 {
+		t.Errorf("ethernet util%% = %v, want busy at saturation", ethUtil)
+	}
+	if served := cell(t, rows["ethernet"][6]); served < 100 {
+		t.Errorf("ethernet served %v frames, want >= 100", served)
+	}
+}

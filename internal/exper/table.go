@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"X", "Calls to Null() with varying numbers of processors", TableX},
 		{"XI", "Throughput of MaxResult(b) with varying numbers of processors", TableXI},
 		{"XII", "Performance of remote RPC in other systems", TableXII},
+		{"util", "Resource utilization at MaxResult saturation", TableUtil},
 		{"improvements", "§4.2 estimated improvements, re-simulated", Improvements},
 		{"streaming", "§5 streaming hypothesis, implemented", Streaming},
 		{"ablations", "§3.2 structural optimizations, individually removed", Ablations},

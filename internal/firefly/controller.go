@@ -109,6 +109,7 @@ func (c *Controller) startNext() {
 			// controller is held for the longer of the two, dominated by
 			// the wire time once transmission can begin.
 			c.port.Transmit(op.frame, eth, func() {
+				c.traceOp("eth-hold", n, eth)
 				q := cfg.QBusTransmit(n)
 				if q > eth {
 					k.After(q-eth, finish)
@@ -119,20 +120,34 @@ func (c *Controller) startNext() {
 			return
 		}
 		// DEQNA: read the whole packet over the QBus, then transmit.
-		k.After(cfg.QBusTransmit(n), func() {
-			c.port.Transmit(op.frame, eth, finish)
+		qbus := cfg.QBusTransmit(n)
+		k.After(qbus, func() {
+			c.traceOp("qbus-tx", n, qbus)
+			c.port.Transmit(op.frame, eth, func() {
+				c.traceOp("eth-hold", n, eth)
+				finish()
+			})
 		})
 		return
 	}
 	// Receive: write the frame to memory over the QBus, then interrupt.
 	c.rxFrames++
 	c.rxBytes += int64(n)
-	k.After(cfg.ControllerRxLatency(n), func() {
+	rxLat := cfg.ControllerRxLatency(n)
+	k.After(rxLat, func() {
+		c.traceOp("qbus-rx", n, rxLat)
 		if c.recvHandler != nil {
 			c.recvHandler(op.frame)
 		}
 		finish()
 	})
+}
+
+// traceOp reports a completed controller operation of duration d ending now.
+func (c *Controller) traceOp(op string, bytes int, d sim.Duration) {
+	if tr := c.m.tracer; tr != nil {
+		tr.CtlOp(c.m.K.Now(), c.m.Name, op, bytes, d)
+	}
 }
 
 // CtlStats reports controller counters.

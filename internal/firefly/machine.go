@@ -41,6 +41,10 @@ type Machine struct {
 	cpuBusy    sim.Duration
 	busyCount  int
 	lastChange sim.Time
+
+	// tracer, when non-nil, receives CPU spans and controller operations
+	// for timeline export (see trace.go). Off it costs one nil check.
+	tracer Tracer
 }
 
 // NumCPUs returns the machine's processor count.

@@ -95,6 +95,9 @@ func (s *Sched) startSegment(c *cpu, seg *segment) {
 	c.seg = seg
 	s.m.accountBusy(+1)
 	s.dispatches++
+	if tr := s.m.tracer; tr != nil {
+		tr.CPUSpanBegin(s.m.K.Now(), s.m.Name, c.id, "thread", seg.proc.Name())
+	}
 	seg.timer = s.m.K.After(seg.remaining, func() { s.segmentDone(c, seg) })
 }
 
@@ -102,6 +105,9 @@ func (s *Sched) segmentDone(c *cpu, seg *segment) {
 	s.m.accountBusy(-1)
 	s.computeTotal += seg.remaining
 	c.seg = nil
+	if tr := s.m.tracer; tr != nil {
+		tr.CPUSpanEnd(s.m.K.Now(), s.m.Name, c.id)
+	}
 	seg.done()
 	s.dispatchNext(c)
 }
@@ -176,6 +182,9 @@ func (s *Sched) Interrupt(steps []IntrStep) {
 			}
 			c0.defTimer.Cancel()
 			c0.runningDef = false
+			if tr := s.m.tracer; tr != nil {
+				tr.CPUSpanEnd(s.m.K.Now(), s.m.Name, c0.id)
+			}
 			s.runIntrStep(c0, chain)
 			return
 		}
@@ -216,6 +225,9 @@ func (s *Sched) enterIntrLevel(c0 *cpu) {
 		s.computeTotal += elapsed
 		seg.timer.Cancel()
 		s.m.accountBusy(-1)
+		if tr := s.m.tracer; tr != nil {
+			tr.CPUSpanEnd(s.m.K.Now(), s.m.Name, c0.id)
+		}
 		// Migrate the preempted thread to an idle CPU right away rather
 		// than leaving it pinned behind interrupt work.
 		if c := s.idleCPU(); c != nil {
@@ -223,12 +235,18 @@ func (s *Sched) enterIntrLevel(c0 *cpu) {
 			s.migrations++
 			c0.inIntr = true
 			s.m.accountBusy(+1)
+			if tr := s.m.tracer; tr != nil {
+				tr.CPUSpanBegin(s.m.K.Now(), s.m.Name, c0.id, "interrupt", "")
+			}
 			s.startSegment(c, seg)
 			return
 		}
 	}
 	c0.inIntr = true
 	s.m.accountBusy(+1)
+	if tr := s.m.tracer; tr != nil {
+		tr.CPUSpanBegin(s.m.K.Now(), s.m.Name, c0.id, "interrupt", "")
+	}
 }
 
 // intrTailWork runs once the current chain finishes: next chain, then
@@ -254,10 +272,16 @@ func (s *Sched) intrTailWork(c0 *cpu) {
 	// All interrupt-level work drained: return from interrupt level.
 	c0.inIntr = false
 	s.m.accountBusy(-1)
+	if tr := s.m.tracer; tr != nil {
+		tr.CPUSpanEnd(s.m.K.Now(), s.m.Name, c0.id)
+	}
 	if seg := c0.seg; seg != nil {
 		// Resume the preempted thread where it left off.
 		seg.startedAt = s.m.K.Now()
 		s.m.accountBusy(+1)
+		if tr := s.m.tracer; tr != nil {
+			tr.CPUSpanBegin(s.m.K.Now(), s.m.Name, c0.id, "thread", seg.proc.Name())
+		}
 		seg.timer = s.m.K.After(seg.remaining, func() { s.segmentDone(c0, seg) })
 	} else {
 		s.dispatchNext(c0)
@@ -275,10 +299,16 @@ func (s *Sched) startDeferred(c0 *cpu) {
 	d := c0.deferredQ[0]
 	c0.runningDef = true
 	c0.defStart = s.m.K.Now()
+	if tr := s.m.tracer; tr != nil {
+		tr.CPUSpanBegin(s.m.K.Now(), s.m.Name, c0.id, "deferred", "")
+	}
 	c0.defTimer = s.m.K.After(d, func() {
 		c0.runningDef = false
 		c0.deferredQ = c0.deferredQ[1:]
 		s.defDone += d
+		if tr := s.m.tracer; tr != nil {
+			tr.CPUSpanEnd(s.m.K.Now(), s.m.Name, c0.id)
+		}
 		s.intrTailWork(c0)
 	})
 }

@@ -1,0 +1,30 @@
+package firefly
+
+import "fireflyrpc/internal/sim"
+
+// Tracer receives the machine model's timeline events: CPU occupancy spans
+// (thread compute segments, interrupt chains, deferred kernel bookkeeping)
+// and completed controller operations (QBus DMA transfers, the DEQNA's
+// Ethernet hold). A nil tracer costs one pointer comparison per hook site;
+// an installed tracer must only record — the hooks fire after the model's
+// own state changes and never affect virtual time.
+type Tracer interface {
+	// CPUSpanBegin opens a span on one CPU's track. kind is "thread",
+	// "interrupt", or "deferred"; name carries the thread name for thread
+	// spans and is empty otherwise.
+	CPUSpanBegin(at sim.Time, machine string, cpu int, kind, name string)
+	// CPUSpanEnd closes the most recent open span on the CPU's track.
+	CPUSpanEnd(at sim.Time, machine string, cpu int)
+	// CtlOp reports a completed controller operation that occupied the
+	// engine for d ending at `at` (the span is [at-d, at]). op is "qbus-tx"
+	// (packet read from memory), "eth-hold" (DEQNA engine held for the wire
+	// transfer), or "qbus-rx" (arriving packet written to memory).
+	CtlOp(at sim.Time, machine string, op string, bytes int, d sim.Duration)
+}
+
+// SetTracer installs (nil removes) the machine's timeline tracer. Install
+// before the simulation runs so spans pair correctly.
+func (m *Machine) SetTracer(tr Tracer) { m.tracer = tr }
+
+// Tracer returns the installed timeline tracer, nil if none.
+func (m *Machine) Tracer() Tracer { return m.tracer }

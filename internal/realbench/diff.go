@@ -1,0 +1,219 @@
+package realbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DiffOptions tunes the regression comparison. Benchmark time is noisy —
+// especially across machines, where it is meaningless — so time thresholds
+// are ratios with a floor below which cells are never compared, while
+// allocation counts are deterministic and gate on an absolute slack.
+type DiffOptions struct {
+	// WarnRatio flags new/old ns-per-op ratios above it. Zero disables.
+	WarnRatio float64
+	// FailRatio fails ns-per-op ratios above it. Zero disables (CI compares
+	// runs from different machines and gates on allocations only).
+	FailRatio float64
+	// AllocSlack is the allowed increase in allocs/op before a cell fails.
+	AllocSlack int64
+	// MinNs is the noise floor: cells where both sides are faster than this
+	// are never time-compared.
+	MinNs float64
+}
+
+// DefaultDiffOptions: warn at +30% time, fail at 2× time, no allocation
+// growth, 200 ns noise floor.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{WarnRatio: 1.30, FailRatio: 2.0, AllocSlack: 0, MinNs: 200}
+}
+
+// DiffLevel classifies one compared cell.
+type DiffLevel int
+
+const (
+	DiffOK DiffLevel = iota
+	DiffImproved
+	DiffWarn
+	DiffFail
+)
+
+func (l DiffLevel) String() string {
+	switch l {
+	case DiffImproved:
+		return "improved"
+	case DiffWarn:
+		return "WARN"
+	case DiffFail:
+		return "FAIL"
+	default:
+		return "ok"
+	}
+}
+
+// DiffCell is the comparison of one benchmark cell present in both suites.
+type DiffCell struct {
+	Key       string
+	Level     DiffLevel
+	Reason    string
+	OldNs     float64
+	NewNs     float64
+	OldAllocs int64
+	NewAllocs int64
+}
+
+// DiffReport is the full cell-by-cell comparison of two benchmark suites.
+type DiffReport struct {
+	Cells      []DiffCell
+	MissingOld []string // cells only in the new suite
+	MissingNew []string // cells only in the old suite (not run this time)
+	Warnings   int
+	Failures   int
+}
+
+// Failed reports whether any cell crossed a fail threshold.
+func (r *DiffReport) Failed() bool { return r.Failures > 0 }
+
+func cellKey(r Result) string {
+	return fmt.Sprintf("%s/%s/t%d/o%d", r.Bench, r.Transport, r.Threads, r.Outstanding)
+}
+
+// ReadSuite loads a BENCH_realstack.json.
+func ReadSuite(path string) (Suite, error) {
+	var s Suite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(s.Results) == 0 {
+		return s, fmt.Errorf("%s: no results", path)
+	}
+	return s, nil
+}
+
+// Diff compares two suites cell by cell. Cells present on only one side are
+// reported but never fail the diff: a smoke run legitimately covers a subset
+// of the committed baseline.
+func Diff(old, new Suite, opt DiffOptions) *DiffReport {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[cellKey(r)] = r
+	}
+	newBy := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newBy[cellKey(r)] = r
+	}
+
+	rep := &DiffReport{}
+	var keys []string
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldBy[k]
+		n, ok := newBy[k]
+		if !ok {
+			rep.MissingNew = append(rep.MissingNew, k)
+			continue
+		}
+		rep.Cells = append(rep.Cells, compareCell(k, o, n, opt))
+	}
+	for k := range newBy {
+		if _, ok := oldBy[k]; !ok {
+			rep.MissingOld = append(rep.MissingOld, k)
+		}
+	}
+	sort.Strings(rep.MissingOld)
+	for _, c := range rep.Cells {
+		switch c.Level {
+		case DiffWarn:
+			rep.Warnings++
+		case DiffFail:
+			rep.Failures++
+		}
+	}
+	return rep
+}
+
+func compareCell(key string, o, n Result, opt DiffOptions) DiffCell {
+	c := DiffCell{
+		Key:   key,
+		OldNs: o.NsPerOp, NewNs: n.NsPerOp,
+		OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp,
+	}
+	// Allocations are machine-independent: any growth beyond the slack is a
+	// real regression regardless of where the two suites ran.
+	if n.AllocsPerOp > o.AllocsPerOp+opt.AllocSlack {
+		c.Level = DiffFail
+		c.Reason = fmt.Sprintf("allocs/op %d -> %d (slack %d)", o.AllocsPerOp, n.AllocsPerOp, opt.AllocSlack)
+		return c
+	}
+	// Time: ratio thresholds above a noise floor.
+	if o.NsPerOp > 0 && (o.NsPerOp >= opt.MinNs || n.NsPerOp >= opt.MinNs) {
+		ratio := n.NsPerOp / o.NsPerOp
+		switch {
+		case opt.FailRatio > 0 && ratio > opt.FailRatio:
+			c.Level = DiffFail
+			c.Reason = fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx > fail %.2fx)", o.NsPerOp, n.NsPerOp, ratio, opt.FailRatio)
+			return c
+		case opt.WarnRatio > 0 && ratio > opt.WarnRatio:
+			c.Level = DiffWarn
+			c.Reason = fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx > warn %.2fx)", o.NsPerOp, n.NsPerOp, ratio, opt.WarnRatio)
+			return c
+		case opt.WarnRatio > 0 && ratio < 1/opt.WarnRatio:
+			c.Level = DiffImproved
+			c.Reason = fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx)", o.NsPerOp, n.NsPerOp, ratio)
+			return c
+		}
+	}
+	if n.AllocsPerOp < o.AllocsPerOp {
+		c.Level = DiffImproved
+		c.Reason = fmt.Sprintf("allocs/op %d -> %d", o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return c
+}
+
+// Format renders the report as text: regressions first, then improvements,
+// then a coverage summary.
+func (r *DiffReport) Format() string {
+	var sb strings.Builder
+	ok := 0
+	for _, c := range r.Cells {
+		switch c.Level {
+		case DiffFail, DiffWarn:
+			fmt.Fprintf(&sb, "%-8s %-24s %s\n", c.Level, c.Key, c.Reason)
+		case DiffOK:
+			ok++
+		}
+	}
+	for _, c := range r.Cells {
+		if c.Level == DiffImproved {
+			fmt.Fprintf(&sb, "%-8s %-24s %s\n", c.Level, c.Key, c.Reason)
+		}
+	}
+	fmt.Fprintf(&sb, "%d cells compared: %d ok, %d improved, %d warnings, %d failures\n",
+		len(r.Cells), ok, len(r.Cells)-ok-r.Warnings-r.Failures, r.Warnings, r.Failures)
+	if len(r.MissingNew) > 0 {
+		fmt.Fprintf(&sb, "%d baseline cells not in new run (subset run): %s\n",
+			len(r.MissingNew), preview(r.MissingNew, 3))
+	}
+	if len(r.MissingOld) > 0 {
+		fmt.Fprintf(&sb, "%d new cells with no baseline: %s\n",
+			len(r.MissingOld), preview(r.MissingOld, 3))
+	}
+	return sb.String()
+}
+
+func preview(keys []string, n int) string {
+	if len(keys) <= n {
+		return strings.Join(keys, ", ")
+	}
+	return strings.Join(keys[:n], ", ") + ", …"
+}

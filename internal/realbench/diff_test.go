@@ -1,0 +1,122 @@
+package realbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseSuite() Suite {
+	return Suite{
+		Generated: "2026-01-01T00:00:00Z",
+		Results: []Result{
+			{Bench: "Null", Transport: "mem", Threads: 1, N: 100000, NsPerOp: 2400, AllocsPerOp: 1, CallsPerSec: 416000},
+			{Bench: "Null", Transport: "udp", Threads: 1, N: 50000, NsPerOp: 21000, AllocsPerOp: 10, CallsPerSec: 47000},
+			{Bench: "MaxResult", Transport: "mem", Threads: 4, N: 40000, NsPerOp: 8000, AllocsPerOp: 3, CallsPerSec: 125000},
+		},
+	}
+}
+
+// TestDiffCleanRun: an identical re-run passes with no warnings.
+func TestDiffCleanRun(t *testing.T) {
+	s := baseSuite()
+	rep := Diff(s, s, DefaultDiffOptions())
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("identical suites flagged: %s", rep.Format())
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("compared %d cells, want 3", len(rep.Cells))
+	}
+}
+
+// TestDiffInjectedTimeRegression: tripling one cell's latency must fail.
+func TestDiffInjectedTimeRegression(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	cur.Results[1].NsPerOp *= 3
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if !rep.Failed() {
+		t.Fatalf("3x latency regression not failed: %s", rep.Format())
+	}
+	if rep.Failures != 1 {
+		t.Errorf("failures = %d, want 1", rep.Failures)
+	}
+	if !strings.Contains(rep.Format(), "Null/udp") {
+		t.Errorf("report does not name the regressed cell:\n%s", rep.Format())
+	}
+}
+
+// TestDiffInjectedAllocRegression: one extra alloc/op fails even when the
+// time thresholds are disabled (the cross-machine CI configuration).
+func TestDiffInjectedAllocRegression(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	cur.Results[0].AllocsPerOp = 2
+	opt := DefaultDiffOptions()
+	opt.FailRatio = 0 // CI mode: allocations only
+	rep := Diff(old, cur, opt)
+	if !rep.Failed() {
+		t.Fatalf("alloc regression not failed: %s", rep.Format())
+	}
+	// With slack it passes.
+	opt.AllocSlack = 1
+	if rep := Diff(old, cur, opt); rep.Failed() {
+		t.Fatalf("alloc within slack failed: %s", rep.Format())
+	}
+}
+
+// TestDiffWarnBand: a +40% slowdown warns but does not fail.
+func TestDiffWarnBand(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	cur.Results[2].NsPerOp *= 1.4
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() {
+		t.Fatalf("+40%% slowdown failed outright: %s", rep.Format())
+	}
+	if rep.Warnings != 1 {
+		t.Errorf("warnings = %d, want 1: %s", rep.Warnings, rep.Format())
+	}
+}
+
+// TestDiffNoiseFloor: sub-floor cells are never time-compared.
+func TestDiffNoiseFloor(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	old.Results[0].NsPerOp = 50
+	cur.Results[0].NsPerOp = 150 // 3x, but both under the 200 ns floor
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("noise-floor cells compared: %s", rep.Format())
+	}
+}
+
+// TestDiffSubsetRun: a smoke run covering one cell is reported but passes.
+func TestDiffSubsetRun(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	cur.Results = cur.Results[:1]
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() {
+		t.Fatalf("subset run failed: %s", rep.Format())
+	}
+	if len(rep.MissingNew) != 2 {
+		t.Errorf("missing-new = %v, want 2 entries", rep.MissingNew)
+	}
+	if !strings.Contains(rep.Format(), "subset") {
+		t.Errorf("report does not mention subset coverage:\n%s", rep.Format())
+	}
+}
+
+// TestDiffImprovement: a big speedup is reported as improved, not ok.
+func TestDiffImprovement(t *testing.T) {
+	old, cur := baseSuite(), baseSuite()
+	cur.Results[1].NsPerOp /= 2
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("improvement flagged: %s", rep.Format())
+	}
+	found := false
+	for _, c := range rep.Cells {
+		if c.Level == DiffImproved {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("2x speedup not marked improved: %s", rep.Format())
+	}
+}

@@ -13,6 +13,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -124,6 +125,22 @@ type Kernel struct {
 	running bool
 	stopped bool
 	trace   func(t Time, format string, args ...any)
+
+	// tracer receives structural events (thread transitions, event fires,
+	// resource occupancy); nil when tracing is off. See trace.go.
+	tracer Tracer
+
+	// resources lists every Resource created on the kernel, in creation
+	// order, so reports can enumerate them without the model wiring each one
+	// through by hand.
+	resources []*Resource
+
+	// stepMu serializes event execution against Inspect: the kernel holds it
+	// across each event (including any simulated-thread execution the event
+	// hands control to), so an inspector between events observes quiescent
+	// state. Uncontended it costs one lock/unlock per event and nothing in
+	// virtual time.
+	stepMu sync.Mutex
 }
 
 // NewKernel returns a kernel with its clock at zero and the given RNG seed.
@@ -159,6 +176,9 @@ func (k *Kernel) At(at Time, fn func()) *Timer {
 	ev := &event{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, ev)
+	if k.tracer != nil {
+		k.tracer.EventScheduled(k.now, at, ev.seq)
+	}
 	return &Timer{ev: ev}
 }
 
@@ -180,6 +200,13 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step executes the single next event, advancing the clock. It returns false
 // when the queue is empty.
 func (k *Kernel) Step() bool {
+	k.stepMu.Lock()
+	defer k.stepMu.Unlock()
+	return k.step()
+}
+
+// step is Step's body; callers hold stepMu.
+func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
 		ev := heap.Pop(&k.queue).(*event)
 		if ev.canceled {
@@ -189,6 +216,9 @@ func (k *Kernel) Step() bool {
 			panic("sim: time went backwards")
 		}
 		k.now = ev.at
+		if k.tracer != nil {
+			k.tracer.EventFired(k.now, ev.seq)
+		}
 		ev.fn()
 		return true
 	}
@@ -196,7 +226,8 @@ func (k *Kernel) Step() bool {
 }
 
 // Run executes events until the queue is empty or Stop is called. It panics
-// if called reentrantly.
+// if called reentrantly. Between events the kernel releases its inspection
+// lock, so Kernel.Inspect from another goroutine observes quiescent state.
 func (k *Kernel) Run() {
 	if k.running {
 		panic("sim: Kernel.Run called reentrantly")
@@ -218,16 +249,21 @@ func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
 	defer func() { k.running = false }()
 	for !k.stopped {
+		k.stepMu.Lock()
 		// Peek for the next runnable event within the deadline.
 		for len(k.queue) > 0 && k.queue[0].canceled {
 			heap.Pop(&k.queue)
 		}
 		if len(k.queue) == 0 || k.queue[0].at > deadline {
+			k.stepMu.Unlock()
 			break
 		}
-		k.Step()
+		k.step()
+		k.stepMu.Unlock()
 	}
+	k.stepMu.Lock()
 	if k.now < deadline {
 		k.now = deadline
 	}
+	k.stepMu.Unlock()
 }

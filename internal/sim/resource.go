@@ -1,6 +1,10 @@
 package sim
 
-import "math"
+import (
+	"math"
+
+	"fireflyrpc/internal/stats"
+)
 
 // mathLog is split into its own file-level indirection point so tests can
 // confirm RNG determinism does not depend on platform math quirks for the
@@ -14,6 +18,12 @@ func mathLog(x float64) float64 { return math.Log(x) }
 //
 // Resource may be used both from thread context (blocking Use) and from
 // event context (asynchronous Submit).
+//
+// Every resource continuously integrates busy server-time and queue depth
+// against the virtual clock and folds each request's queueing delay into a
+// wait-time histogram, so a finished (or in-flight — the integrals are
+// brought up to Now on every read) run can report utilization, mean queue
+// depth, and wait quantiles without any extra instrumentation.
 type Resource struct {
 	k       *Kernel
 	name    string
@@ -23,25 +33,35 @@ type Resource struct {
 
 	// accounting
 	busyTime   Duration // integrated busy server-time
+	queueTime  Duration // integrated queue depth (request-time spent waiting)
 	lastChange Time
 	served     int64
+	maxQueue   int
+	waits      stats.Hist // queueing delay per request (zero for immediate starts)
 }
 
 type resReq struct {
 	dur  Duration
 	done func()
+	enq  Time // arrival, for wait-time accounting
 }
 
-// NewResource creates a resource with the given number of servers.
+// NewResource creates a resource with the given number of servers and
+// registers it on the kernel (see Kernel.Resources).
 func NewResource(k *Kernel, name string, servers int) *Resource {
 	if servers <= 0 {
 		panic("sim: resource needs at least one server")
 	}
-	return &Resource{k: k, name: name, servers: servers, lastChange: k.Now()}
+	r := &Resource{k: k, name: name, servers: servers, lastChange: k.Now()}
+	k.resources = append(k.resources, r)
+	return r
 }
 
 // Name returns the resource's name.
 func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of identical servers.
+func (r *Resource) Servers() int { return r.servers }
 
 // Busy returns the number of busy servers.
 func (r *Resource) Busy() int { return r.busy }
@@ -49,14 +69,22 @@ func (r *Resource) Busy() int { return r.busy }
 // QueueLen returns the number of queued requests.
 func (r *Resource) QueueLen() int { return len(r.queue) }
 
+// account integrates busy server-time and queue depth up to the current
+// instant. It must run before every change to busy or the queue — and
+// before every read of the integrals, so a sample taken mid-hold already
+// includes the in-progress occupancy (the mid-hold read contract
+// TestResourceUtilizationMidHold pins).
 func (r *Resource) account() {
 	now := r.k.Now()
-	r.busyTime += Duration(int64(now-r.lastChange) * int64(r.busy))
+	dt := int64(now - r.lastChange)
+	r.busyTime += Duration(dt * int64(r.busy))
+	r.queueTime += Duration(dt * int64(len(r.queue)))
 	r.lastChange = now
 }
 
 // Utilization returns the fraction of total server capacity that has been
-// busy since the start of the run, in [0, 1].
+// busy since the start of the run, in [0, 1]. Sampling mid-hold is exact:
+// the in-progress occupancy is integrated up to Now before reading.
 func (r *Resource) Utilization() float64 {
 	r.account()
 	total := Duration(r.k.Now())
@@ -76,8 +104,63 @@ func (r *Resource) MeanBusyServers() float64 {
 	return float64(r.busyTime) / float64(total)
 }
 
+// MeanQueueDepth returns the time-averaged number of queued (waiting, not
+// in service) requests since the start of the run.
+func (r *Resource) MeanQueueDepth() float64 {
+	r.account()
+	total := Duration(r.k.Now())
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.queueTime) / float64(total)
+}
+
+// MaxQueueDepth returns the deepest the wait queue has been.
+func (r *Resource) MaxQueueDepth() int { return r.maxQueue }
+
 // Served returns the number of completed occupancies.
 func (r *Resource) Served() int64 { return r.served }
+
+// WaitSnapshot returns the wait-time (queueing delay) distribution over all
+// requests so far, including the zero waits of requests that found a free
+// server.
+func (r *Resource) WaitSnapshot() stats.HistSnapshot { return r.waits.Snapshot() }
+
+// ResourceStats is a point-in-time accounting snapshot of one resource, the
+// unit of the simulator's utilization/queueing report.
+type ResourceStats struct {
+	Name            string             `json:"name"`
+	Servers         int                `json:"servers"`
+	Busy            int                `json:"busy"`
+	QueueLen        int                `json:"queue_len"`
+	Served          int64              `json:"served"`
+	Utilization     float64            `json:"utilization"`
+	MeanBusyServers float64            `json:"mean_busy_servers"`
+	MeanQueueDepth  float64            `json:"mean_queue_depth"`
+	MaxQueueDepth   int                `json:"max_queue_depth"`
+	Wait            stats.Summary      `json:"wait"`
+	WaitHist        stats.HistSnapshot `json:"-"`
+}
+
+// Stats snapshots the resource's accounting, integrals brought up to Now.
+// Call from simulation context, or under Kernel.Inspect when a run driven
+// by another goroutine may be in progress.
+func (r *Resource) Stats() ResourceStats {
+	wait := r.waits.Snapshot()
+	return ResourceStats{
+		Name:            r.name,
+		Servers:         r.servers,
+		Busy:            r.busy,
+		QueueLen:        len(r.queue),
+		Served:          r.served,
+		Utilization:     r.Utilization(),
+		MeanBusyServers: r.MeanBusyServers(),
+		MeanQueueDepth:  r.MeanQueueDepth(),
+		MaxQueueDepth:   r.maxQueue,
+		Wait:            wait.Summarize(),
+		WaitHist:        wait,
+	}
+}
 
 // Submit occupies a server for dur, calling done when the occupancy ends.
 // If all servers are busy the request queues FIFO. Safe from event context.
@@ -85,21 +168,36 @@ func (r *Resource) Submit(dur Duration, done func()) {
 	if dur < 0 {
 		panic("sim: negative resource occupancy")
 	}
-	req := &resReq{dur: dur, done: done}
+	req := &resReq{dur: dur, done: done, enq: r.k.Now()}
 	if r.busy < r.servers {
 		r.start(req)
 		return
 	}
+	r.account()
 	r.queue = append(r.queue, req)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	if tr := r.k.tracer; tr != nil {
+		tr.ResourceQueued(r.k.now, r)
+	}
 }
 
 func (r *Resource) start(req *resReq) {
 	r.account()
 	r.busy++
+	wait := r.k.Now().Sub(req.enq)
+	r.waits.Observe(wait)
+	if tr := r.k.tracer; tr != nil {
+		tr.ResourceAcquire(r.k.now, r, wait)
+	}
 	r.k.After(req.dur, func() {
 		r.account()
 		r.busy--
 		r.served++
+		if tr := r.k.tracer; tr != nil {
+			tr.ResourceRelease(r.k.now, r)
+		}
 		if len(r.queue) > 0 {
 			next := r.queue[0]
 			copy(r.queue, r.queue[1:])

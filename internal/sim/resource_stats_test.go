@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResourceUtilizationMidHold pins the mid-hold read contract: sampling
+// Utilization while an occupancy is in progress must integrate the busy time
+// up to Now, not report the state as of the last transition.
+func TestResourceUtilizationMidHold(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "bus", 1)
+	r.Submit(Micros(100), nil)
+	k.RunUntil(Time(Micros(50)))
+
+	if got := r.Utilization(); got != 1.0 {
+		t.Errorf("mid-hold utilization = %v, want 1.0", got)
+	}
+	if got := r.MeanBusyServers(); got != 1.0 {
+		t.Errorf("mid-hold mean busy servers = %v, want 1.0", got)
+	}
+
+	// Run past the hold: 100 µs busy over 200 µs elapsed.
+	k.RunUntil(Time(Micros(200)))
+	if got := r.Utilization(); got < 0.499 || got > 0.501 {
+		t.Errorf("post-hold utilization = %v, want 0.5", got)
+	}
+	// Repeated sampling must not double-count.
+	if a, b := r.Utilization(), r.Utilization(); a != b {
+		t.Errorf("resampling changed utilization: %v then %v", a, b)
+	}
+	if r.Served() != 1 {
+		t.Errorf("served = %d, want 1", r.Served())
+	}
+}
+
+// TestResourceQueueAccounting checks the queue-depth integral, max depth,
+// and wait-time histogram against a hand-computed scenario.
+func TestResourceQueueAccounting(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "bus", 1)
+	// Three back-to-back 100 µs requests at t=0: waits 0, 100, 200 µs.
+	for i := 0; i < 3; i++ {
+		r.Submit(Micros(100), nil)
+	}
+	if r.QueueLen() != 2 {
+		t.Fatalf("queue len = %d, want 2", r.QueueLen())
+	}
+	// Mid-queue sample at t=50: 2 queued the whole time.
+	k.RunUntil(Time(Micros(50)))
+	if got := r.MeanQueueDepth(); got < 1.99 || got > 2.01 {
+		t.Errorf("mid-run mean queue depth = %v, want 2", got)
+	}
+	k.Run()
+	if now := k.Now(); now != Time(Micros(300)) {
+		t.Fatalf("drained at %v, want 300µs", now)
+	}
+	// Queue integral: 2 queued for 100 µs + 1 queued for 100 µs = 300 µs·req
+	// over 300 µs elapsed → mean 1.0.
+	if got := r.MeanQueueDepth(); got < 0.999 || got > 1.001 {
+		t.Errorf("mean queue depth = %v, want 1.0", got)
+	}
+	if r.MaxQueueDepth() != 2 {
+		t.Errorf("max queue depth = %d, want 2", r.MaxQueueDepth())
+	}
+	if got := r.Utilization(); got < 0.999 || got > 1.001 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+	wait := r.WaitSnapshot()
+	if wait.N != 3 {
+		t.Fatalf("wait samples = %d, want 3", wait.N)
+	}
+	// Mean wait (0+100+200)/3 = 100 µs.
+	if mean := wait.Mean(); mean != 100*time.Microsecond {
+		t.Errorf("mean wait = %v, want 100µs", mean)
+	}
+	st := r.Stats()
+	if st.Served != 3 || st.Wait.N != 3 || st.Name != "bus" {
+		t.Errorf("stats snapshot off: %+v", st)
+	}
+}
+
+// TestKernelResourceRegistry checks creation-order enumeration.
+func TestKernelResourceRegistry(t *testing.T) {
+	k := NewKernel(1)
+	a := NewResource(k, "a", 1)
+	b := NewResource(k, "b", 2)
+	rs := k.Resources()
+	if len(rs) != 2 || rs[0] != a || rs[1] != b {
+		t.Fatalf("registry = %v", rs)
+	}
+}
+
+// TestInspectConcurrentWithRun drives a busy simulation from one goroutine
+// while another reads resource stats through Kernel.Inspect. Run under
+// -race this pins that concurrent inspection does not corrupt (or race
+// with) a run.
+func TestInspectConcurrentWithRun(t *testing.T) {
+	k := NewKernel(7)
+	r := NewResource(k, "bus", 2)
+	k.Spawn("worker", func(th *Thread) {
+		for i := 0; i < 2000; i++ {
+			r.Use(th, Micros(3))
+			th.Sleep(Micros(1))
+		}
+	})
+	k.Spawn("worker2", func(th *Thread) {
+		for i := 0; i < 2000; i++ {
+			r.Use(th, Micros(5))
+		}
+	})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k.Inspect(func() {
+					st := r.Stats()
+					if st.Utilization < 0 || st.Utilization > 1.0000001 {
+						t.Errorf("utilization out of range: %v", st.Utilization)
+					}
+					_ = k.Now()
+					_ = k.Pending()
+				})
+			}
+		}()
+	}
+	k.Run()
+	close(done)
+	wg.Wait()
+	if r.Served() != 4000 {
+		t.Errorf("served = %d, want 4000", r.Served())
+	}
+}
+
+// TestInspectIdleKernel checks Inspect works with no run in progress.
+func TestInspectIdleKernel(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.Inspect(func() { ran = true })
+	if !ran {
+		t.Fatal("Inspect did not run fn")
+	}
+}
+
+// recordingTracer counts hook invocations, for determinism comparisons.
+type recordingTracer struct {
+	spawns, states, scheds, fires int
+	queued, acquired, released    int
+}
+
+func (r *recordingTracer) ThreadSpawn(Time, int, string) { r.spawns++ }
+func (r *recordingTracer) ThreadState(Time, int, ThreadState, string) {
+	r.states++
+}
+func (r *recordingTracer) EventScheduled(Time, Time, uint64) { r.scheds++ }
+func (r *recordingTracer) EventFired(Time, uint64)           { r.fires++ }
+func (r *recordingTracer) ResourceQueued(Time, *Resource)    { r.queued++ }
+func (r *recordingTracer) ResourceAcquire(Time, *Resource, Duration) {
+	r.acquired++
+}
+func (r *recordingTracer) ResourceRelease(Time, *Resource) { r.released++ }
+
+// TestTracerDoesNotPerturbTimings runs the same scenario with and without a
+// tracer installed and demands identical virtual results — the hooks must
+// observe, never steer.
+func TestTracerDoesNotPerturbTimings(t *testing.T) {
+	scenario := func(tr Tracer) (Time, float64, int64) {
+		k := NewKernel(42)
+		if tr != nil {
+			k.SetTracer(tr)
+		}
+		r := NewResource(k, "bus", 1)
+		for i := 0; i < 3; i++ {
+			k.Spawn("w", func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					r.Use(th, Micros(int64(1+k.RNG().Intn(7))))
+					th.Sleep(Micros(int64(k.RNG().Intn(3))))
+				}
+			})
+		}
+		k.Run()
+		return k.Now(), r.Utilization(), r.Served()
+	}
+
+	nowOff, utilOff, servedOff := scenario(nil)
+	rec := &recordingTracer{}
+	nowOn, utilOn, servedOn := scenario(rec)
+	if nowOff != nowOn || utilOff != utilOn || servedOff != servedOn {
+		t.Errorf("traced run diverged: now %v vs %v, util %v vs %v, served %d vs %d",
+			nowOff, nowOn, utilOff, utilOn, servedOff, servedOn)
+	}
+	if rec.fires == 0 || rec.acquired != 150 || rec.released != 150 || rec.spawns != 3 {
+		t.Errorf("tracer saw fires=%d acquired=%d released=%d spawns=%d",
+			rec.fires, rec.acquired, rec.released, rec.spawns)
+	}
+}

@@ -31,12 +31,18 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 	}
 	k.nextID++
 	k.threads++
+	if k.tracer != nil {
+		k.tracer.ThreadSpawn(k.now, t.id, t.name)
+	}
 	go func() {
 		<-t.resume // wait for the kernel to hand us control
 		fn(t)
 		t.done = true
 		t.k.threads--
 		t.k.tracef("thread %s exits", t.name)
+		if t.k.tracer != nil {
+			t.k.tracer.ThreadState(t.k.now, t.id, ThreadExit, "")
+		}
 		t.k.handoff <- struct{}{} // give control back for good
 	}()
 	k.After(0, func() { t.transfer() })
@@ -53,11 +59,17 @@ func (k *Kernel) SpawnAt(d Duration, name string, fn func(t *Thread)) *Thread {
 	}
 	k.nextID++
 	k.threads++
+	if k.tracer != nil {
+		k.tracer.ThreadSpawn(k.now, t.id, t.name)
+	}
 	go func() {
 		<-t.resume
 		fn(t)
 		t.done = true
 		t.k.threads--
+		if t.k.tracer != nil {
+			t.k.tracer.ThreadState(t.k.now, t.id, ThreadExit, "")
+		}
 		t.k.handoff <- struct{}{}
 	}()
 	k.After(d, func() { t.transfer() })
@@ -88,6 +100,9 @@ func (t *Thread) transfer() {
 	if t.done {
 		panic(fmt.Sprintf("sim: resuming finished thread %s", t.name))
 	}
+	if t.k.tracer != nil {
+		t.k.tracer.ThreadState(t.k.now, t.id, ThreadRun, "")
+	}
 	t.resume <- struct{}{}
 	<-t.k.handoff
 }
@@ -96,6 +111,9 @@ func (t *Thread) transfer() {
 // until some event resumes the thread. Must be called from thread context.
 func (t *Thread) yield(reason string) {
 	t.parkReason = reason
+	if t.k.tracer != nil {
+		t.k.tracer.ThreadState(t.k.now, t.id, ThreadBlocked, reason)
+	}
 	t.k.handoff <- struct{}{}
 	<-t.resume
 	t.parkReason = ""

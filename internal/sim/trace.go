@@ -1,0 +1,81 @@
+package sim
+
+// Tracer receives the kernel's structural events: thread state transitions,
+// event scheduling and firing, and resource occupancy changes. Every method
+// is invoked in simulation context (at most one simulated thread or the
+// kernel loop runs at a time), so implementations need no locking as long as
+// they are not read concurrently with a run — use Kernel.Inspect for that.
+//
+// The hooks exist for observability only. A nil tracer costs one pointer
+// comparison per hook site and zero allocations, and an installed tracer
+// must never change virtual time: the kernel calls the hooks after its own
+// state changes, so two runs with the same seed produce identical timings
+// whether or not a tracer is installed.
+type Tracer interface {
+	// ThreadSpawn reports a new simulated thread. The thread starts running
+	// at a later instant (reported by a ThreadState ThreadRun transition).
+	ThreadSpawn(at Time, id int, name string)
+	// ThreadState reports a thread gaining control (ThreadRun), blocking
+	// (ThreadBlocked, with the park reason), or exiting (ThreadExit).
+	ThreadState(at Time, id int, state ThreadState, reason string)
+	// EventScheduled reports an event queued at `fire`; seq orders equal-time
+	// events.
+	EventScheduled(at, fire Time, seq uint64)
+	// EventFired reports an event's callback about to run.
+	EventFired(at Time, seq uint64)
+	// ResourceQueued reports a request arriving at a fully-busy resource.
+	ResourceQueued(at Time, r *Resource)
+	// ResourceAcquire reports a request beginning service after waiting
+	// `wait` (zero when a server was free on arrival).
+	ResourceAcquire(at Time, r *Resource, wait Duration)
+	// ResourceRelease reports an occupancy ending.
+	ResourceRelease(at Time, r *Resource)
+}
+
+// ThreadState values for Tracer.ThreadState.
+type ThreadState uint8
+
+const (
+	// ThreadRun: the thread has control and is executing.
+	ThreadRun ThreadState = iota
+	// ThreadBlocked: the thread yielded; the reason names what it waits on.
+	ThreadBlocked
+	// ThreadExit: the thread's body returned.
+	ThreadExit
+)
+
+// String names the state for trace output.
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRun:
+		return "run"
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadExit:
+		return "exit"
+	}
+	return "?"
+}
+
+// SetTracer installs (or, with nil, removes) the kernel's structural tracer.
+// Install before Run so the trace covers the whole simulation.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// Tracer returns the installed structural tracer, nil if none.
+func (k *Kernel) Tracer() Tracer { return k.tracer }
+
+// Resources returns every resource created on this kernel, in creation
+// order (which is deterministic for a fixed configuration). The slice is
+// the kernel's own; callers must not modify it.
+func (k *Kernel) Resources() []*Resource { return k.resources }
+
+// Inspect runs fn while the simulation is paused between events, so fn can
+// read (or mutate) kernel, thread, and resource state without racing a run
+// driven from another goroutine. If no run is in progress fn executes
+// immediately. The simulation's virtual timings are unaffected — the pause
+// consumes wall-clock time only.
+func (k *Kernel) Inspect(fn func()) {
+	k.stepMu.Lock()
+	defer k.stepMu.Unlock()
+	fn()
+}

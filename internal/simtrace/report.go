@@ -1,0 +1,48 @@
+package simtrace
+
+import (
+	"fmt"
+	"strings"
+
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/simstack"
+)
+
+// AttachWorld wires a builder into every traced layer of a simstack testbed:
+// the kernel (thread lifelines, resource counters), both machines (CPU
+// spans, controller ops), and the Ethernet segment (wire slices, packet
+// flows). Call before the run.
+func AttachWorld(w *simstack.World) *Builder {
+	b := NewBuilder(w.K)
+	b.AttachMachine(w.Caller)
+	b.AttachMachine(w.Server)
+	b.AttachSegment(w.Seg, "ethernet")
+	return b
+}
+
+// ResourceReport snapshots every resource registered on the kernel, in
+// creation order. Call from the driving goroutine after the run (or under
+// Kernel.Inspect while one is in progress).
+func ResourceReport(k *sim.Kernel) []sim.ResourceStats {
+	rs := k.Resources()
+	out := make([]sim.ResourceStats, len(rs))
+	for i, r := range rs {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
+// RenderResourceTable formats the utilization/queueing report as an aligned
+// text table: busy fraction, time-averaged and peak queue depth, and wait
+// quantiles per resource.
+func RenderResourceTable(stats []sim.ResourceStats) string {
+	var sb strings.Builder
+	sb.WriteString("resource              srv   util%   mean-q   max-q     served   wait-p50µs   wait-p95µs\n")
+	for _, st := range stats {
+		fmt.Fprintf(&sb, "%-20s  %3d  %6.1f  %7.3f  %6d  %9d  %11.1f  %11.1f\n",
+			st.Name, st.Servers, 100*st.Utilization,
+			st.MeanQueueDepth, st.MaxQueueDepth, st.Served,
+			st.Wait.P50Us, st.Wait.P95Us)
+	}
+	return sb.String()
+}

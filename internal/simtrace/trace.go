@@ -1,0 +1,352 @@
+// Package simtrace renders a simulation run as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One process per
+// machine with a track per CPU and one for the DEQNA controller, a process
+// for the Ethernet segment's wire, a process of per-thread lifelines, and
+// counter tracks sampling every sim.Resource's busy/queued state. Packet-flow
+// arrows connect a frame's wire occupancy to the receiving controller's QBus
+// write.
+//
+// The builder emits only integer-derived text (timestamps are formatted from
+// nanosecond integers, never floats), and pids/tids are assigned in
+// first-use order, so two same-seed runs produce byte-identical JSON.
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/firefly"
+	"fireflyrpc/internal/sim"
+)
+
+// Builder accumulates trace events from the sim kernel, machine model, and
+// Ethernet segment. It implements sim.Tracer, firefly.Tracer, and
+// ether.Tracer; install it with Attach* (or simstack-level helpers) before
+// the run. Builders are not safe for concurrent use — like the simulation
+// itself, they assume the kernel's single-stepping discipline.
+type Builder struct {
+	k   *sim.Kernel
+	buf bytes.Buffer
+	n   int // events emitted
+
+	pids    map[string]int // process name -> pid
+	pidSeq  []string       // emission order, for metadata determinism checks
+	nextPid int
+	tids    map[string]int // "pid/track" -> tid
+	nextTid map[int]int    // per-pid tid allocator
+
+	threadName map[int]string // sim thread id -> name
+	openRun    map[int]bool   // sim thread id -> has an open "run" slice
+
+	stations  map[string]string   // MAC -> machine name
+	pendingRx map[string][]uint64 // machine -> frame ids delivered, awaiting qbus-rx
+	segment   string              // process name of the attached segment
+
+	// counters (not rendered per-event; see Counts)
+	evScheduled, evFired int64
+}
+
+// Counts reports hook-invocation totals that are tracked but intentionally
+// not rendered as individual events (event schedule/fire volume would dwarf
+// the useful tracks).
+type Counts struct {
+	Events    int   // trace events rendered
+	Scheduled int64 // kernel events scheduled
+	Fired     int64 // kernel events fired
+}
+
+// NewBuilder creates a builder over k and installs itself as the kernel's
+// tracer.
+func NewBuilder(k *sim.Kernel) *Builder {
+	b := &Builder{
+		k:          k,
+		pids:       make(map[string]int),
+		nextPid:    1,
+		tids:       make(map[string]int),
+		nextTid:    make(map[int]int),
+		threadName: make(map[int]string),
+		openRun:    make(map[int]bool),
+		stations:   make(map[string]string),
+		pendingRx:  make(map[string][]uint64),
+	}
+	k.SetTracer(b)
+	return b
+}
+
+// AttachMachine installs the builder as m's timeline tracer and records its
+// MAC so packet deliveries can be routed to its controller track.
+func (b *Builder) AttachMachine(m *firefly.Machine) {
+	m.SetTracer(b)
+	b.stations[m.MAC.String()] = m.Name
+	// Pre-register tracks in a stable order: cpu0..cpuN-1, then the DEQNA.
+	pid := b.pid(m.Name)
+	for i := 0; i < m.NumCPUs(); i++ {
+		b.tid(pid, fmt.Sprintf("cpu%d", i))
+	}
+	b.tid(pid, "DEQNA")
+}
+
+// AttachSegment installs the builder as the segment's packet tracer. name
+// labels its process (e.g. "ethernet").
+func (b *Builder) AttachSegment(s *ether.Segment, name string) {
+	s.SetTracer(b)
+	b.segment = name
+	pid := b.pid(name)
+	b.tid(pid, "wire")
+}
+
+// Counts returns hook totals.
+func (b *Builder) Counts() Counts {
+	return Counts{Events: b.n, Scheduled: b.evScheduled, Fired: b.evFired}
+}
+
+// pid returns (allocating on first use) the process id for name, emitting
+// process_name metadata on allocation.
+func (b *Builder) pid(name string) int {
+	if p, ok := b.pids[name]; ok {
+		return p
+	}
+	p := b.nextPid
+	b.nextPid++
+	b.pids[name] = p
+	b.pidSeq = append(b.pidSeq, name)
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}`, p, esc(name))
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"process_sort_index","ph":"M","pid":%d,"args":{"sort_index":%d}}`, p, p)
+	return p
+}
+
+// tid returns (allocating on first use) the thread id for a named track
+// within pid, emitting thread_name metadata on allocation.
+func (b *Builder) tid(pid int, track string) int {
+	key := fmt.Sprintf("%d/%s", pid, track)
+	if t, ok := b.tids[key]; ok {
+		return t
+	}
+	t := b.nextTid[pid]
+	b.nextTid[pid]++
+	b.tids[key] = t
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`, pid, t, esc(track))
+	return t
+}
+
+// open starts a new event object, writing the separating comma if needed.
+func (b *Builder) open() {
+	if b.n > 0 {
+		b.buf.WriteByte(',')
+		b.buf.WriteByte('\n')
+	}
+	b.n++
+}
+
+// ts writes a `"ts":<micros>` field from integer nanoseconds — no float
+// formatting, so output is bit-stable across platforms.
+func ts(buf *bytes.Buffer, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	fmt.Fprintf(buf, `"ts":%d.%03d`, ns/1000, ns%1000)
+}
+
+// esc escapes s for embedding in a JSON string literal.
+func esc(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '"' || c == '\\' || c < 0x20 || c >= 0x80 {
+			q, _ := json.Marshal(s)
+			return string(q[1 : len(q)-1])
+		}
+	}
+	return s
+}
+
+// --- sim.Tracer ---
+
+const threadProc = "sim threads"
+
+// ThreadSpawn names the thread's lifeline track.
+func (b *Builder) ThreadSpawn(at sim.Time, id int, name string) {
+	b.threadName[id] = name
+	pid := b.pid(threadProc)
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`, pid, id, esc(name))
+}
+
+// ThreadState renders run slices on the thread's lifeline: Run opens a
+// slice, Blocked closes it (recording the park reason), Exit closes any open
+// slice.
+func (b *Builder) ThreadState(at sim.Time, id int, state sim.ThreadState, reason string) {
+	pid := b.pid(threadProc)
+	switch state {
+	case sim.ThreadRun:
+		if b.openRun[id] {
+			return
+		}
+		b.openRun[id] = true
+		b.open()
+		fmt.Fprintf(&b.buf, `{"name":"%s","cat":"thread","ph":"B","pid":%d,"tid":%d,`, esc(b.threadName[id]), pid, id)
+		ts(&b.buf, int64(at))
+		b.buf.WriteByte('}')
+	case sim.ThreadBlocked, sim.ThreadExit:
+		if !b.openRun[id] {
+			return
+		}
+		b.openRun[id] = false
+		b.open()
+		fmt.Fprintf(&b.buf, `{"ph":"E","pid":%d,"tid":%d,`, pid, id)
+		ts(&b.buf, int64(at))
+		if reason != "" {
+			fmt.Fprintf(&b.buf, `,"args":{"block":"%s"}`, esc(reason))
+		}
+		b.buf.WriteByte('}')
+	}
+}
+
+// EventScheduled is counted but not rendered (volume).
+func (b *Builder) EventScheduled(at, fire sim.Time, seq uint64) { b.evScheduled++ }
+
+// EventFired is counted but not rendered (volume).
+func (b *Builder) EventFired(at sim.Time, seq uint64) { b.evFired++ }
+
+// resourceCounter samples r's busy/queued state as a counter event.
+func (b *Builder) resourceCounter(at sim.Time, r *sim.Resource) {
+	pid := b.pid("resources")
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"%s","cat":"resource","ph":"C","pid":%d,`, esc(r.Name()), pid)
+	ts(&b.buf, int64(at))
+	fmt.Fprintf(&b.buf, `,"args":{"busy":%d,"queued":%d}}`, r.Busy(), r.QueueLen())
+}
+
+// ResourceQueued samples the resource counter track.
+func (b *Builder) ResourceQueued(at sim.Time, r *sim.Resource) { b.resourceCounter(at, r) }
+
+// ResourceAcquire samples the resource counter track.
+func (b *Builder) ResourceAcquire(at sim.Time, r *sim.Resource, wait sim.Duration) {
+	b.resourceCounter(at, r)
+}
+
+// ResourceRelease samples the resource counter track.
+func (b *Builder) ResourceRelease(at sim.Time, r *sim.Resource) { b.resourceCounter(at, r) }
+
+// --- firefly.Tracer ---
+
+// CPUSpanBegin opens a slice on the machine's per-CPU track.
+func (b *Builder) CPUSpanBegin(at sim.Time, machine string, cpu int, kind, name string) {
+	pid := b.pid(machine)
+	tid := b.tid(pid, fmt.Sprintf("cpu%d", cpu))
+	label := name
+	if label == "" {
+		label = kind
+	}
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"%s","cat":"%s","ph":"B","pid":%d,"tid":%d,`, esc(label), esc(kind), pid, tid)
+	ts(&b.buf, int64(at))
+	b.buf.WriteByte('}')
+}
+
+// CPUSpanEnd closes the most recent open slice on the CPU track.
+func (b *Builder) CPUSpanEnd(at sim.Time, machine string, cpu int) {
+	pid := b.pid(machine)
+	tid := b.tid(pid, fmt.Sprintf("cpu%d", cpu))
+	b.open()
+	fmt.Fprintf(&b.buf, `{"ph":"E","pid":%d,"tid":%d,`, pid, tid)
+	ts(&b.buf, int64(at))
+	b.buf.WriteByte('}')
+}
+
+// CtlOp renders a completed controller operation as a complete (X) slice on
+// the machine's DEQNA track, and — for QBus receive writes — terminates the
+// pending packet-flow arrow from the wire.
+func (b *Builder) CtlOp(at sim.Time, machine string, op string, bytes int, d sim.Duration) {
+	pid := b.pid(machine)
+	tid := b.tid(pid, "DEQNA")
+	start := int64(at) - int64(d)
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"%s","cat":"ctl","ph":"X","pid":%d,"tid":%d,`, esc(op), pid, tid)
+	ts(&b.buf, start)
+	fmt.Fprintf(&b.buf, `,"dur":%d.%03d,"args":{"bytes":%d}}`, int64(d)/1000, int64(d)%1000, bytes)
+	if op == "qbus-rx" {
+		if ids := b.pendingRx[machine]; len(ids) > 0 {
+			id := ids[0]
+			b.pendingRx[machine] = ids[1:]
+			b.open()
+			fmt.Fprintf(&b.buf, `{"name":"frame","cat":"frame","ph":"f","bp":"e","id":%d,"pid":%d,"tid":%d,`, id, pid, tid)
+			ts(&b.buf, start)
+			b.buf.WriteByte('}')
+		}
+	}
+}
+
+// --- ether.Tracer ---
+
+// FrameOnWire renders the frame's wire occupancy as a complete slice on the
+// segment's wire track and opens its packet-flow arrow.
+func (b *Builder) FrameOnWire(at sim.Time, id uint64, src, dst string, n int, txTime sim.Duration, lost bool) {
+	pid := b.pid(b.segName())
+	tid := b.tid(pid, "wire")
+	start := int64(at) - int64(txTime)
+	name := fmt.Sprintf("frame %d", id)
+	if lost {
+		name = fmt.Sprintf("frame %d (lost)", id)
+	}
+	b.open()
+	fmt.Fprintf(&b.buf, `{"name":"%s","cat":"frame","ph":"X","pid":%d,"tid":%d,`, esc(name), pid, tid)
+	ts(&b.buf, start)
+	fmt.Fprintf(&b.buf, `,"dur":%d.%03d,"args":{"src":"%s","dst":"%s","bytes":%d,"lost":%t}}`,
+		int64(txTime)/1000, int64(txTime)%1000, esc(src), esc(dst), n, lost)
+	if !lost {
+		b.open()
+		fmt.Fprintf(&b.buf, `{"name":"frame","cat":"frame","ph":"s","id":%d,"pid":%d,"tid":%d,`, id, pid, tid)
+		ts(&b.buf, start)
+		b.buf.WriteByte('}')
+	}
+}
+
+// FrameDelivered queues the frame id for the destination machine's next
+// qbus-rx slice (controller ops are FIFO, so order matches).
+func (b *Builder) FrameDelivered(at sim.Time, id uint64, dst string, n int) {
+	machine, ok := b.stations[dst]
+	if !ok {
+		return
+	}
+	b.pendingRx[machine] = append(b.pendingRx[machine], id)
+}
+
+// segName returns the attached segment's process name.
+func (b *Builder) segName() string {
+	if b.segment != "" {
+		return b.segment
+	}
+	return "ethernet"
+}
+
+// WriteTo writes the complete trace JSON document.
+func (b *Builder) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := io.WriteString(w, "{\"traceEvents\":[\n")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	m, err := b.buf.WriteTo(w)
+	total += m
+	if err != nil {
+		return total, err
+	}
+	n, err = io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	total += int64(n)
+	return total, err
+}
+
+// JSON renders the complete trace document as a byte slice. The builder's
+// internal buffer is consumed by WriteTo, so JSON (or WriteTo) may be called
+// once, after the run.
+func (b *Builder) JSON() []byte {
+	var out bytes.Buffer
+	b.WriteTo(&out)
+	return out.Bytes()
+}

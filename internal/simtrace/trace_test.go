@@ -1,0 +1,173 @@
+package simtrace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"fireflyrpc/internal/costmodel"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/simstack"
+	"fireflyrpc/internal/simtrace"
+)
+
+// runTraced drives a small two-machine workload with a builder attached and
+// returns the rendered trace plus the run result.
+func runTraced(seed uint64) ([]byte, simstack.RunResult) {
+	cfg := costmodel.NewConfig()
+	w := simstack.NewWorld(&cfg, seed)
+	b := simtrace.AttachWorld(w)
+	r := w.Run(simstack.MaxResultSpec(&cfg), 2, 40)
+	return b.JSON(), r
+}
+
+// TestTraceDeterminism demands byte-identical JSON from two same-seed runs.
+func TestTraceDeterminism(t *testing.T) {
+	a, _ := runTraced(7)
+	b, _ := runTraced(7)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				lo := i - 60
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("traces diverge at byte %d:\n  a: …%s\n  b: …%s",
+					i, a[lo:min(i+60, len(a))], b[lo:min(i+60, len(b))])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+}
+
+// TestTracerDoesNotPerturbRun compares a traced and an untraced same-seed
+// run: the virtual results must be identical.
+func TestTracerDoesNotPerturbRun(t *testing.T) {
+	cfg := costmodel.NewConfig()
+	w := simstack.NewWorld(&cfg, 7)
+	plain := w.Run(simstack.MaxResultSpec(&cfg), 2, 40)
+	_, traced := runTraced(7)
+	if plain.Elapsed != traced.Elapsed || plain.Calls != traced.Calls ||
+		plain.P95Micros != traced.P95Micros {
+		t.Errorf("traced run diverged: elapsed %v vs %v, calls %d vs %d, p95 %v vs %v",
+			plain.Elapsed, traced.Elapsed, plain.Calls, traced.Calls,
+			plain.P95Micros, traced.P95Micros)
+	}
+}
+
+// TestTraceStructure validates the document shape Perfetto's importer
+// relies on: every event carries a phase and pid, slice begins/ends balance
+// per track, complete events have non-negative durations, flow ends only
+// reference started flows, and all the expected track families are present.
+func TestTraceStructure(t *testing.T) {
+	raw, _ := runTraced(3)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 100 {
+		t.Fatalf("suspiciously small trace: %d events", len(doc.TraceEvents))
+	}
+
+	phases := map[string]int{}
+	depth := map[string]int{}
+	flows := map[float64]bool{}
+	procs := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no phase: %v", i, ev)
+		}
+		phases[ph]++
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		if ph != "M" {
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Fatalf("event %d has bad ts: %v", i, ev)
+			}
+		}
+		track := fmt.Sprintf("%v/%v", ev["pid"], ev["tid"])
+		switch ph {
+		case "M":
+			if name, _ := ev["name"].(string); name == "process_name" {
+				args := ev["args"].(map[string]any)
+				procs[args["name"].(string)] = true
+			}
+		case "B":
+			depth[track]++
+		case "E":
+			depth[track]--
+			if depth[track] < 0 {
+				t.Fatalf("event %d: slice end without begin on track %s", i, track)
+			}
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("event %d: complete event with bad dur: %v", i, ev)
+			}
+		case "s":
+			flows[ev["id"].(float64)] = true
+		case "f":
+			if !flows[ev["id"].(float64)] {
+				t.Fatalf("event %d: flow end for unstarted flow %v", i, ev["id"])
+			}
+		}
+	}
+	for _, ph := range []string{"M", "B", "E", "X", "C", "s", "f"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in trace (saw %v)", ph, phases)
+		}
+	}
+	for track, d := range depth {
+		if d != 0 {
+			t.Errorf("track %s finished with %d unclosed slices", track, d)
+		}
+	}
+	for _, want := range []string{"caller", "server", "ethernet", "sim threads", "resources"} {
+		if !procs[want] {
+			t.Errorf("missing process %q (have %v)", want, procs)
+		}
+	}
+}
+
+// TestResourceReport exercises the snapshot and the rendered table.
+func TestResourceReport(t *testing.T) {
+	cfg := costmodel.NewConfig()
+	w := simstack.NewWorld(&cfg, 5)
+	w.Run(simstack.MaxResultSpec(&cfg), 2, 30)
+	stats := simtrace.ResourceReport(w.K)
+	if len(stats) == 0 {
+		t.Fatal("no resources registered")
+	}
+	var ether *sim.ResourceStats
+	for i := range stats {
+		if stats[i].Name == "ethernet" {
+			ether = &stats[i]
+		}
+	}
+	if ether == nil {
+		t.Fatalf("no ethernet resource in report: %+v", stats)
+	}
+	if ether.Served < 60 { // ≥ one data + one result frame per call
+		t.Errorf("ethernet served %d frames, want >= 60", ether.Served)
+	}
+	if ether.Utilization <= 0 || ether.Utilization > 1 {
+		t.Errorf("ethernet utilization out of range: %v", ether.Utilization)
+	}
+	table := simtrace.RenderResourceTable(stats)
+	if !bytes.Contains([]byte(table), []byte("ethernet")) {
+		t.Errorf("rendered table missing ethernet row:\n%s", table)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -66,7 +66,29 @@ case "$out" in
 *) fail "vet failure did not print 'FAIL: vet' (got: $out)" ;;
 esac
 
-# 4. Unknown flags are rejected with a usage error.
+# 4. A failure in the last step (sim determinism) must propagate too — the
+# contract covers the whole pipeline, not just the early steps.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*TestTraceDeterminism*) exit 7 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a sim-determinism failure"
+case "$out" in
+*"FAIL: sim determinism"*) ;;
+*) fail "determinism failure did not print 'FAIL: sim determinism' (got: $out)" ;;
+esac
+
+# 5. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

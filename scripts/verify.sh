@@ -55,7 +55,9 @@ run "vet" go vet ./...
 run "tests" go test ./...
 run "race: proto + core" go test -race ./internal/proto ./internal/core
 run "race: cancellation + leak stress" go test -race -run 'TestLossyAsyncStressNoLeaks|TestCancel' ./internal/proto
+run "race: live sim inspection" go test -race -run 'TestInspectConcurrentWithRun|TestSimSurfaceLive' ./internal/sim ./internal/debughttp
 run "alloc budgets: fast path" go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
 run "alloc budget: tracing disabled" go test -run 'TestTraceDisabledAllocBudget' -count=1 ./internal/proto
+run "sim determinism: trace + timings" go test -run 'TestTraceDeterminism|TestTracerDoesNotPerturb' -count=1 ./internal/sim ./internal/simtrace
 
 echo "verify: all checks passed"
