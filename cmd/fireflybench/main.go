@@ -11,6 +11,7 @@
 //	fireflybench -breakdown       # traced per-stage latency accounting (Tables VI/VII style)
 //	fireflybench -realcheck F     # validate a BENCH_realstack.json and exit
 //	fireflybench -simtrace out.json  # Perfetto timeline + utilization report for a simulated run
+//	fireflybench -real -faulty lossy.json  # real-stack benchmark under a faultnet impairment profile
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/exper"
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/realbench"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	realTime := flag.String("realtime", "", "per-cell benchmark time for -real (e.g. 50ms); empty = the testing default (1s)")
 	realMemOnly := flag.Bool("realmem", false, "restrict -real to the in-process exchange transport")
 	realCheck := flag.String("realcheck", "", "validate this BENCH_realstack.json and exit")
+	faulty := flag.String("faulty", "", "faultnet profile JSON; -real cells run behind this impairment")
+	faultSeed := flag.Uint64("faultseed", 1, "impairment schedule seed for -faulty")
 	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
 	breakdownCalls := flag.Int("breakdowncalls", 2000, "calls to trace for -breakdown")
 	breakdownSample := flag.Int("breakdownsample", 64, "sampling stride for the -breakdown overhead measurement")
@@ -68,8 +72,21 @@ func main() {
 	}
 
 	if *real {
-		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly)
+		var prof *faultnet.Profile
+		if *faulty != "" {
+			p, err := faultnet.Load(*faulty)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fireflybench: -faulty: %v\n", err)
+				os.Exit(2)
+			}
+			prof = p
+		}
+		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, prof, *faultSeed)
 		return
+	}
+	if *faulty != "" {
+		fmt.Fprintln(os.Stderr, "fireflybench: -faulty requires -real")
+		os.Exit(2)
 	}
 
 	if *trace {
@@ -110,7 +127,7 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool) {
+func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, prof *faultnet.Profile, faultSeed uint64) {
 	parse := func(spec, flagName string) []int {
 		var out []int
 		for _, s := range strings.Split(spec, ",") {
@@ -142,13 +159,20 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 			os.Exit(2)
 		}
 	}
-	fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v)\n", threads, fanout)
+	if prof != nil {
+		fmt.Printf("Real-stack Table I analogue under profile %q, fault seed %d (threads %v, async fan-out %v)\n",
+			prof.Name, faultSeed, threads, fanout)
+	} else {
+		fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v)\n", threads, fanout)
+	}
 	suite := realbench.Run(realbench.Options{
 		Threads:     threads,
 		Outstanding: fanout,
 		Cases:       caseNames,
 		MemOnly:     memOnly,
 		Log:         os.Stdout,
+		Profile:     prof,
+		FaultSeed:   faultSeed,
 	})
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)

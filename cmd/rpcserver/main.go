@@ -11,10 +11,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"fireflyrpc/internal/core"
 	"fireflyrpc/internal/debughttp"
 	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/testsvc"
 	"fireflyrpc/internal/transport"
@@ -61,7 +64,17 @@ func main() {
 	workers := flag.Int("workers", 8, "server threads kept waiting for calls")
 	debugAddr := flag.String("debug", "", "serve /debug/rpc, expvar, and pprof on this HTTP address (e.g. 127.0.0.1:6060); empty = off")
 	traceN := flag.Int("trace", 0, "stage-trace one call in N and record latency histograms; 0 = off")
+	admit := flag.String("admit", "", "admission control as policy:capacity (fifo, lifo, or deadline; e.g. deadline:256); empty = off")
 	flag.Parse()
+
+	var admission overload.Config
+	if *admit != "" {
+		var err error
+		admission, err = parseAdmit(*admit)
+		if err != nil {
+			log.Fatalf("rpcserver: -admit: %v", err)
+		}
+	}
 
 	tr, err := transport.ListenUDP(*listen)
 	if err != nil {
@@ -69,6 +82,7 @@ func main() {
 	}
 	cfg := proto.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.Admission = admission
 	node := core.NewNode(tr, cfg)
 	node.Export(testsvc.ExportTest(service{}))
 	if *traceN > 0 {
@@ -83,6 +97,9 @@ func main() {
 		defer dbg.Close()
 		fmt.Printf("rpcserver: debug surface on http://%s/debug/rpc\n", dbg.Addr())
 	}
+	if admission.Capacity > 0 {
+		fmt.Printf("rpcserver: admission control %s, capacity %d\n", admission.Policy, admission.Capacity)
+	}
 	fmt.Printf("rpcserver: Test interface v%d on %s (%d workers)\n",
 		testsvc.TestVersion, node.Addr(), *workers)
 
@@ -90,7 +107,24 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	st := node.Conn().Stats()
-	fmt.Printf("rpcserver: served %d calls (%d dups suppressed, %d result retransmits)\n",
-		st.CallsServed, st.DupCalls, st.ResultRetrans)
+	fmt.Printf("rpcserver: served %d calls (%d dups suppressed, %d result retransmits, %d shed)\n",
+		st.CallsServed, st.DupCalls, st.ResultRetrans, st.CallsShed)
 	node.Close()
+}
+
+// parseAdmit reads the -admit value: "policy:capacity".
+func parseAdmit(s string) (overload.Config, error) {
+	name, capSpec, ok := strings.Cut(s, ":")
+	if !ok {
+		return overload.Config{}, fmt.Errorf("want policy:capacity, got %q", s)
+	}
+	pol, err := overload.ParsePolicy(name)
+	if err != nil {
+		return overload.Config{}, err
+	}
+	capacity, err := strconv.Atoi(capSpec)
+	if err != nil || capacity < 1 {
+		return overload.Config{}, fmt.Errorf("bad capacity %q", capSpec)
+	}
+	return overload.Config{Policy: pol, Capacity: capacity}, nil
 }

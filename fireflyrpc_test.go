@@ -62,8 +62,8 @@ func TestFacadeSimulator(t *testing.T) {
 // TestFacadeExperiments lists and runs one experiment through the facade.
 func TestFacadeExperiments(t *testing.T) {
 	all := Experiments()
-	if len(all) != 16 { // Tables I–XII + util + improvements + streaming + ablations
-		t.Fatalf("%d experiments, want 16", len(all))
+	if len(all) != 18 { // Tables I–XII + util + improvements + streaming + ablations + tail + overload
+		t.Fatalf("%d experiments, want 18", len(all))
 	}
 	e, ok := ExperimentByID("VII")
 	if !ok {

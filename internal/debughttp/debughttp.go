@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/stats"
 )
@@ -78,6 +79,7 @@ type ConnView struct {
 	Addr        string           `json:"addr"`
 	Tracing     bool             `json:"tracing"`
 	Stats       proto.Stats      `json:"stats"`
+	Admission   *overload.Stats  `json:"admission,omitempty"` // nil when no admission control configured
 	Peers       []proto.PeerInfo `json:"peers"`
 	PeerHists   []PeerHistView   `json:"peer_hists,omitempty"`
 	MethodHists []MethodHistView `json:"method_hists,omitempty"`
@@ -100,6 +102,9 @@ func view(name string, c *proto.Conn) ConnView {
 		Tracing: c.TracingEnabled(),
 		Stats:   c.Stats(),
 		Peers:   c.Peers(),
+	}
+	if as, ok := c.AdmissionStats(); ok {
+		v.Admission = &as
 	}
 	for _, ph := range c.PeerHistograms() {
 		v.PeerHists = append(v.PeerHists, PeerHistView{Peer: ph.Peer, Summary: ph.Hist.Summarize()})

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 
 	"fireflyrpc/internal/core"
 	"fireflyrpc/internal/marshal"
+	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/testsvc"
 	"fireflyrpc/internal/transport"
@@ -128,4 +130,64 @@ func TestDebugSurface(t *testing.T) {
 		t.Fatalf("pprof index: %v (resp %+v)", err, resp)
 	}
 	resp.Body.Close()
+}
+
+// A Conn running admission control surfaces the queue on /debug/rpc and as
+// Prometheus gauges; one without it omits the section entirely.
+func TestDebugSurfaceAdmission(t *testing.T) {
+	ex := transport.NewExchange()
+	serverCfg := proto.DefaultConfig()
+	serverCfg.Admission = overload.Config{Policy: overload.Deadline, Capacity: 16}
+	server := core.NewNode(ex.Port("server"), serverCfg)
+	caller := core.NewNode(ex.Port("caller"), proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(nullImpl{}))
+	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
+	cl := testsvc.NewTestClient(binding)
+	for i := 0; i < 8; i++ {
+		if err := cl.Null(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	Register("adm-caller", caller.Conn())
+	Register("adm-server", server.Conn())
+	defer Unregister("adm-caller")
+	defer Unregister("adm-server")
+
+	snap := snapshot()
+	byName := map[string]ConnView{}
+	for _, c := range snap.Conns {
+		byName[c.Name] = c
+	}
+	sv := byName["adm-server"]
+	if sv.Admission == nil {
+		t.Fatal("server view missing admission stats")
+	}
+	if sv.Admission.Policy != "deadline" || sv.Admission.Capacity != 16 {
+		t.Errorf("admission view: %+v", sv.Admission)
+	}
+	if sv.Admission.Served < 8 {
+		t.Errorf("admission served %d, want ≥8", sv.Admission.Served)
+	}
+	if cv := byName["adm-caller"]; cv.Admission != nil {
+		t.Errorf("caller without admission control reports %+v", cv.Admission)
+	}
+
+	var sb strings.Builder
+	writeMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`fireflyrpc_admission_queue_depth{conn="adm-server",policy="deadline"}`,
+		`fireflyrpc_admission_shed_total{conn="adm-server",policy="deadline",reason="capacity"} 0`,
+		`counter="calls_shed"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(out, `fireflyrpc_admission_queue_depth{conn="adm-caller"`) {
+		t.Error("caller without admission control emitted admission gauges")
+	}
 }

@@ -140,9 +140,28 @@ func writeMetrics(w io.Writer) {
 			{"probes", s.Probes},
 			{"cancels", s.Cancels},
 			{"peers_evicted", s.PeersEvicted},
+			{"calls_shed", s.CallsShed},
+			{"overloads", s.Overloads},
 		} {
 			fmt.Fprintf(w, "fireflyrpc_counter_total{%scounter=\"%s\"} %d\n", l, kv.name, kv.v)
 		}
+	}
+
+	fmt.Fprint(w, "# TYPE fireflyrpc_admission_queue gauge\n")
+	for i, c := range conns {
+		as, ok := c.AdmissionStats()
+		if !ok {
+			continue
+		}
+		l := fmt.Sprintf(`conn="%s",policy="%s"`, promEscape(names[i]), promEscape(as.Policy))
+		fmt.Fprintf(w, "fireflyrpc_admission_queue_depth{%s} %d\n", l, as.Depth)
+		fmt.Fprintf(w, "fireflyrpc_admission_queue_capacity{%s} %d\n", l, as.Capacity)
+		fmt.Fprintf(w, "fireflyrpc_admission_queue_max_depth{%s} %d\n", l, as.MaxDepth)
+		fmt.Fprintf(w, "fireflyrpc_admission_admitted_total{%s} %d\n", l, as.Admitted)
+		fmt.Fprintf(w, "fireflyrpc_admission_served_total{%s} %d\n", l, as.Served)
+		fmt.Fprintf(w, "fireflyrpc_admission_shed_total{%s,reason=\"capacity\"} %d\n", l, as.ShedCapacity)
+		fmt.Fprintf(w, "fireflyrpc_admission_shed_total{%s,reason=\"deadline\"} %d\n", l, as.ShedDeadline)
+		fmt.Fprintf(w, "fireflyrpc_admission_service_ewma_seconds{%s} %g\n", l, as.ServiceEWMAUs/1e6)
 	}
 
 	fmt.Fprint(w, "# TYPE fireflyrpc_peer_latency_seconds histogram\n")

@@ -26,6 +26,13 @@ type Segment struct {
 	// fault-injection tests. Zero on the fast path.
 	LossRate float64
 
+	// faulter, when non-nil, decides per-frame impairments (drop, dup,
+	// delay, corruption) at transmission time — the simulator binding of
+	// the faultnet engine, so the same profiles that impair the real
+	// transports impair the model. Delayed and duplicated deliveries are
+	// scheduled through the kernel, so runs stay deterministic.
+	faulter Faulter
+
 	// tracer, when non-nil, observes the packet lifecycle; frame ids are
 	// assigned in transmit order so traces can draw src→dst flow arrows.
 	tracer    Tracer
@@ -47,6 +54,29 @@ type Tracer interface {
 
 // SetTracer installs (nil removes) the segment's packet tracer.
 func (s *Segment) SetTracer(tr Tracer) { s.tracer = tr }
+
+// Fault is one frame's impairment decision, produced by a Faulter.
+type Fault struct {
+	Drop       bool
+	Dup        bool         // deliver a second copy
+	Delay      sim.Duration // extra wire latency before delivery
+	DupDelay   sim.Duration // extra latency for the duplicate copy
+	CorruptAt  int          // byte offset to XOR-flip; -1 = none
+	CorruptXor byte
+}
+
+// NoFault is the neutral decision.
+func NoFault() Fault { return Fault{CorruptAt: -1} }
+
+// Faulter decides the fate of each transmitted frame, called once per frame
+// in transmission order (event context, so implementations need no locks
+// but must draw randomness deterministically).
+type Faulter interface {
+	Frame(size int) Fault
+}
+
+// SetFaulter installs (nil removes) the segment's fault-injection hook.
+func (s *Segment) SetFaulter(f Faulter) { s.faulter = f }
 
 // Medium exposes the wire's underlying resource for utilization reporting.
 func (s *Segment) Medium() *sim.Resource { return s.medium }
@@ -100,7 +130,11 @@ func (p *Port) Transmit(frame []byte, txTime sim.Duration, onSent func()) {
 		if onSent != nil {
 			onSent()
 		}
-		lost := s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate
+		fv := NoFault()
+		if s.faulter != nil {
+			fv = s.faulter.Frame(len(frame))
+		}
+		lost := fv.Drop || (s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate)
 		hdr, _, err := wire.UnmarshalEthernet(frame)
 		if tr := s.tracer; tr != nil {
 			dstName := ""
@@ -115,26 +149,51 @@ func (p *Port) Transmit(frame []byte, txTime sim.Duration, onSent func()) {
 		if err != nil {
 			return
 		}
-		if hdr.Dst == wire.Broadcast {
-			for _, dst := range s.order { // attachment order: deterministic
-				if dst.mac != p.mac {
-					if tr := s.tracer; tr != nil {
-						tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
-					}
-					dst.deliver(frame)
-				}
-			}
-			return
+		df := frame
+		if fv.CorruptAt >= 0 && fv.CorruptAt < len(frame) {
+			// Corrupt a copy: the sender retains the original backing array
+			// for retransmission (the simulator models DMA, not a copying
+			// stack). Addressing was parsed above, so a flipped byte reaches
+			// the RPC layer rather than rerouting the frame.
+			cp := append([]byte(nil), frame...)
+			cp[fv.CorruptAt] ^= fv.CorruptXor
+			df = cp
 		}
-		if dst, ok := s.stations[hdr.Dst]; ok {
-			if tr := s.tracer; tr != nil {
-				tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
-			}
-			dst.deliver(frame)
+		if fv.Delay > 0 {
+			s.k.After(fv.Delay, func() { s.deliver(p.mac, hdr, id, df) })
 		} else {
-			s.dropNoDst++
+			s.deliver(p.mac, hdr, id, df)
+		}
+		if fv.Dup {
+			// A zero DupDelay still goes through the kernel queue, so the
+			// duplicate arrives as its own event after the original.
+			s.k.After(fv.DupDelay, func() { s.deliver(p.mac, hdr, id, df) })
 		}
 	})
+}
+
+// deliver hands a (possibly delayed or duplicated) frame to its
+// destination station(s), firing the tracer per delivery.
+func (s *Segment) deliver(srcMAC wire.MAC, hdr wire.EthernetHeader, id uint64, frame []byte) {
+	if hdr.Dst == wire.Broadcast {
+		for _, dst := range s.order { // attachment order: deterministic
+			if dst.mac != srcMAC {
+				if tr := s.tracer; tr != nil {
+					tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
+				}
+				dst.deliver(frame)
+			}
+		}
+		return
+	}
+	if dst, ok := s.stations[hdr.Dst]; ok {
+		if tr := s.tracer; tr != nil {
+			tr.FrameDelivered(s.k.Now(), id, dst.mac.String(), len(frame))
+		}
+		dst.deliver(frame)
+	} else {
+		s.dropNoDst++
+	}
 }
 
 // Stats reports traffic counters.

@@ -112,6 +112,8 @@ func All() []Experiment {
 		{"improvements", "§4.2 estimated improvements, re-simulated", Improvements},
 		{"streaming", "§5 streaming hypothesis, implemented", Streaming},
 		{"ablations", "§3.2 structural optimizations, individually removed", Ablations},
+		{"tail", "Null RPC latency under frame loss (real stack)", TableTail},
+		{"overload", "Goodput under overload by admission policy (real stack)", TableOverload},
 	}
 }
 

@@ -1,0 +1,367 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fireflyrpc/internal/transport"
+)
+
+// The determinism invariant: the decision schedule is a pure function of
+// (profile, seed, direction, frame index). Same seed, same schedule; any
+// other seed, a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	prof := Profile{
+		Out: Impair{Drop: 0.2, Dup: 0.1, Corrupt: 0.05, Delay: Duration(time.Millisecond), Jitter: Duration(500 * time.Microsecond)},
+		In:  Impair{Drop: 0.3, Reorder: 0.1},
+	}
+	a := Schedule(prof, 42, DirOut, 200, 64)
+	b := Schedule(prof, 42, DirOut, 200, 64)
+	if a != b {
+		t.Fatal("same (profile, seed, dir) produced different schedules")
+	}
+	if c := Schedule(prof, 43, DirOut, 200, 64); c == a {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if d := Schedule(prof, 42, DirIn, 200, 64); d == a {
+		t.Fatal("different directions produced identical schedules")
+	}
+}
+
+// Decisions derive from the frame index alone, not from draw-stream
+// position: interleaving directions or skipping enabled impairments must
+// not reshuffle another direction's schedule.
+func TestScheduleOrderIndependent(t *testing.T) {
+	prof := Loss(0.5)
+	want := Schedule(prof, 9, DirOut, 50, 32)
+
+	// Replay the same 50 Out decisions with In decisions interleaved; the
+	// Out verdicts must be identical.
+	im := NewImpairer(prof, 9)
+	var drops []bool
+	for i := 0; i < 50; i++ {
+		im.Decide(DirIn, 0, 32) // interleaved noise
+		drops = append(drops, im.Decide(DirOut, 0, 32).Drop)
+	}
+	im2 := NewImpairer(prof, 9)
+	for i := 0; i < 50; i++ {
+		if got := im2.Decide(DirOut, 0, 32).Drop; got != drops[i] {
+			t.Fatalf("frame %d: interleaving In decisions changed the Out schedule", i)
+		}
+	}
+	_ = want
+}
+
+func TestZeroProfileIsTransparent(t *testing.T) {
+	im := NewImpairer(Profile{}, 1)
+	for i := 0; i < 100; i++ {
+		v := im.Decide(DirOut, 0, 128)
+		if v.Drop || v.Dup || v.Delay != 0 || v.CorruptAt >= 0 {
+			t.Fatalf("zero profile impaired frame %d: %+v", i, v)
+		}
+	}
+	s := im.Stats(DirOut)
+	if s.Frames != 100 || s.Drops != 0 || s.Dups != 0 || s.Delayed != 0 || s.Corrupted != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDropRateConverges(t *testing.T) {
+	im := NewImpairer(Loss(0.3), 7)
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if im.Decide(DirOut, 0, 64).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("drop rate %.4f, want ~0.30", rate)
+	}
+}
+
+// A Plan of timed phases switches impairments at the scripted elapsed
+// times: here a 10ms blackout that then heals.
+func TestPlanPartitionThenHeal(t *testing.T) {
+	prof := Profile{
+		Plan: []Phase{
+			{After: 0, Out: Impair{Drop: 1}, In: Impair{Drop: 1}},
+			{After: Duration(10 * time.Millisecond)},
+		},
+	}
+	im := NewImpairer(prof, 1)
+	if !im.Decide(DirOut, 5*time.Millisecond, 64).Drop {
+		t.Fatal("frame during the partition phase not dropped")
+	}
+	if im.Decide(DirOut, 15*time.Millisecond, 64).Drop {
+		t.Fatal("frame after the heal phase dropped")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	prof := Profile{
+		Name: "lossy-slow",
+		Out:  Impair{Drop: 0.1, Delay: Duration(1500 * time.Microsecond), BandwidthBps: 1e6},
+		In:   Impair{Dup: 0.05, Jitter: Duration(time.Millisecond)},
+		Plan: []Phase{{After: Duration(time.Second), Out: Impair{Drop: 1}}},
+	}
+	data, err := json.Marshal(&prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != prof.Name || got.Out != prof.Out || got.In != prof.In ||
+		len(got.Plan) != 1 || got.Plan[0] != prof.Plan[0] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, prof)
+	}
+	// Durations accept human strings too.
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1.5ms"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Microsecond {
+		t.Fatalf("parsed %v", time.Duration(d))
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"out": {"drop": 1.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a drop probability > 1")
+	}
+}
+
+// ---- Transport wrapper ----
+
+// collect attaches a receiver to p that appends copies of every frame.
+type collector struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (c *collector) recv(_ transport.Addr, frame []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, append([]byte(nil), frame...))
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func waitCount(t *testing.T, c *collector, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d frames, want %d", c.count(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// wrapPair builds a wrapped port "a" and a plain port "b" on one exchange.
+func wrapPair(t *testing.T, prof Profile, seed uint64) (*Transport, *collector, *collector) {
+	t.Helper()
+	ex := transport.NewExchange()
+	ft := Wrap(ex.Port("a"), prof, seed)
+	b := ex.Port("b")
+	ca, cb := &collector{}, &collector{}
+	ft.SetReceiver(ca.recv)
+	b.SetReceiver(cb.recv)
+	t.Cleanup(func() {
+		ft.Close()
+		b.Close()
+	})
+	return ft, ca, cb
+}
+
+func TestWrapPassThrough(t *testing.T) {
+	ft, _, cb := wrapPair(t, Profile{}, 1)
+	msg := []byte("through the clean wrapper")
+	if err := ft.Send(transport.AddrOf("b"), msg); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, cb, 1)
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if !bytes.Equal(cb.frames[0], msg) {
+		t.Fatalf("frame corrupted by clean wrapper: %q", cb.frames[0])
+	}
+}
+
+func TestWrapDropsOutbound(t *testing.T) {
+	ft, _, cb := wrapPair(t, Profile{Out: Impair{Drop: 1}}, 1)
+	for i := 0; i < 10; i++ {
+		if err := ft.Send(transport.AddrOf("b"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := cb.count(); n != 0 {
+		t.Fatalf("%d frames crossed a fully-partitioned outbound link", n)
+	}
+	if s := ft.Impairer().Stats(DirOut); s.Drops != 10 {
+		t.Fatalf("stats %+v, want 10 drops", s)
+	}
+}
+
+func TestWrapDropsInbound(t *testing.T) {
+	ex := transport.NewExchange()
+	ft := Wrap(ex.Port("a"), Profile{In: Impair{Drop: 1}}, 1)
+	b := ex.Port("b")
+	defer ft.Close()
+	defer b.Close()
+	ca := &collector{}
+	ft.SetReceiver(ca.recv)
+	for i := 0; i < 10; i++ {
+		if err := b.Send(transport.AddrOf("a"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := ca.count(); n != 0 {
+		t.Fatalf("%d inbound frames crossed a fully-partitioned link", n)
+	}
+}
+
+func TestWrapDuplicates(t *testing.T) {
+	ft, _, cb := wrapPair(t, Profile{Out: Impair{Dup: 1}}, 1)
+	for i := 0; i < 5; i++ {
+		if err := ft.Send(transport.AddrOf("b"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, cb, 10)
+}
+
+func TestWrapDelays(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	ft, _, cb := wrapPair(t, Profile{Out: Impair{Delay: Duration(lat)}}, 1)
+	start := time.Now()
+	if err := ft.Send(transport.AddrOf("b"), []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, cb, 1)
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("frame arrived after %v, configured delay %v", elapsed, lat)
+	}
+}
+
+func TestWrapCorrupts(t *testing.T) {
+	ft, _, cb := wrapPair(t, Profile{Out: Impair{Corrupt: 1}}, 1)
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	sent := append([]byte(nil), msg...)
+	if err := ft.Send(transport.AddrOf("b"), msg); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, cb, 1)
+	if !bytes.Equal(msg, sent) {
+		t.Fatal("corruption mutated the caller's buffer (must corrupt a copy)")
+	}
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if bytes.Equal(cb.frames[0], sent) {
+		t.Fatal("Corrupt=1 frame arrived intact")
+	}
+	diff := 0
+	for i := range sent {
+		if cb.frames[0][i] != sent[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 flipped byte", diff)
+	}
+}
+
+// The zero profile's Send path must not tax the fast path it wraps: the
+// wrapper adds zero allocations over the bare transport. (The bare
+// exchange itself may allocate pooled frames while its async receiver
+// lags, so the check is differential.)
+func TestWrapZeroProfileAllocs(t *testing.T) {
+	measure := func(tr transport.Transport, dst transport.Addr) float64 {
+		msg := make([]byte, 256)
+		return testing.AllocsPerRun(200, func() {
+			if err := tr.Send(dst, msg); err != nil {
+				t.Fatal(err)
+			}
+			// Let the exchange's delivery loop drain so pooled frames
+			// recycle instead of accumulating.
+			time.Sleep(50 * time.Microsecond)
+		})
+	}
+	ex := transport.NewExchange()
+	bare := ex.Port("bare")
+	sink := ex.Port("sink")
+	defer bare.Close()
+	defer sink.Close()
+	sink.SetReceiver(func(transport.Addr, []byte) {})
+	base := measure(bare, transport.AddrOf("sink"))
+
+	ex2 := transport.NewExchange()
+	ft := Wrap(ex2.Port("a"), Profile{}, 1)
+	sink2 := ex2.Port("sink")
+	defer ft.Close()
+	defer sink2.Close()
+	sink2.SetReceiver(func(transport.Addr, []byte) {})
+	wrapped := measure(ft, transport.AddrOf("sink"))
+
+	if wrapped > base {
+		t.Fatalf("clean wrapper Send allocates %.2f/op vs %.2f/op bare: the pass-through path must add nothing", wrapped, base)
+	}
+}
+
+func TestWrapSetProfileSwapsLive(t *testing.T) {
+	ft, _, cb := wrapPair(t, Loss(1), 1)
+	dst := transport.AddrOf("b")
+	if err := ft.Send(dst, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	ft.Impairer().SetProfile(Profile{})
+	if err := ft.Send(dst, []byte("delivered")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, cb, 1)
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if string(cb.frames[0]) != "delivered" {
+		t.Fatalf("got %q", cb.frames[0])
+	}
+}
+
+func TestWrapCloseReleasesQueued(t *testing.T) {
+	ex := transport.NewExchange()
+	ft := Wrap(ex.Port("a"), Profile{Out: Impair{Delay: Duration(time.Hour)}}, 1)
+	b := ex.Port("b")
+	defer b.Close()
+	for i := 0; i < 8; i++ {
+		if err := ft.Send(transport.AddrOf("b"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ft.frames.InUse(); n != 0 {
+		t.Fatalf("%d pooled frames leaked across Close", n)
+	}
+}

@@ -1,0 +1,43 @@
+package faultnet
+
+import (
+	"time"
+
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/sim"
+)
+
+// SimFaulter binds a profile to the simulated Ethernet: install it with
+// Segment.SetFaulter and the same impairment schedule that Wrap applies to
+// a real transport plays out on the model, with delays and duplicates
+// scheduled through the kernel so runs stay deterministic.
+//
+// The simulated segment is a single shared wire with no notion of
+// direction, so the profile's Out impairments govern every frame (use a
+// symmetric profile when comparing against a really-wrapped endpoint).
+// Plan phases advance on simulated time.
+type SimFaulter struct {
+	im *Impairer
+	k  *sim.Kernel
+}
+
+// SimFaulter builds the segment hook for p under the kernel's clock.
+func (p Profile) SimFaulter(seed uint64, k *sim.Kernel) *SimFaulter {
+	return &SimFaulter{im: NewImpairer(p, seed), k: k}
+}
+
+// Impairer exposes the engine (for Stats and SetProfile).
+func (f *SimFaulter) Impairer() *Impairer { return f.im }
+
+// Frame implements ether.Faulter.
+func (f *SimFaulter) Frame(size int) ether.Fault {
+	v := f.im.Decide(DirOut, time.Duration(f.k.Now()), size)
+	return ether.Fault{
+		Drop:       v.Drop,
+		Dup:        v.Dup,
+		Delay:      v.Delay,
+		DupDelay:   v.DupDelay,
+		CorruptAt:  v.CorruptAt,
+		CorruptXor: v.CorruptXor,
+	}
+}

@@ -1,0 +1,319 @@
+// Package overload implements server-side admission control for the RPC
+// dispatch path: a bounded queue between the receive path and the worker
+// pool, with a pluggable policy deciding what to shed when demand exceeds
+// capacity. Shedding is explicit — every dropped request is handed to a
+// callback so the protocol layer can answer it with a rejection on the
+// wire, letting the caller fail fast instead of burning its retry budget
+// against a queue it will never clear.
+//
+// Policies:
+//
+//   - FIFO: serve oldest first; when full, reject the arriving request
+//     (drop-tail). Simple, and the baseline that collapses under sustained
+//     overload: every admitted request waits behind the full queue, so once
+//     queueing delay exceeds the callers' deadlines the server does nothing
+//     but serve the dead.
+//   - LIFO: serve newest first; when full, shed the oldest queued request.
+//     Freshest-first keeps some requests under their deadlines at the cost
+//     of starving the oldest.
+//   - Deadline: serve in FIFO order, but shed any request whose remaining
+//     budget (carried on the wire) cannot cover the observed service time —
+//     the request would be dead on arrival at the handler, so serving it
+//     wastes capacity. When full, shed the queued request with the least
+//     remaining budget. This is the policy that keeps goodput near capacity
+//     at 2× saturation.
+//
+// The queue is deliberately not on the uncontended fast path: the protocol
+// keeps its unbounded channel dispatch when admission control is disabled,
+// so a zero-config server pays nothing for this package's existence.
+package overload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy selects the admission/shedding discipline.
+type Policy uint8
+
+const (
+	FIFO Policy = iota
+	LIFO
+	Deadline
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LIFO:
+		return "lifo"
+	case Deadline:
+		return "deadline"
+	default:
+		return "fifo"
+	}
+}
+
+// ParsePolicy reads a policy name (fifo, lifo, deadline).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "fifo":
+		return FIFO, nil
+	case "lifo":
+		return LIFO, nil
+	case "deadline":
+		return Deadline, nil
+	}
+	return FIFO, fmt.Errorf("overload: unknown policy %q (fifo, lifo, deadline)", s)
+}
+
+// Config enables admission control when Capacity is positive.
+type Config struct {
+	Policy   Policy
+	Capacity int
+}
+
+// Reason explains why a request was shed.
+type Reason uint8
+
+const (
+	// ReasonCapacity: the queue was full and this request lost the
+	// admission decision.
+	ReasonCapacity Reason = iota
+	// ReasonDeadline: the request's remaining budget cannot cover the
+	// observed service time.
+	ReasonDeadline
+	// ReasonClosed: the queue was closed with the request still queued.
+	ReasonClosed
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonClosed:
+		return "closed"
+	default:
+		return "capacity"
+	}
+}
+
+// Stats is a snapshot of one queue's counters.
+type Stats struct {
+	Policy        string  `json:"policy"`
+	Capacity      int     `json:"capacity"`
+	Depth         int     `json:"depth"`
+	MaxDepth      int     `json:"max_depth"`
+	Admitted      int64   `json:"admitted"`
+	Served        int64   `json:"served"`
+	ShedCapacity  int64   `json:"shed_capacity"`
+	ShedDeadline  int64   `json:"shed_deadline"`
+	ServiceEWMAUs float64 `json:"service_ewma_us"`
+}
+
+// start anchors the queue's monotonic clock.
+var start = time.Now()
+
+func nowNs() int64 { return int64(time.Since(start)) }
+
+// entry is one queued request.
+type entry[T any] struct {
+	v         T
+	arrivedNs int64
+	budgetNs  int64 // remaining deadline budget at arrival; 0 = none known
+}
+
+// remaining computes the budget left at now; requests without budget
+// information report a large value (they are never deadline-shed).
+func (e entry[T]) remaining(now int64) int64 {
+	if e.budgetNs <= 0 {
+		return 1 << 62
+	}
+	return e.budgetNs - (now - e.arrivedNs)
+}
+
+// Queue is a bounded dispatch queue with policy-driven shedding. Offer
+// never blocks; Take blocks until an item is available or the queue is
+// closed. Every request leaves the queue exactly once: returned from Take,
+// or handed to the shed callback (including at Close), so callers can
+// maintain in-flight accounting on either path.
+type Queue[T any] struct {
+	cfg    Config
+	onShed func(T, Reason)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []entry[T]
+	closed bool
+
+	ewmaNs       float64
+	admitted     int64
+	served       int64
+	shedCapacity int64
+	shedDeadline int64
+	maxDepth     int
+}
+
+// NewQueue builds a queue; onShed receives every shed request (called
+// without the queue lock held; it may send on the network).
+func NewQueue[T any](cfg Config, onShed func(T, Reason)) *Queue[T] {
+	if cfg.Capacity <= 0 {
+		panic("overload: NewQueue with non-positive capacity")
+	}
+	q := &Queue[T]{cfg: cfg, onShed: onShed}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Offer submits a request with its remaining deadline budget (0 = unknown).
+// It returns false when the request itself was shed (the shed callback has
+// already run for it).
+func (q *Queue[T]) Offer(v T, budgetNs int64) bool {
+	now := nowNs()
+	e := entry[T]{v: v, arrivedNs: now, budgetNs: budgetNs}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.onShed(v, ReasonClosed)
+		return false
+	}
+	if len(q.items) < q.cfg.Capacity {
+		q.items = append(q.items, e)
+		q.admitted++
+		if len(q.items) > q.maxDepth {
+			q.maxDepth = len(q.items)
+		}
+		q.mu.Unlock()
+		q.cond.Signal()
+		return true
+	}
+	// Full: pick the victim by policy.
+	victimIdx := -1 // -1 = the arriving request
+	switch q.cfg.Policy {
+	case LIFO:
+		victimIdx = 0 // shed the oldest
+	case Deadline:
+		// Shed whichever request — queued or arriving — has the least
+		// remaining budget; capacity overflow is off the fast path, so the
+		// linear scan is fine.
+		least := e.remaining(now)
+		for i := range q.items {
+			if r := q.items[i].remaining(now); r < least {
+				least, victimIdx = r, i
+			}
+		}
+	}
+	var victim T
+	admitted := victimIdx >= 0
+	if admitted {
+		victim = q.items[victimIdx].v
+		copy(q.items[victimIdx:], q.items[victimIdx+1:])
+		q.items[len(q.items)-1] = e
+		q.admitted++
+	} else {
+		victim = v
+	}
+	q.shedCapacity++
+	q.mu.Unlock()
+	if admitted {
+		q.cond.Signal()
+	}
+	q.onShed(victim, ReasonCapacity)
+	return admitted
+}
+
+// Take blocks for the next request to serve; ok is false once the queue is
+// closed and drained. Under the Deadline policy it sheds — via the
+// callback — every queued request whose remaining budget no longer covers
+// the observed service time, so workers only receive requests that can
+// still make their deadlines.
+func (q *Queue[T]) Take() (v T, ok bool) {
+	for {
+		var sheds []T
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		now := nowNs()
+		for len(q.items) > 0 {
+			var e entry[T]
+			if q.cfg.Policy == LIFO {
+				e = q.items[len(q.items)-1]
+				q.items = q.items[:len(q.items)-1]
+			} else {
+				e = q.items[0]
+				copy(q.items, q.items[1:])
+				q.items = q.items[:len(q.items)-1]
+			}
+			if q.cfg.Policy == Deadline && q.ewmaNs > 0 && float64(e.remaining(now)) < q.ewmaNs {
+				q.shedDeadline++
+				sheds = append(sheds, e.v)
+				continue
+			}
+			q.served++
+			q.mu.Unlock()
+			for _, s := range sheds {
+				q.onShed(s, ReasonDeadline)
+			}
+			return e.v, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		for _, s := range sheds {
+			q.onShed(s, ReasonDeadline)
+		}
+		if closed {
+			return v, false
+		}
+	}
+}
+
+// ObserveService feeds one handler execution time into the service-time
+// estimate the Deadline policy sheds against (EWMA, α = 1/8 like the RTT
+// estimator's mean term).
+func (q *Queue[T]) ObserveService(d time.Duration) {
+	q.mu.Lock()
+	if q.ewmaNs == 0 {
+		q.ewmaNs = float64(d)
+	} else {
+		q.ewmaNs += (float64(d) - q.ewmaNs) / 8
+	}
+	q.mu.Unlock()
+}
+
+// Close wakes every Take and sheds all still-queued requests with
+// ReasonClosed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	drained := q.items
+	q.items = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	for _, e := range drained {
+		q.onShed(e.v, ReasonClosed)
+	}
+}
+
+// Stats snapshots the counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Policy:        q.cfg.Policy.String(),
+		Capacity:      q.cfg.Capacity,
+		Depth:         len(q.items),
+		MaxDepth:      q.maxDepth,
+		Admitted:      q.admitted,
+		Served:        q.served,
+		ShedCapacity:  q.shedCapacity,
+		ShedDeadline:  q.shedDeadline,
+		ServiceEWMAUs: q.ewmaNs / 1e3,
+	}
+}

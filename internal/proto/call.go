@@ -241,10 +241,27 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 		Interface: iface,
 		Proc:      proc,
 	}
+	if !deadline.IsZero() {
+		// Advertise the remaining budget (ms, saturating) so a server under
+		// admission control can shed this call if it cannot be served in
+		// time. Retransmissions re-send the original stamp; the server
+		// counts budget from each arrival, so a retried call looks slightly
+		// richer than it is — conservative in the right direction (the shed
+		// decision errs toward serving).
+		ms := time.Until(deadline) / time.Millisecond
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > 0xffff {
+			ms = 0xffff
+		}
+		hdr.Hint = uint16(ms)
+		hdr.Flags |= wire.FlagBudget
+	}
 
 	if nfrags == 1 {
 		last := hdr
-		last.Flags = wire.FlagLastFrag
+		last.Flags |= wire.FlagLastFrag
 		if rec != nil {
 			// Ask the server to stamp its stages for this call too.
 			last.Flags |= wire.FlagTraced
@@ -309,7 +326,7 @@ func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
 	for i := 0; i < nfrags-1; i++ {
 		h := hdr
 		h.FragIndex = uint16(i)
-		h.Flags = wire.FlagPleaseAck
+		h.Flags |= wire.FlagPleaseAck
 		f := c.newFrame(h, frags[i])
 		err := c.sendFragWithAck(oc, k, f, uint16(i), deadline)
 		f.Release()
@@ -320,7 +337,7 @@ func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
 	}
 	last := hdr
 	last.FragIndex = uint16(nfrags - 1)
-	last.Flags = wire.FlagLastFrag
+	last.Flags |= wire.FlagLastFrag
 	oc.mu.Lock()
 	rec := oc.trace
 	oc.mu.Unlock()

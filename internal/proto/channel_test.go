@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
@@ -54,19 +55,25 @@ func waitCondition(t *testing.T, d time.Duration, cond func() error) {
 	}
 }
 
-// TestLossyAsyncStressNoLeaks floods a lossy, duplicating exchange with
-// asynchronous fan-out calls from many goroutines and asserts that every
+// TestLossyAsyncStressNoLeaks floods a lossy, duplicating link with
+// asynchronous fan-out calls from many goroutines — some of them abandoned
+// mid-flight via context cancellation — and asserts that every awaited
 // call completes successfully and that nothing leaks: no call-table
 // entries, no pooled frames (once retained results are released by Close),
-// and no goroutines.
+// and no goroutines. The impairment is a seeded faultnet profile with
+// ~30% round-trip loss, wrapped around the caller's port.
 func TestLossyAsyncStressNoLeaks(t *testing.T) {
 	baseGo := runtime.NumGoroutine()
 	ex := transport.NewExchange()
 	cfg := Config{RetransInterval: 10 * time.Millisecond, MaxRetries: 25, Workers: 8}
 	server := NewConn(ex.Port("server"), cfg, echoHandler)
-	caller := NewConn(ex.Port("caller"), cfg, nil)
+	prof := faultnet.Profile{
+		Name: "stress",
+		Out:  faultnet.Impair{Drop: 0.15, Dup: 0.08},
+		In:   faultnet.Impair{Drop: 0.15, Dup: 0.08},
+	}
+	caller := NewConn(faultnet.Wrap(ex.Port("caller"), prof, 7), cfg, nil)
 	sa := transport.AddrOf("server")
-	ex.SetFaults(7, 13) // lose every 7th frame, duplicate every 13th
 
 	const goroutines = 6
 	const fanout = 4
@@ -102,6 +109,16 @@ func TestLossyAsyncStressNoLeaks(t *testing.T) {
 					pending[i] = p
 				}
 				for i, p := range pending {
+					if (g+i+r)%13 == 0 {
+						// Abandon this call mid-flight: cancellation must
+						// recycle the call slot and frames exactly like
+						// completion. The result may legitimately have
+						// already arrived, so any outcome is acceptable.
+						cctx, cancel := context.WithCancel(context.Background())
+						cancel()
+						p.Await(cctx)
+						continue
+					}
 					res, err := p.Await(context.Background())
 					if err != nil {
 						errs <- fmt.Errorf("g%d r%d i%d: Await: %w", g, r, i, err)

@@ -41,16 +41,18 @@ import (
 	"time"
 
 	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
 
 // Errors.
 var (
-	ErrTimeout  = errors.New("proto: call timed out after retransmission limit")
-	ErrRejected = errors.New("proto: call rejected by server (unknown interface or procedure)")
-	ErrClosed   = errors.New("proto: connection closed")
-	ErrTooLarge = errors.New("proto: message exceeds fragment limit")
+	ErrTimeout    = errors.New("proto: call timed out after retransmission limit")
+	ErrRejected   = errors.New("proto: call rejected by server (unknown interface or procedure)")
+	ErrOverloaded = errors.New("proto: call shed by server admission control")
+	ErrClosed     = errors.New("proto: connection closed")
+	ErrTooLarge   = errors.New("proto: message exceeds fragment limit")
 )
 
 // ackInProgress in an ack's FragIndex means "call received, still
@@ -88,6 +90,11 @@ type Config struct {
 	// it has been quiet this long with nothing in flight. Zero disables
 	// eviction.
 	PeerIdleTimeout time.Duration
+	// Admission, when its Capacity is positive, bounds the server dispatch
+	// queue and sheds excess calls with a wire-level overload rejection
+	// (see internal/overload for the policies). Zero keeps the unbounded
+	// channel dispatch, so the fast path is untouched by default.
+	Admission overload.Config
 }
 
 // DefaultConfig mirrors sensible Firefly-like settings scaled to modern
@@ -126,6 +133,8 @@ type Stats struct {
 	Probes         int64
 	Cancels        int64 // cancel notices received (caller abandoned a call)
 	PeersEvicted   int64 // idle peer channels reclaimed
+	CallsShed      int64 // server: calls shed by admission control
+	Overloads      int64 // caller: overload rejections received
 }
 
 // statCounters is the live, contention-free form of Stats: each event is a
@@ -147,6 +156,8 @@ type statCounters struct {
 	probes         atomic.Int64
 	cancels        atomic.Int64
 	peersEvicted   atomic.Int64
+	callsShed      atomic.Int64
+	overloads      atomic.Int64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -166,6 +177,8 @@ func (s *statCounters) snapshot() Stats {
 		Probes:         s.probes.Load(),
 		Cancels:        s.cancels.Load(),
 		PeersEvicted:   s.peersEvicted.Load(),
+		CallsShed:      s.callsShed.Load(),
+		Overloads:      s.overloads.Load(),
 	}
 }
 
@@ -205,9 +218,11 @@ type Conn struct {
 	// Server execution: a fixed pool of worker goroutines drains work, the
 	// real-stack analogue of the Firefly's pool of server threads waiting
 	// in the call table. workQuit stops them (and the retransmission
-	// engine) on Close.
+	// engine) on Close. When cfg.Admission enables a bounded queue, admit
+	// replaces the channel and the workers drain it instead.
 	work     chan execReq
 	workQuit chan struct{}
+	admit    *overload.Queue[execReq]
 
 	// frames recycles outgoing packet buffers (§4.2's buffer management
 	// that avoids allocation).
@@ -238,6 +253,10 @@ type execReq struct {
 	// trace carries the server-side stage record for a FlagTraced call
 	// through the dispatch queue to the worker; nil when not traced.
 	trace *traceRec
+	// budgetNs is the caller's remaining deadline budget at arrival
+	// (from the call header's FlagBudget Hint); 0 when unknown. Only the
+	// admission queue's Deadline policy consumes it.
+	budgetNs int64
 }
 
 type callKey struct {
@@ -411,8 +430,15 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 	for i := range c.peers.shards {
 		c.peers.shards[i].peers = make(map[string]*channel)
 	}
+	if cfg.Admission.Capacity > 0 && handler != nil {
+		c.admit = overload.NewQueue[execReq](cfg.Admission, c.shedExec)
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		go c.worker()
+		if c.admit != nil {
+			go c.workerAdmit()
+		} else {
+			go c.worker()
+		}
 	}
 	go c.retransLoop()
 	tr.SetReceiver(c.onFrame)
@@ -432,11 +458,32 @@ func (c *Conn) worker() {
 	}
 }
 
+// workerAdmit is one server thread under admission control: it drains the
+// bounded queue (which sheds what cannot be served in time) and feeds each
+// handler's duration back into the service-time estimate.
+func (c *Conn) workerAdmit() {
+	for {
+		req, ok := c.admit.Take()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		c.execute(req)
+		c.admit.ObserveService(time.Since(start))
+	}
+}
+
 // enqueueExec hands a completed call to the worker pool without ever
-// blocking the receive path. If the queue is full, a transient goroutine
-// waits for room (preserving the concurrency bound) — allocation there is
-// acceptable because a full queue already means the server is saturated.
+// blocking the receive path. Under admission control the bounded queue
+// decides (and answers) what to shed. Otherwise, if the channel is full, a
+// transient goroutine waits for room (preserving the concurrency bound) —
+// allocation there is acceptable because a full queue already means the
+// server is saturated.
 func (c *Conn) enqueueExec(req execReq) {
+	if c.admit != nil {
+		c.admit.Offer(req, req.budgetNs)
+		return
+	}
 	select {
 	case c.work <- req:
 	default:
@@ -448,6 +495,48 @@ func (c *Conn) enqueueExec(req execReq) {
 			}
 		}()
 	}
+}
+
+// shedExec answers one shed call with an overload rejection on the wire —
+// retained like a result, so the caller's retransmissions of the shed call
+// are answered from the call table instead of re-entering the queue — and
+// releases the per-call accounting the dispatch path acquired.
+func (c *Conn) shedExec(req execReq, _ overload.Reason) {
+	act, hdr := req.act, req.hdr
+	ch := act.ch
+	defer ch.executing.Add(-1)
+	c.stats.callsShed.Add(1)
+	if req.trace != nil {
+		// Close out the server-side stage record so a traced shed call still
+		// joins: dispatch, done, and result-sent collapse to the shed point.
+		req.trace.stamp(StageSrvDispatch)
+		req.trace.stamp(StageSrvDone)
+		req.trace.stamp(StageSrvResultSent)
+	}
+	rej := wire.RPCHeader{
+		Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq,
+		FragCount: 1, Interface: hdr.Interface, Proc: hdr.Proc,
+		Hint: wire.RejectOverload,
+	}
+	f := c.newFrame(rej, nil)
+	_ = c.tr.Send(act.src, f.Bytes())
+	c.retainResult(act, hdr.Seq, f)
+	if req.args != nil {
+		ch.actsMu.Lock()
+		if act.argBuf == nil && !ch.evicted {
+			act.argBuf = req.args[:0]
+		}
+		ch.actsMu.Unlock()
+	}
+}
+
+// AdmissionStats reports the admission queue's counters; ok is false when
+// admission control is disabled.
+func (c *Conn) AdmissionStats() (s overload.Stats, ok bool) {
+	if c.admit == nil {
+		return s, false
+	}
+	return c.admit.Stats(), true
 }
 
 // NewActivity allocates a fresh activity identifier. Each calling goroutine
@@ -484,6 +573,11 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	close(c.workQuit)
+	if c.admit != nil {
+		// Sheds everything still queued (decrementing the per-channel
+		// executing counts) and unblocks the admission workers.
+		c.admit.Close()
+	}
 	c.forEachChannel(func(ch *channel) {
 		ch.callsMu.Lock()
 		calls := make([]*outCall, 0, len(ch.calls))

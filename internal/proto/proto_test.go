@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/transport"
 	"fireflyrpc/internal/wire"
 )
@@ -34,6 +35,20 @@ func pair(t *testing.T, ex *transport.Exchange, cfg Config, h Handler) (caller, 
 
 func fastCfg() Config {
 	return Config{RetransInterval: 20 * time.Millisecond, MaxRetries: 8, Workers: 4}
+}
+
+// faultyPair is pair with the caller's port wrapped in a faultnet profile,
+// so both its outgoing calls and incoming results cross the impaired link.
+func faultyPair(t *testing.T, ex *transport.Exchange, cfg Config, h Handler, prof faultnet.Profile, seed uint64) (caller, server *Conn, serverAddr transport.Addr, ft *faultnet.Transport) {
+	t.Helper()
+	ft = faultnet.Wrap(ex.Port("caller"), prof, seed)
+	caller = NewConn(ft, cfg, nil)
+	server = NewConn(ex.Port("server"), cfg, h)
+	t.Cleanup(func() {
+		caller.Close() // closes ft, which closes the underlying port
+		server.Close()
+	})
+	return caller, server, transport.AddrOf("server"), ft
 }
 
 func TestFastPathSingleRoundTrip(t *testing.T) {
@@ -123,8 +138,8 @@ func TestOversizeRejected(t *testing.T) {
 
 func TestLossRecovery(t *testing.T) {
 	ex := transport.NewExchange()
-	ex.LossEvery = 4 // drop every 4th frame
-	caller, server, sa := pair(t, ex, fastCfg(), echoHandler)
+	caller, server, sa, _ := faultyPair(t, ex, fastCfg(), echoHandler,
+		faultnet.Loss(0.2), 1)
 	act := caller.NewActivity()
 	for seq := uint32(1); seq <= 20; seq++ {
 		msg := []byte(fmt.Sprintf("call-%d", seq))
@@ -147,9 +162,13 @@ func TestLossRecovery(t *testing.T) {
 
 func TestLossyFragmentedCalls(t *testing.T) {
 	ex := transport.NewExchange()
-	ex.LossEvery = 5
-	ex.DupEvery = 7
-	caller, server, sa := pair(t, ex, fastCfg(), echoHandler)
+	prof := faultnet.Profile{
+		Out: faultnet.Impair{Drop: 0.15, Dup: 0.1},
+		In:  faultnet.Impair{Drop: 0.15, Dup: 0.1},
+	}
+	cfg := fastCfg()
+	cfg.MaxRetries = 12
+	caller, server, sa, _ := faultyPair(t, ex, cfg, echoHandler, prof, 2)
 	act := caller.NewActivity()
 	args := make([]byte, 4000)
 	for i := range args {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/transport"
 )
 
@@ -13,10 +14,12 @@ import (
 // sizes from empty to several fragments, even with loss and duplication.
 func TestQuickRoundTripUnderFaults(t *testing.T) {
 	ex := transport.NewExchange()
-	ex.LossEvery = 9
-	ex.DupEvery = 6
+	prof := faultnet.Profile{
+		Out: faultnet.Impair{Drop: 0.1, Dup: 0.15},
+		In:  faultnet.Impair{Drop: 0.1, Dup: 0.15},
+	}
 	cfg := Config{RetransInterval: 10 * time.Millisecond, MaxRetries: 12, Workers: 4}
-	caller := NewConn(ex.Port("caller"), cfg, nil)
+	caller := NewConn(faultnet.Wrap(ex.Port("caller"), prof, 3), cfg, nil)
 	server := NewConn(ex.Port("server"), cfg, echoHandler)
 	defer caller.Close()
 	defer server.Close()
@@ -44,10 +47,14 @@ func TestQuickRoundTripUnderFaults(t *testing.T) {
 // no matter how the transport duplicates frames.
 func TestQuickExactlyOnceUnderDuplication(t *testing.T) {
 	ex := transport.NewExchange()
-	ex.DupEvery = 1 // duplicate every frame
+	// Duplicate every frame in both directions.
+	prof := faultnet.Profile{
+		Out: faultnet.Impair{Dup: 1},
+		In:  faultnet.Impair{Dup: 1},
+	}
 	executed := make(map[uint32]int)
 	cfg := fastCfg()
-	caller := NewConn(ex.Port("caller"), cfg, nil)
+	caller := NewConn(faultnet.Wrap(ex.Port("caller"), prof, 4), cfg, nil)
 	server := NewConn(ex.Port("server"), cfg,
 		func(_ transport.Addr, _ uint32, _ uint16, args []byte) ([]byte, error) {
 			seq := uint32(args[0])<<8 | uint32(args[1])
@@ -152,7 +159,8 @@ func TestAdaptiveRTTSpeedsRecovery(t *testing.T) {
 	// than the configured (deliberately huge) interval.
 	ex := transport.NewExchange()
 	cfg := Config{RetransInterval: 2 * time.Second, MaxRetries: 8, Workers: 2}
-	caller := NewConn(ex.Port("caller"), cfg, nil)
+	ft := faultnet.Wrap(ex.Port("caller"), faultnet.Profile{}, 5)
+	caller := NewConn(ft, cfg, nil)
 	server := NewConn(ex.Port("server"), cfg, echoHandler)
 	defer caller.Close()
 	defer server.Close()
@@ -164,10 +172,10 @@ func TestAdaptiveRTTSpeedsRecovery(t *testing.T) {
 		}
 	}
 	// Lose every frame briefly, then heal.
-	ex.SetFaults(1, 0)
+	ft.Impairer().SetProfile(faultnet.Loss(1))
 	go func() {
 		time.Sleep(20 * time.Millisecond)
-		ex.SetFaults(0, 0)
+		ft.Impairer().SetProfile(faultnet.Profile{})
 	}()
 	start := time.Now()
 	if _, err := caller.Call(sa, act, 6, 1, 1, nil); err != nil {

@@ -227,7 +227,7 @@ func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byt
 		buf := act.argBuf
 		act.argBuf = nil // the worker owns it until execution finishes
 		act.phase = phaseExecuting
-		return false, execReq{act: act, hdr: hdr, args: append(buf[:0], payload...)}, true
+		return false, execReq{act: act, hdr: hdr, args: append(buf[:0], payload...), budgetNs: callBudgetNs(hdr)}, true
 	}
 	if _, dup := act.frags[hdr.FragIndex]; dup {
 		c.stats.dupFrags.Add(1)
@@ -239,9 +239,18 @@ func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byt
 		act.phase = phaseExecuting
 		frags := act.frags
 		act.frags = nil
-		return needAck, execReq{act: act, hdr: hdr, frags: frags}, true
+		return needAck, execReq{act: act, hdr: hdr, frags: frags, budgetNs: callBudgetNs(hdr)}, true
 	}
 	return needAck, execReq{}, false
+}
+
+// callBudgetNs reads the caller's remaining deadline budget from a call
+// header, if it advertised one.
+func callBudgetNs(hdr wire.RPCHeader) int64 {
+	if hdr.Flags&wire.FlagBudget == 0 {
+		return 0
+	}
+	return int64(hdr.Hint) * int64(time.Millisecond)
 }
 
 // execute runs one complete call on a worker goroutine and sends the
@@ -500,13 +509,18 @@ func (c *Conn) onResultFrag(src transport.Addr, hdr wire.RPCHeader, payload []by
 	if complete && oc.trace != nil {
 		oc.trace.stamp(StageResultRecv)
 	}
+	// Completion must happen before mu is released: an impaired transport
+	// can deliver a duplicate of this result frame from another goroutine,
+	// and finishing outside the lock would let that duplicate pass the
+	// finished check above and rebuild the result buffer while the
+	// awakened caller reads it (and double-count the completion).
+	if complete {
+		oc.finishLocked(k, result, nil)
+	}
 	oc.mu.Unlock()
 
 	if needAck {
 		c.sendAck(src, hdr.Activity, hdr.Seq, hdr.FragIndex, true)
-	}
-	if complete {
-		oc.finish(k, result, nil)
 	}
 }
 
@@ -559,13 +573,22 @@ func (c *Conn) onAck(src transport.Addr, hdr wire.RPCHeader) {
 	}
 }
 
-// onReject completes an outstanding call with ErrRejected.
+// onReject completes an outstanding call with ErrRejected, or with
+// ErrOverloaded when the server's admission control shed it — the fail-fast
+// signal that stops the caller from burning its retry budget against a
+// saturated server.
 func (c *Conn) onReject(src transport.Addr, hdr wire.RPCHeader) {
 	k := callKey{hdr.Activity, hdr.Seq}
 	_, oc := c.lookupCall(src, k)
-	if oc != nil {
-		oc.finish(k, nil, ErrRejected)
+	if oc == nil {
+		return
 	}
+	err := ErrRejected
+	if hdr.Hint == wire.RejectOverload {
+		c.stats.overloads.Add(1)
+		err = ErrOverloaded
+	}
+	oc.finish(k, nil, err)
 }
 
 // onCancel handles a caller's best-effort abandonment notice: drop any

@@ -78,7 +78,14 @@ type DiffReport struct {
 func (r *DiffReport) Failed() bool { return r.Failures > 0 }
 
 func cellKey(r Result) string {
-	return fmt.Sprintf("%s/%s/t%d/o%d", r.Bench, r.Transport, r.Threads, r.Outstanding)
+	k := fmt.Sprintf("%s/%s/t%d/o%d", r.Bench, r.Transport, r.Threads, r.Outstanding)
+	// Impaired cells live in their own namespace: a run under a faultnet
+	// profile must never be diffed against the clean baseline (or against a
+	// run under a different profile) — the comparison would be meaningless.
+	if r.Profile != "" {
+		k += "@" + r.Profile
+	}
+	return k
 }
 
 // ReadSuite loads a BENCH_realstack.json.

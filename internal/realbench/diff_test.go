@@ -120,3 +120,23 @@ func TestDiffImprovement(t *testing.T) {
 		t.Errorf("2x speedup not marked improved: %s", rep.Format())
 	}
 }
+
+// TestDiffProfileIsolation: a cell measured under a faultnet profile keys
+// separately from the clean cell with the same (bench, transport, threads),
+// so an impaired run is never compared against the clean baseline — it
+// shows up as missing-baseline coverage instead of a 100× "regression".
+func TestDiffProfileIsolation(t *testing.T) {
+	old := baseSuite()
+	cur := baseSuite()
+	cur.Results = append(cur.Results, Result{
+		Bench: "Null", Transport: "mem", Threads: 1, Profile: "loss0.1",
+		N: 1000, NsPerOp: 240000, AllocsPerOp: 9, CallsPerSec: 4100,
+	})
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("impaired cell compared against clean baseline: %s", rep.Format())
+	}
+	if len(rep.MissingOld) != 1 || !strings.Contains(rep.MissingOld[0], "@loss0.1") {
+		t.Fatalf("impaired cell not keyed into its own namespace: %v", rep.MissingOld)
+	}
+}

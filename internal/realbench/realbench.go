@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/marshal"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/testsvc"
@@ -31,8 +32,9 @@ const payloadBytes = 1440
 
 // Result is one benchmark case.
 type Result struct {
-	Bench       string  `json:"bench"`     // Null | MaxArg | MaxResult
-	Transport   string  `json:"transport"` // mem | udp
+	Bench       string  `json:"bench"`             // Null | MaxArg | MaxResult
+	Transport   string  `json:"transport"`         // mem | udp
+	Profile     string  `json:"profile,omitempty"` // faultnet profile name; empty = clean link
 	Threads     int     `json:"threads"`
 	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
 	N           int     `json:"n"`                     // calls measured
@@ -79,9 +81,11 @@ type benchPair struct {
 }
 
 // pair builds a caller/server node pair over the requested transport.
+// When prof is non-nil the caller's transport is wrapped in a faultnet
+// impairer, so the cell measures the stack under that profile.
 // It returns an error (rather than failing) when UDP loopback is
 // unavailable, so sandboxed environments just skip those cases.
-func pair(overUDP bool, workers int) (*benchPair, func(), error) {
+func pair(overUDP bool, workers int, prof *faultnet.Profile, seed uint64) (*benchPair, func(), error) {
 	cfg := proto.DefaultConfig()
 	if workers > cfg.Workers {
 		cfg.Workers = workers
@@ -102,6 +106,9 @@ func pair(overUDP bool, workers int) (*benchPair, func(), error) {
 		ex := transport.NewExchange()
 		serverTr = ex.Port("server")
 		callerTr = ex.Port("caller")
+	}
+	if prof != nil {
+		callerTr = faultnet.Wrap(callerTr, *prof, seed)
 	}
 	server := core.NewNode(serverTr, cfg)
 	caller := core.NewNode(callerTr, cfg)
@@ -128,8 +135,8 @@ var cases = []struct {
 // split across exactly `threads` caller goroutines, each with its own
 // Client, mirroring the paper's caller-thread scaling rather than
 // RunParallel's GOMAXPROCS-coupled parallelism.
-func runCase(overUDP bool, call callFunc, threads int) (testing.BenchmarkResult, error) {
-	p, done, err := pair(overUDP, 2*threads)
+func runCase(overUDP bool, call callFunc, threads int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
+	p, done, err := pair(overUDP, 2*threads, prof, seed)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -196,8 +203,8 @@ var asyncCases = []struct {
 // goroutine keeps `outstanding` calls in flight through Client.Go/Await,
 // so the cell reports per-call cost when the engine — not a goroutine per
 // call — carries the in-flight state.
-func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int) (testing.BenchmarkResult, error) {
-	p, done, err := pair(overUDP, 8)
+func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
+	p, done, err := pair(overUDP, 8, prof, seed)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -248,6 +255,12 @@ type Options struct {
 	Cases       []string  // case names (Null, MaxArg, MaxResult); empty = all
 	MemOnly     bool      // skip the UDP loopback transport
 	Log         io.Writer // progress output; nil for quiet
+
+	// Profile, when non-nil, wraps every caller transport in a faultnet
+	// impairer; each Result is tagged with the profile name so impaired
+	// cells never diff against a clean baseline.
+	Profile   *faultnet.Profile
+	FaultSeed uint64 // impairment schedule seed; default 1
 }
 
 // wantCase reports whether name passed the Options.Cases filter.
@@ -278,6 +291,17 @@ func Run(opts Options) Suite {
 	if len(outstanding) == 0 {
 		outstanding = []int{1, 8, 64}
 	}
+	seed := opts.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	profName := ""
+	if opts.Profile != nil {
+		profName = opts.Profile.Name
+		if profName == "" {
+			profName = "custom"
+		}
+	}
 	suite := Suite{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Note: "Real-stack Table I analogue: Null/MaxArg/MaxResult over the " +
@@ -298,7 +322,7 @@ func Run(opts Options) Suite {
 				continue
 			}
 			for _, th := range threads {
-				br, err := runCase(tr.overUDP, c.call, th)
+				br, err := runCase(tr.overUDP, c.call, th, opts.Profile, seed)
 				if err != nil {
 					logf("  %-9s %-3s %d threads: skipped (%v)\n", c.name, tr.name, th, err)
 					continue
@@ -306,6 +330,7 @@ func Run(opts Options) Suite {
 				res := Result{
 					Bench:       c.name,
 					Transport:   tr.name,
+					Profile:     profName,
 					Threads:     th,
 					N:           br.N,
 					NsPerOp:     float64(br.NsPerOp()),
@@ -326,7 +351,7 @@ func Run(opts Options) Suite {
 				continue
 			}
 			for _, out := range outstanding {
-				br, err := runAsyncCase(tr.overUDP, c.start, c.mkDec, out)
+				br, err := runAsyncCase(tr.overUDP, c.start, c.mkDec, out, opts.Profile, seed)
 				if err != nil {
 					logf("  %-9s %-3s async %2d outstanding: skipped (%v)\n", c.name, tr.name, out, err)
 					continue
@@ -334,6 +359,7 @@ func Run(opts Options) Suite {
 				res := Result{
 					Bench:       c.name + "Async",
 					Transport:   tr.name,
+					Profile:     profName,
 					Threads:     1,
 					Outstanding: out,
 					N:           br.N,

@@ -1,0 +1,91 @@
+package realbench
+
+import (
+	"testing"
+	"time"
+)
+
+// The tail table's headline claim, as a cheap sanity gate: injected loss
+// inflates p99 while retransmissions keep every call succeeding. This is
+// the chaos-smoke test scripts/verify.sh runs on every change.
+func TestTailSweepP99Inflation(t *testing.T) {
+	cells, err := TailSweep(TailOptions{
+		Losses:         []float64{0, 0.10},
+		Threads:        []int{1},
+		CallsPerThread: 800,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	clean, lossy := cells[0], cells[1]
+	if clean.Errors != 0 || lossy.Errors != 0 {
+		t.Fatalf("calls failed: clean %d errors, lossy %d errors", clean.Errors, lossy.Errors)
+	}
+	if lossy.Retransmits == 0 {
+		t.Fatal("10% loss produced no retransmissions")
+	}
+	if lossy.P99Us <= clean.P99Us {
+		t.Fatalf("p99 did not inflate under loss: clean %.1fµs, lossy %.1fµs",
+			clean.P99Us, lossy.P99Us)
+	}
+}
+
+// Same options + same seed => byte-identical cells. The determinism
+// invariant, checked on the real stack end to end.
+func TestTailSweepDeterministic(t *testing.T) {
+	opts := TailOptions{
+		Losses:         []float64{0.05},
+		Threads:        []int{1},
+		CallsPerThread: 400,
+		Seed:           3,
+	}
+	a, err := TailSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TailSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latencies are wall-clock and vary run to run; the impairment
+	// *schedule* must not. Retransmit counts are a faithful witness: they
+	// count exactly the frames the schedule dropped (plus timer noise on
+	// an unloaded in-process link, which stays zero for the clean path).
+	if a[0].Calls != b[0].Calls || a[0].Errors != b[0].Errors {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a[0], b[0])
+	}
+}
+
+// The overload table's headline claim: at ~2× saturation FIFO admission
+// collapses (queue delay exceeds every caller's deadline) while deadline
+// shedding keeps goodput near the unsaturated baseline.
+func TestOverloadSweepDeadlineBeatsFIFO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive sweep")
+	}
+	cells, err := OverloadSweep(OverloadOptions{Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]OverloadCell{}
+	for _, c := range cells {
+		byPolicy[c.Policy] = c
+	}
+	base := byPolicy["baseline"]
+	if base.GoodputPerSec <= 0 {
+		t.Fatalf("baseline made no progress: %+v", base)
+	}
+	fifo, deadline := byPolicy["fifo"], byPolicy["deadline"]
+	if deadline.GoodputPerSec <= fifo.GoodputPerSec {
+		t.Fatalf("deadline shedding (%.0f/s) did not beat FIFO (%.0f/s)",
+			deadline.GoodputPerSec, fifo.GoodputPerSec)
+	}
+	if deadline.GoodputPerSec < 0.5*base.GoodputPerSec {
+		t.Fatalf("deadline goodput %.0f/s collapsed vs baseline %.0f/s",
+			deadline.GoodputPerSec, base.GoodputPerSec)
+	}
+}

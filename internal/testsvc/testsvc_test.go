@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/idl"
 	"fireflyrpc/internal/marshal"
 	"fireflyrpc/internal/proto"
@@ -159,9 +160,8 @@ func TestGeneratedIncrement(t *testing.T) {
 
 func TestGeneratedStubsUnderLoss(t *testing.T) {
 	ex := transport.NewExchange()
-	ex.LossEvery = 5
 	cfg := proto.Config{RetransInterval: 10 * time.Millisecond, MaxRetries: 10, Workers: 4}
-	caller := core.NewNode(ex.Port("caller"), cfg)
+	caller := core.NewNode(faultnet.Wrap(ex.Port("caller"), faultnet.Loss(0.2), 11), cfg)
 	server := core.NewNode(ex.Port("server"), cfg)
 	server.Export(ExportTest(impl{}))
 	defer caller.Close()

@@ -9,8 +9,9 @@ import (
 )
 
 // Exchange is an in-process datagram switch: the shared-memory transport
-// for same-machine RPC. It can inject faults (loss, duplication, reordering)
-// for protocol tests, which real sockets cannot do deterministically.
+// for same-machine RPC. Fault injection lives in internal/faultnet (wrap a
+// port with faultnet.Wrap), not here: the exchange itself is a perfect
+// network.
 //
 // Frames in flight live in pooled fixed-size buffers (the software analogue
 // of the Firefly's ring of receive buffers): Send copies the caller's frame
@@ -23,13 +24,6 @@ type Exchange struct {
 	seq   int
 
 	frames buffer.FramePool
-
-	// Fault injection, applied per frame under mu.
-	LossEvery int // drop every Nth frame (0 = none)
-	DupEvery  int // duplicate every Nth frame (0 = none)
-	losses    int
-	dups      int
-	count     int
 }
 
 // NewExchange creates an empty exchange.
@@ -90,15 +84,6 @@ func (e *Exchange) Port(name string) *MemPort {
 	return p
 }
 
-// SetFaults atomically updates the fault-injection settings; safe while
-// traffic is flowing.
-func (e *Exchange) SetFaults(lossEvery, dupEvery int) {
-	e.mu.Lock()
-	e.LossEvery = lossEvery
-	e.DupEvery = dupEvery
-	e.mu.Unlock()
-}
-
 // enqueue hands a pooled frame to target, reclaiming it immediately if the
 // port's queue is full or the port has shut down (a dropped packet).
 func enqueue(target *MemPort, d delivery) {
@@ -124,13 +109,6 @@ func (e *Exchange) SendFrom(src, dst string, frame []byte) error {
 	f.CopyFrom(frame)
 	enqueue(target, delivery{src: memAddr(src), f: f})
 	return nil
-}
-
-// Stats reports fault-injection counters.
-func (e *Exchange) Stats() (losses, dups int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.losses, e.dups
 }
 
 func (p *MemPort) deliverLoop() {
@@ -168,33 +146,16 @@ func (p *MemPort) Send(dst Addr, frame []byte) error {
 	}
 	e := p.ex
 	e.mu.Lock()
-	e.count++
-	drop := e.LossEvery > 0 && e.count%e.LossEvery == 0
-	dup := e.DupEvery > 0 && e.count%e.DupEvery == 0
-	if drop {
-		e.losses++
-	}
-	if dup {
-		e.dups++
-	}
 	target := e.ports[dst.String()]
 	e.mu.Unlock()
-	if target == nil || drop {
+	if target == nil {
 		return nil // silently lost, like the wire
 	}
-	n := 1
-	if dup {
-		n = 2
-	}
-	// Each copy gets its own pooled buffer, since each is released
-	// independently after its delivery (or drop).
-	for i := 0; i < n; i++ {
-		f := e.frames.Get()
-		f.CopyFrom(frame)
-		// The queue is never closed, so a send racing the target's Close is
-		// benign: the frame just goes undelivered, like any late packet.
-		enqueue(target, delivery{src: p.addrIface, f: f})
-	}
+	f := e.frames.Get()
+	f.CopyFrom(frame)
+	// The queue is never closed, so a send racing the target's Close is
+	// benign: the frame just goes undelivered, like any late packet.
+	enqueue(target, delivery{src: p.addrIface, f: f})
 	return nil
 }
 

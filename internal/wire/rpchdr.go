@@ -69,6 +69,22 @@ const (
 	// full-path latency accounting. Advisory: a server with tracing
 	// disabled ignores it.
 	FlagTraced = 1 << 3
+	// FlagBudget marks a call packet whose Hint field carries the caller's
+	// remaining deadline budget in milliseconds, so a server running
+	// admission control can shed requests that cannot complete in time.
+	FlagBudget = 1 << 4
+)
+
+// Reject reasons, carried in the Hint field of a TypeReject packet. The
+// zero value keeps the original meaning (dispatch failure: unknown
+// interface/procedure or a handler error) so old and new endpoints
+// interoperate.
+const (
+	// RejectDispatch: binding or handler failure.
+	RejectDispatch uint16 = 0
+	// RejectOverload: the server's admission control shed the call; the
+	// caller should fail fast rather than retransmit.
+	RejectOverload uint16 = 1
 )
 
 // RPCHeader is the 32-byte RPC packet-exchange header.
@@ -88,7 +104,7 @@ type RPCHeader struct {
 	FragCount uint16     // total fragments (1 on the fast path)
 	Interface uint32     // interface identifier (from the IDL)
 	Proc      uint16     // procedure index within the interface
-	Hint      uint16     // server dispatch hint (call-table slot)
+	Hint      uint16     // TypeCall: deadline budget in ms (with FlagBudget); TypeReject: reason code
 	Length    uint32     // payload bytes following the header
 }
 

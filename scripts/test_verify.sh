@@ -88,7 +88,29 @@ case "$out" in
 *) fail "determinism failure did not print 'FAIL: sim determinism' (got: $out)" ;;
 esac
 
-# 5. Unknown flags are rejected with a usage error.
+# 5. A failure in the chaos-smoke tail step — now the last step — must
+# propagate: appending steps to the pipeline must not weaken the contract.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*TestTailSweepP99Inflation*) exit 9 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a chaos-smoke failure"
+case "$out" in
+*"FAIL: chaos smoke"*) ;;
+*) fail "chaos-smoke failure did not print 'FAIL: chaos smoke' (got: $out)" ;;
+esac
+
+# 6. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

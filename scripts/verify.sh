@@ -4,9 +4,12 @@
 # lock-sharded concurrent fast paths — proto carries the per-peer channel
 # map, central retransmission engine, and the stage-trace ring, so its
 # channel/cancellation/trace tests run under -race here. The final steps pin
-# the fast path's allocation budgets: Client.Go/Await must cost no more
+# the fast path's allocation budgets (Client.Go/Await must cost no more
 # objects per call than blocking Call, and the observability machinery must
-# add nothing to a call while tracing is disabled.
+# add nothing to a call while tracing is disabled) and run the chaos smoke:
+# faultnet/overload under -race plus one tail-table cell asserting that
+# injected loss inflates p99 without failing calls and that the same seed
+# reproduces the same impairment schedule.
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -59,5 +62,7 @@ run "race: live sim inspection" go test -race -run 'TestInspectConcurrentWithRun
 run "alloc budgets: fast path" go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
 run "alloc budget: tracing disabled" go test -run 'TestTraceDisabledAllocBudget' -count=1 ./internal/proto
 run "sim determinism: trace + timings" go test -run 'TestTraceDeterminism|TestTracerDoesNotPerturb' -count=1 ./internal/sim ./internal/simtrace
+run "chaos smoke: faultnet + overload race" go test -race ./internal/faultnet ./internal/overload
+run "chaos smoke: tail inflation + determinism" go test -run 'TestTailSweepP99Inflation|TestTailSweepDeterministic' -count=1 ./internal/realbench
 
 echo "verify: all checks passed"
