@@ -12,6 +12,8 @@
 //	fireflybench -realcheck F     # validate a BENCH_realstack.json and exit
 //	fireflybench -simtrace out.json  # Perfetto timeline + utilization report for a simulated run
 //	fireflybench -real -faulty lossy.json  # real-stack benchmark under a faultnet impairment profile
+//	fireflybench -real -batch     # real-stack benchmark over the batched UDP datapath
+//	fireflybench -batchcompare    # per-frame vs batched UDP fan-out, back to back
 package main
 
 import (
@@ -42,6 +44,11 @@ func main() {
 	realTime := flag.String("realtime", "", "per-cell benchmark time for -real (e.g. 50ms); empty = the testing default (1s)")
 	realMemOnly := flag.Bool("realmem", false, "restrict -real to the in-process exchange transport")
 	realCheck := flag.String("realcheck", "", "validate this BENCH_realstack.json and exit")
+	realBatch := flag.Bool("batch", false, "run -real UDP cells over the batched datapath (sendmmsg/GSO); results diff under the @batch namespace")
+	realRecvMode := flag.String("recvmode", "", "batched engine receive mode for -batch: park (default) or spin")
+	batchCompare := flag.Bool("batchcompare", false, "run the per-frame vs batched UDP async fan-out comparison and exit")
+	batchCompareCalls := flag.Int("batchcomparecalls", 20000, "calls per side for -batchcompare")
+	batchCompareWidth := flag.Int("batchcomparewidth", 64, "async fan-out width for -batchcompare")
 	faulty := flag.String("faulty", "", "faultnet profile JSON; -real cells run behind this impairment")
 	faultSeed := flag.Uint64("faultseed", 1, "impairment schedule seed for -faulty")
 	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
@@ -66,6 +73,11 @@ func main() {
 		return
 	}
 
+	if *batchCompare {
+		runBatchCompare(*batchCompareCalls, *batchCompareWidth)
+		return
+	}
+
 	if *simTrace != "" {
 		runSimTrace(*simTrace, *seed, *simTraceThreads, *simTraceCalls)
 		return
@@ -81,11 +93,15 @@ func main() {
 			}
 			prof = p
 		}
-		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, prof, *faultSeed)
+		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, prof, *faultSeed, *realBatch, *realRecvMode)
 		return
 	}
 	if *faulty != "" {
 		fmt.Fprintln(os.Stderr, "fireflybench: -faulty requires -real")
+		os.Exit(2)
+	}
+	if *realBatch || *realRecvMode != "" {
+		fmt.Fprintln(os.Stderr, "fireflybench: -batch/-recvmode require -real")
 		os.Exit(2)
 	}
 
@@ -127,7 +143,7 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, prof *faultnet.Profile, faultSeed uint64) {
+func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, prof *faultnet.Profile, faultSeed uint64, batch bool, recvMode string) {
 	parse := func(spec, flagName string) []int {
 		var out []int
 		for _, s := range strings.Split(spec, ",") {
@@ -159,11 +175,18 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 			os.Exit(2)
 		}
 	}
+	datapath := ""
+	if batch {
+		datapath = ", batched UDP datapath"
+		if recvMode != "" {
+			datapath += " (" + recvMode + ")"
+		}
+	}
 	if prof != nil {
-		fmt.Printf("Real-stack Table I analogue under profile %q, fault seed %d (threads %v, async fan-out %v)\n",
-			prof.Name, faultSeed, threads, fanout)
+		fmt.Printf("Real-stack Table I analogue under profile %q, fault seed %d (threads %v, async fan-out %v%s)\n",
+			prof.Name, faultSeed, threads, fanout, datapath)
 	} else {
-		fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v)\n", threads, fanout)
+		fmt.Printf("Real-stack Table I analogue (threads %v, async fan-out %v%s)\n", threads, fanout, datapath)
 	}
 	suite := realbench.Run(realbench.Options{
 		Threads:     threads,
@@ -173,12 +196,35 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 		Log:         os.Stdout,
 		Profile:     prof,
 		FaultSeed:   faultSeed,
+		Batch:       batch,
+		RecvMode:    recvMode,
 	})
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", outPath, len(suite.Results))
+}
+
+// runBatchCompare runs the per-frame vs batched UDP async fan-out
+// comparison back to back in this process and prints both sides plus the
+// self-relative speedup — the measurement behind the EXPERIMENTS.md batched
+// datapath table.
+func runBatchCompare(calls, width int) {
+	res, err := realbench.BatchCompare(calls, width)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fireflybench: batchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("UDP async Null fan-out, %d outstanding, %d calls per side\n\n", res.Outstanding, res.PerFrame.Calls)
+	row := func(name string, s realbench.BatchSide) {
+		fmt.Printf("  %-9s %8.0f ns/op  %9.0f calls/s  %5.2f syscalls/call  (send %d ops/%d frames, recv %d ops/%d frames, gso %d)\n",
+			name, s.NsPerOp, s.CallsPerSec, s.SyscallsPerCall,
+			s.SendBatches, s.SendFrames, s.RecvBatches, s.RecvFrames, s.GSOSends)
+	}
+	row("per-frame", res.PerFrame)
+	row("batched", res.Batched)
+	fmt.Printf("\nspeedup: %.2fx (batched vs per-frame, self-relative)\n", res.Speedup)
 }
 
 // runBreakdown prints the stage accounting table and the tracing overhead,

@@ -31,6 +31,7 @@ import (
 	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/proto"
 	"fireflyrpc/internal/stats"
+	"fireflyrpc/internal/transport"
 )
 
 // registry holds the Conns the surface reports on. Registration is global
@@ -79,6 +80,7 @@ type ConnView struct {
 	Addr        string           `json:"addr"`
 	Tracing     bool             `json:"tracing"`
 	Stats       proto.Stats      `json:"stats"`
+	Transport   *transport.Stats `json:"transport,omitempty"` // nil when the transport reports no counters
 	Admission   *overload.Stats  `json:"admission,omitempty"` // nil when no admission control configured
 	Peers       []proto.PeerInfo `json:"peers"`
 	PeerHists   []PeerHistView   `json:"peer_hists,omitempty"`
@@ -102,6 +104,9 @@ func view(name string, c *proto.Conn) ConnView {
 		Tracing: c.TracingEnabled(),
 		Stats:   c.Stats(),
 		Peers:   c.Peers(),
+	}
+	if ts, ok := c.TransportStats(); ok {
+		v.Transport = &ts
 	}
 	if as, ok := c.AdmissionStats(); ok {
 		v.Admission = &as

@@ -147,6 +147,33 @@ func writeMetrics(w io.Writer) {
 		}
 	}
 
+	fmt.Fprint(w, "# TYPE fireflyrpc_transport_counter_total counter\n")
+	for i, c := range conns {
+		ts, ok := c.TransportStats()
+		if !ok {
+			continue
+		}
+		l := fmt.Sprintf(`conn="%s",`, promEscape(names[i]))
+		for _, kv := range []struct {
+			name string
+			v    int64
+		}{
+			{"oversize_drops", ts.OversizeDrops},
+			{"recv_errors", ts.RecvErrors},
+			{"send_errors", ts.SendErrors},
+			{"recv_batches", ts.RecvBatches},
+			{"recv_frames", ts.RecvFrames},
+			{"send_batches", ts.SendBatches},
+			{"send_frames", ts.SendFrames},
+			{"gso_sends", ts.GSOSends},
+			{"gro_splits", ts.GROSplits},
+		} {
+			fmt.Fprintf(w, "fireflyrpc_transport_counter_total{%scounter=\"%s\"} %d\n", l, kv.name, kv.v)
+		}
+		fmt.Fprintf(w, "fireflyrpc_transport_max_recv_batch{conn=\"%s\"} %d\n", promEscape(names[i]), ts.MaxRecvBatch)
+		fmt.Fprintf(w, "fireflyrpc_transport_max_send_batch{conn=\"%s\"} %d\n", promEscape(names[i]), ts.MaxSendBatch)
+	}
+
 	fmt.Fprint(w, "# TYPE fireflyrpc_admission_queue gauge\n")
 	for i, c := range conns {
 		as, ok := c.AdmissionStats()

@@ -145,3 +145,52 @@ func TestMetricsConnCounters(t *testing.T) {
 		t.Error("missing TYPE line for peer latency histogram")
 	}
 }
+
+// TestMetricsTransportCounters checks that a Conn over the batched UDP
+// transport surfaces the transport's own counters in both the JSON view
+// and the Prometheus rendering.
+func TestMetricsTransportCounters(t *testing.T) {
+	serverTr, err := transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{})
+	if err != nil {
+		t.Skip("no loopback:", err)
+	}
+	callerTr, err := transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{})
+	if err != nil {
+		serverTr.Close()
+		t.Skip("no loopback:", err)
+	}
+	server := core.NewNode(serverTr, proto.DefaultConfig())
+	caller := core.NewNode(callerTr, proto.DefaultConfig())
+	defer server.Close()
+	defer caller.Close()
+	server.Export(testsvc.ExportTest(nullImpl{}))
+	cl := testsvc.NewTestClient(caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion))
+	for i := 0; i < 16; i++ {
+		if err := cl.Null(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	Register("udp-caller", caller.Conn())
+	defer Unregister("udp-caller")
+
+	v := view("udp-caller", caller.Conn())
+	if v.Transport == nil {
+		t.Fatal("ConnView.Transport is nil for a UDP-backed conn")
+	}
+	if v.Transport.SendFrames < 16 || v.Transport.RecvFrames < 16 {
+		t.Fatalf("transport counters too low: %+v", *v.Transport)
+	}
+
+	var sb strings.Builder
+	writeMetrics(&sb)
+	body := sb.String()
+	for _, want := range []string{
+		`fireflyrpc_transport_counter_total{conn="udp-caller",counter="send_frames"}`,
+		`fireflyrpc_transport_counter_total{conn="udp-caller",counter="recv_batches"}`,
+		`fireflyrpc_transport_max_send_batch{conn="udp-caller"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -107,6 +107,82 @@ func (t *Transport) Send(dst transport.Addr, frame []byte) error {
 	return nil
 }
 
+// SendBatch implements transport.BatchSender. The impairment engine sees
+// every frame individually, in submission order — exactly the Decide
+// sequence the per-frame path would produce — so a seed reproduces the same
+// schedule on either datapath. Contiguous runs of unimpaired frames are
+// forwarded to the inner transport's own SendBatch, keeping the syscall
+// amortization; impaired frames leave the run and take the per-frame
+// drop/dup/delay/corrupt machinery.
+func (t *Transport) SendBatch(frames []transport.Frame) (int, error) {
+	if t.closed.Load() {
+		return 0, transport.ErrClosed
+	}
+	bs, live := t.inner.(transport.BatchSender)
+	runStart := -1 // start of the current unimpaired run, -1 when none
+	flush := func(end int) error {
+		if runStart < 0 {
+			return nil
+		}
+		run := frames[runStart:end]
+		runStart = -1
+		if live {
+			_, err := bs.SendBatch(run)
+			return err
+		}
+		for _, f := range run {
+			if err := t.inner.Send(f.Dst, f.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range frames {
+		v := t.im.Decide(DirOut, t.elapsed(), len(frames[i].Data))
+		if !v.Drop && !v.Dup && v.Delay == 0 && v.CorruptAt < 0 {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if err := flush(i); err != nil {
+			return i, err
+		}
+		if v.Drop {
+			continue // lost, as on the wire
+		}
+		if v.Dup {
+			t.schedule(event{dst: frames[i].Dst}, frames[i].Data, v.DupDelay, -1, 0)
+		}
+		if v.Delay == 0 && v.CorruptAt < 0 {
+			if err := t.inner.Send(frames[i].Dst, frames[i].Data); err != nil {
+				return i, err
+			}
+			continue
+		}
+		t.schedule(event{dst: frames[i].Dst}, frames[i].Data, v.Delay, v.CorruptAt, v.CorruptXor)
+	}
+	if err := flush(len(frames)); err != nil {
+		return len(frames), err
+	}
+	return len(frames), nil
+}
+
+// BatchEnabled implements transport.BatchSender: the wrapper batches only
+// when the wrapped transport really does.
+func (t *Transport) BatchEnabled() bool {
+	bs, ok := t.inner.(transport.BatchSender)
+	return ok && bs.BatchEnabled()
+}
+
+// TransportStats forwards the wrapped transport's counters.
+func (t *Transport) TransportStats() (transport.Stats, bool) {
+	if sr, ok := t.inner.(transport.StatsReporter); ok {
+		return sr.TransportStats()
+	}
+	return transport.Stats{}, false
+}
+
 // onFrame is the inner transport's receive callback.
 func (t *Transport) onFrame(src transport.Addr, frame []byte) {
 	r, _ := t.recv.Load().(transport.Receiver)

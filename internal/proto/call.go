@@ -268,7 +268,7 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 		}
 		frame := c.newFrame(last, args)
 		sent := now
-		if err := c.tr.Send(dst, frame.Bytes()); err != nil {
+		if err := c.send(dst, frame.Bytes()); err != nil {
 			frame.Release()
 			ch.callsMu.Lock()
 			if ch.calls[k] == oc {
@@ -346,7 +346,7 @@ func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
 	}
 	frame := c.newFrame(last, frags[nfrags-1])
 	sent := time.Now()
-	if err := c.tr.Send(ch.peer, frame.Bytes()); err != nil {
+	if err := c.send(ch.peer, frame.Bytes()); err != nil {
 		frame.Release()
 		oc.finish(k, nil, err)
 		return
@@ -398,7 +398,7 @@ func (c *Conn) CallBufCtx(ctx context.Context, dst transport.Addr, activity uint
 // explicit acknowledgement, retransmitting as needed and honoring the
 // call's absolute deadline.
 func (c *Conn) sendFragWithAck(oc *outCall, k callKey, frame *buffer.Frame, idx uint16, deadline time.Time) error {
-	if err := c.tr.Send(oc.dst, frame.Bytes()); err != nil {
+	if err := c.send(oc.dst, frame.Bytes()); err != nil {
 		return err
 	}
 	interval := c.cfg.RetransInterval
@@ -446,7 +446,7 @@ func (c *Conn) sendFragWithAck(oc *outCall, k callKey, frame *buffer.Frame, idx 
 				return ErrTimeout
 			}
 			c.stats.retransmits.Add(1)
-			if err := c.tr.Send(oc.dst, frame.Bytes()); err != nil {
+			if err := c.send(oc.dst, frame.Bytes()); err != nil {
 				return err
 			}
 			if interval < 8*c.cfg.RetransInterval {

@@ -228,6 +228,11 @@ type Conn struct {
 	// that avoids allocation).
 	frames buffer.FramePool
 
+	// sq is the opportunistic batching send queue, non-nil only when the
+	// transport offers a live batched datapath (see sendq.go). Every
+	// outgoing frame goes through c.send, which routes here when engaged.
+	sq *sendQueue
+
 	stats statCounters
 
 	// trace is the observability switch: per-call stage tracing into a
@@ -441,8 +446,30 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		}
 	}
 	go c.retransLoop()
+	if transport.SupportsBatch(tr) {
+		c.sq = newSendQueue(c, tr.(transport.BatchSender))
+	}
 	tr.SetReceiver(c.onFrame)
 	return c
+}
+
+// send funnels every outgoing frame: straight to the transport on the
+// per-frame path, or through the batching send queue when the transport
+// offers SendBatch. The frame remains owned by the caller either way.
+func (c *Conn) send(dst transport.Addr, frame []byte) error {
+	if c.sq != nil {
+		return c.sq.enqueue(dst, frame)
+	}
+	return c.tr.Send(dst, frame)
+}
+
+// TransportStats exposes the underlying transport's counters (drops,
+// errors, batch amortization); ok is false when the transport keeps none.
+func (c *Conn) TransportStats() (transport.Stats, bool) {
+	if sr, ok := c.tr.(transport.StatsReporter); ok {
+		return sr.TransportStats()
+	}
+	return transport.Stats{}, false
 }
 
 // worker is one server thread: it waits for completed calls and executes
@@ -519,7 +546,7 @@ func (c *Conn) shedExec(req execReq, _ overload.Reason) {
 		Hint: wire.RejectOverload,
 	}
 	f := c.newFrame(rej, nil)
-	_ = c.tr.Send(act.src, f.Bytes())
+	_ = c.send(act.src, f.Bytes())
 	c.retainResult(act, hdr.Seq, f)
 	if req.args != nil {
 		ch.actsMu.Lock()
@@ -593,7 +620,13 @@ func (c *Conn) Close() error {
 		}
 		c.evictChannel(ch)
 	})
-	return c.tr.Close()
+	err := c.tr.Close()
+	if c.sq != nil {
+		// The transport is closed, so a flush blocked in SendBatch has
+		// unwound; wait for the flusher to release every queued buffer.
+		c.sq.wait()
+	}
+	return err
 }
 
 // finish completes the call identified by k. The key check makes stale
@@ -656,7 +689,7 @@ func (c *Conn) newFrame(h wire.RPCHeader, payload []byte) *buffer.Frame {
 // rejects sent off the retention path).
 func (c *Conn) sendFrame(dst transport.Addr, h wire.RPCHeader, payload []byte) error {
 	f := c.newFrame(h, payload)
-	err := c.tr.Send(dst, f.Bytes())
+	err := c.send(dst, f.Bytes())
 	f.Release()
 	return err
 }

@@ -165,7 +165,7 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 			c.stats.dupCalls.Add(1)
 			if act.lastResultFrame != nil {
 				c.stats.resultRetrans.Add(1)
-				_ = c.tr.Send(src, act.lastResultFrame.Bytes())
+				_ = c.send(src, act.lastResultFrame.Bytes())
 			}
 			ch.actsMu.Unlock()
 			return
@@ -304,7 +304,7 @@ func (c *Conn) execute(req execReq) {
 			FragCount: 1, Interface: hdr.Interface, Proc: hdr.Proc,
 		}
 		f := c.newFrame(rej, nil)
-		_ = c.tr.Send(act.src, f.Bytes())
+		_ = c.send(act.src, f.Bytes())
 		c.retainResult(act, hdr.Seq, f)
 	default:
 		c.sendResult(act, hdr, result)
@@ -412,14 +412,14 @@ func (c *Conn) sendResult(act *serverAct, call wire.RPCHeader, result []byte) {
 		lastPayload = frags[nfrags-1]
 	}
 	f := c.newFrame(last, lastPayload)
-	_ = c.tr.Send(act.src, f.Bytes())
+	_ = c.send(act.src, f.Bytes())
 	c.retainResult(act, call.Seq, f)
 }
 
 // sendResultFragWithAck is the server-side stop-and-wait sender. It gives
 // up early when the caller abandons the call mid-stream.
 func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame *buffer.Frame, idx uint16) bool {
-	if err := c.tr.Send(act.src, frame.Bytes()); err != nil {
+	if err := c.send(act.src, frame.Bytes()); err != nil {
 		return false
 	}
 	ch := act.ch
@@ -445,7 +445,7 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame 
 				return false
 			}
 			c.stats.retransmits.Add(1)
-			if err := c.tr.Send(act.src, frame.Bytes()); err != nil {
+			if err := c.send(act.src, frame.Bytes()); err != nil {
 				return false
 			}
 			if interval < 8*c.cfg.RetransInterval {

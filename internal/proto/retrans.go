@@ -177,7 +177,7 @@ func (c *Conn) fireRetrans(oc *outCall) {
 	// retained frame (byte 3 of the wire header) rather than rebuilding
 	// the packet.
 	oc.frame.Bytes()[3] |= wire.FlagPleaseAck
-	if err := c.tr.Send(oc.dst, oc.frame.Bytes()); err != nil {
+	if err := c.send(oc.dst, oc.frame.Bytes()); err != nil {
 		oc.finishLocked(k, nil, err)
 		oc.mu.Unlock()
 		return

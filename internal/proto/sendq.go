@@ -1,0 +1,132 @@
+package proto
+
+import (
+	"sync"
+
+	"fireflyrpc/internal/buffer"
+	"fireflyrpc/internal/transport"
+)
+
+// sendQueue is the protocol's opportunistic batching layer, engaged only
+// when the transport offers a live SendBatch (transport.SupportsBatch). All
+// outgoing frames — calls, results, acks, retransmissions — funnel through
+// one FIFO drained by a single flusher goroutine, so whatever accumulates
+// between flusher wakeups leaves in one SendBatch: a 64-outstanding async
+// fan-out becomes a handful of sendmmsg/GSO syscalls instead of 64.
+//
+// Frames are copied into pooled buffers at enqueue time. That copy is what
+// makes batching safe against the protocol's retained-frame mutation (the
+// retransmission engine flips header flags in place and recycles retained
+// buffers on completion); a ~1.4 KB memcpy is noise next to the syscall it
+// amortizes away. A single FIFO trivially preserves per-peer submission
+// order, the DESIGN invariant batching must keep.
+type sendQueue struct {
+	c    *Conn
+	bs   transport.BatchSender
+	kick chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	q      []sendEntry
+	closed bool
+
+	// Flusher-owned double buffer and the scratch vector handed to
+	// SendBatch; both reach a steady-state capacity and stop allocating.
+	back    []sendEntry
+	scratch []transport.Frame
+}
+
+type sendEntry struct {
+	dst transport.Addr
+	f   *buffer.Frame
+}
+
+func newSendQueue(c *Conn, bs transport.BatchSender) *sendQueue {
+	sq := &sendQueue{
+		c:    c,
+		bs:   bs,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go sq.loop()
+	return sq
+}
+
+// enqueue copies frame into a pooled buffer and queues it. The caller keeps
+// ownership of frame (exactly Send's contract). Errors are limited to local
+// permanent conditions; transmission itself is asynchronous and best-effort,
+// which is all an unreliable datagram transport promised anyway.
+func (sq *sendQueue) enqueue(dst transport.Addr, frame []byte) error {
+	if len(frame) > sq.c.tr.MaxFrame() {
+		return transport.ErrFrameTooLarge
+	}
+	f := sq.c.frames.Get()
+	f.CopyFrom(frame)
+	sq.mu.Lock()
+	if sq.closed {
+		sq.mu.Unlock()
+		f.Release()
+		return transport.ErrClosed
+	}
+	sq.q = append(sq.q, sendEntry{dst: dst, f: f})
+	sq.mu.Unlock()
+	select {
+	case sq.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// loop drains the queue: swap out everything queued, hand it to SendBatch,
+// release the buffers, repeat until empty, then park on the kick channel.
+// Everything enqueued while a flush is in flight rides the next swap, which
+// is where the batching win comes from.
+func (sq *sendQueue) loop() {
+	defer close(sq.done)
+	for {
+		select {
+		case <-sq.kick:
+		case <-sq.c.workQuit:
+			sq.drainRelease()
+			return
+		}
+		for {
+			sq.mu.Lock()
+			batch := sq.q
+			sq.q = sq.back[:0]
+			sq.mu.Unlock()
+			sq.back = batch[:0]
+			if len(batch) == 0 {
+				break
+			}
+			sq.scratch = sq.scratch[:0]
+			for i := range batch {
+				sq.scratch = append(sq.scratch, transport.Frame{Dst: batch[i].dst, Data: batch[i].f.Bytes()})
+			}
+			// Losses and transport shutdown surface as dropped frames; the
+			// retransmission engine is the recovery story, as for any drop.
+			_, _ = sq.bs.SendBatch(sq.scratch)
+			for i := range batch {
+				batch[i].f.Release()
+				batch[i] = sendEntry{}
+			}
+		}
+	}
+}
+
+// drainRelease rejects future enqueues and releases anything still queued
+// (the connection is closing; outstanding calls fail with ErrClosed).
+func (sq *sendQueue) drainRelease() {
+	sq.mu.Lock()
+	sq.closed = true
+	batch := sq.q
+	sq.q = nil
+	sq.mu.Unlock()
+	for i := range batch {
+		batch[i].f.Release()
+	}
+}
+
+// wait blocks until the flusher has exited and released every queued frame
+// (Conn.Close, after the transport is closed so a blocked flush unwinds).
+func (sq *sendQueue) wait() { <-sq.done }

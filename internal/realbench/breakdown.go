@@ -49,7 +49,7 @@ func Breakdown(calls, sampleEvery int) (*BreakdownResult, error) {
 	if sampleEvery <= 0 {
 		sampleEvery = 64
 	}
-	p, done, err := pair(false, 4, nil, 0)
+	p, done, err := pair(trOpts{}, 4, nil, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -85,6 +85,12 @@ func cellKey(r Result) string {
 	if r.Profile != "" {
 		k += "@" + r.Profile
 	}
+	// Batched-datapath cells get their own namespace for the same reason:
+	// per-frame and batched runs are different machines' worth of syscall
+	// behavior and must only diff against themselves.
+	if r.Batch {
+		k += "@batch"
+	}
 	return k
 }
 

@@ -35,6 +35,7 @@ type Result struct {
 	Bench       string  `json:"bench"`             // Null | MaxArg | MaxResult
 	Transport   string  `json:"transport"`         // mem | udp
 	Profile     string  `json:"profile,omitempty"` // faultnet profile name; empty = clean link
+	Batch       bool    `json:"batch,omitempty"`   // batched UDP datapath (sendmmsg/GSO)
 	Threads     int     `json:"threads"`
 	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
 	N           int     `json:"n"`                     // calls measured
@@ -80,24 +81,37 @@ type benchPair struct {
 	server  *core.Node
 }
 
+// trOpts selects the caller/server transport flavor for one cell.
+type trOpts struct {
+	overUDP  bool
+	batch    bool   // batched UDP engine (ListenUDPBatch) instead of per-frame
+	recvMode string // batched engine receive mode ("" = park)
+}
+
 // pair builds a caller/server node pair over the requested transport.
 // When prof is non-nil the caller's transport is wrapped in a faultnet
 // impairer, so the cell measures the stack under that profile.
 // It returns an error (rather than failing) when UDP loopback is
 // unavailable, so sandboxed environments just skip those cases.
-func pair(overUDP bool, workers int, prof *faultnet.Profile, seed uint64) (*benchPair, func(), error) {
+func pair(to trOpts, workers int, prof *faultnet.Profile, seed uint64) (*benchPair, func(), error) {
 	cfg := proto.DefaultConfig()
 	if workers > cfg.Workers {
 		cfg.Workers = workers
 	}
+	listen := func() (transport.Transport, error) {
+		if to.batch {
+			return transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{RecvMode: to.recvMode})
+		}
+		return transport.ListenUDP("127.0.0.1:0")
+	}
 	var callerTr, serverTr transport.Transport
-	if overUDP {
+	if to.overUDP {
 		var err error
-		serverTr, err = transport.ListenUDP("127.0.0.1:0")
+		serverTr, err = listen()
 		if err != nil {
 			return nil, nil, err
 		}
-		callerTr, err = transport.ListenUDP("127.0.0.1:0")
+		callerTr, err = listen()
 		if err != nil {
 			serverTr.Close()
 			return nil, nil, err
@@ -135,8 +149,8 @@ var cases = []struct {
 // split across exactly `threads` caller goroutines, each with its own
 // Client, mirroring the paper's caller-thread scaling rather than
 // RunParallel's GOMAXPROCS-coupled parallelism.
-func runCase(overUDP bool, call callFunc, threads int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
-	p, done, err := pair(overUDP, 2*threads, prof, seed)
+func runCase(to trOpts, call callFunc, threads int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
+	p, done, err := pair(to, 2*threads, prof, seed)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -203,8 +217,8 @@ var asyncCases = []struct {
 // goroutine keeps `outstanding` calls in flight through Client.Go/Await,
 // so the cell reports per-call cost when the engine — not a goroutine per
 // call — carries the in-flight state.
-func runAsyncCase(overUDP bool, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
-	p, done, err := pair(overUDP, 8, prof, seed)
+func runAsyncCase(to trOpts, ac asyncCall, mkDec func([]byte) func(*marshal.Dec), outstanding int, prof *faultnet.Profile, seed uint64) (testing.BenchmarkResult, error) {
+	p, done, err := pair(to, 8, prof, seed)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -261,6 +275,16 @@ type Options struct {
 	// cells never diff against a clean baseline.
 	Profile   *faultnet.Profile
 	FaultSeed uint64 // impairment schedule seed; default 1
+
+	// Batch runs the UDP cells over the batched datapath (ListenUDPBatch:
+	// sendmmsg/recvmmsg, GSO/GRO, plus the protocol send queue). Results
+	// are tagged batch=true, which diffs under the @batch cell namespace —
+	// batched cells never compare against per-frame ones. Mem cells are
+	// unaffected.
+	Batch bool
+	// RecvMode selects the batched engine's receive loop
+	// (transport.RecvModePark or RecvModeSpin); empty = park.
+	RecvMode string
 }
 
 // wantCase reports whether name passed the Options.Cases filter.
@@ -317,12 +341,13 @@ func Run(opts Options) Suite {
 		transports = transports[:1]
 	}
 	for _, tr := range transports {
+		to := trOpts{overUDP: tr.overUDP, batch: opts.Batch && tr.overUDP, recvMode: opts.RecvMode}
 		for _, c := range cases {
 			if !opts.wantCase(c.name) {
 				continue
 			}
 			for _, th := range threads {
-				br, err := runCase(tr.overUDP, c.call, th, opts.Profile, seed)
+				br, err := runCase(to, c.call, th, opts.Profile, seed)
 				if err != nil {
 					logf("  %-9s %-3s %d threads: skipped (%v)\n", c.name, tr.name, th, err)
 					continue
@@ -331,6 +356,7 @@ func Run(opts Options) Suite {
 					Bench:       c.name,
 					Transport:   tr.name,
 					Profile:     profName,
+					Batch:       to.batch,
 					Threads:     th,
 					N:           br.N,
 					NsPerOp:     float64(br.NsPerOp()),
@@ -351,7 +377,7 @@ func Run(opts Options) Suite {
 				continue
 			}
 			for _, out := range outstanding {
-				br, err := runAsyncCase(tr.overUDP, c.start, c.mkDec, out, opts.Profile, seed)
+				br, err := runAsyncCase(to, c.start, c.mkDec, out, opts.Profile, seed)
 				if err != nil {
 					logf("  %-9s %-3s async %2d outstanding: skipped (%v)\n", c.name, tr.name, out, err)
 					continue
@@ -360,6 +386,7 @@ func Run(opts Options) Suite {
 					Bench:       c.name + "Async",
 					Transport:   tr.name,
 					Profile:     profName,
+					Batch:       to.batch,
 					Threads:     1,
 					Outstanding: out,
 					N:           br.N,

@@ -1,0 +1,58 @@
+package transport
+
+import "sync/atomic"
+
+// counters is the live, lock-free form of Stats, embedded by the bundled
+// transports. Every event is one atomic add on the datapath.
+type counters struct {
+	oversizeDrops atomic.Int64
+	recvErrors    atomic.Int64
+	sendErrors    atomic.Int64
+	recvBatches   atomic.Int64
+	recvFrames    atomic.Int64
+	maxRecvBatch  atomic.Int64
+	sendBatches   atomic.Int64
+	sendFrames    atomic.Int64
+	maxSendBatch  atomic.Int64
+	gsoSends      atomic.Int64
+	groSplits     atomic.Int64
+}
+
+// observeRecvBatch records one receive operation delivering n frames.
+func (c *counters) observeRecvBatch(n int) {
+	c.recvBatches.Add(1)
+	c.recvFrames.Add(int64(n))
+	updateMax(&c.maxRecvBatch, int64(n))
+}
+
+// observeSendBatch records one send operation carrying n frames.
+func (c *counters) observeSendBatch(n int) {
+	c.sendBatches.Add(1)
+	c.sendFrames.Add(int64(n))
+	updateMax(&c.maxSendBatch, int64(n))
+}
+
+func updateMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		OversizeDrops: c.oversizeDrops.Load(),
+		RecvErrors:    c.recvErrors.Load(),
+		SendErrors:    c.sendErrors.Load(),
+		RecvBatches:   c.recvBatches.Load(),
+		RecvFrames:    c.recvFrames.Load(),
+		MaxRecvBatch:  c.maxRecvBatch.Load(),
+		SendBatches:   c.sendBatches.Load(),
+		SendFrames:    c.sendFrames.Load(),
+		MaxSendBatch:  c.maxSendBatch.Load(),
+		GSOSends:      c.gsoSends.Load(),
+		GROSplits:     c.groSplits.Load(),
+	}
+}

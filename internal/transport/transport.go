@@ -17,8 +17,86 @@ type Addr interface {
 }
 
 // Receiver consumes arriving frames. Implementations are called from the
-// transport's receive goroutine; they must not block for long.
+// transport's receive goroutine(s); they must not block for long.
+//
+// The frame slice is only valid for the duration of the call: every bundled
+// transport delivers into a reused receive buffer (the batched UDP engine
+// delivers many frames from one recvmmsg vector, the per-frame path from a
+// single recycled buffer), so a receiver that needs the bytes afterwards
+// must copy them. Retaining the slice corrupts a later frame.
 type Receiver func(src Addr, frame []byte)
+
+// Frame is one outgoing frame in a batch: a destination and the bytes to
+// send. The Data slice must stay valid until the SendBatch call returns.
+type Frame struct {
+	Dst  Addr
+	Data []byte
+}
+
+// BatchSender is the optional batched datapath a Transport may offer. A
+// transport that implements it can transmit many frames in one operation —
+// the real UDP engine turns a batch into a handful of sendmmsg/GSO
+// syscalls — so upper layers that queue frames (the protocol's send queue)
+// drain whole bursts through one call instead of one syscall per packet.
+//
+// SendBatch transmits the frames in order. Frames to the same destination
+// are never reordered relative to each other (coalescing and segmentation
+// preserve submission order); frames may still be lost or reordered by the
+// network itself, as with Send. It returns the number of frames accepted
+// and the first local, permanent error.
+//
+// BatchEnabled reports whether the batched path is actually live: a
+// transport may implement the interface but degrade to per-frame semantics
+// (the non-Linux fallback, or a wrapper whose inner transport is
+// per-frame). Callers should consult it before building batching state.
+type BatchSender interface {
+	SendBatch(frames []Frame) (int, error)
+	BatchEnabled() bool
+}
+
+// SupportsBatch reports whether t offers a live batched datapath.
+func SupportsBatch(t Transport) bool {
+	bs, ok := t.(BatchSender)
+	return ok && bs.BatchEnabled()
+}
+
+// Stats counts transport-level events: what the socket layer dropped or
+// failed before the protocol ever saw a frame, and how well the batched
+// datapath is amortizing syscalls. All counters are lock-free atomics on
+// the live transport; Stats is the snapshot type.
+type Stats struct {
+	// OversizeDrops counts received datagrams (or GRO segments) longer than
+	// MaxFrame, discarded before delivery.
+	OversizeDrops int64 `json:"oversize_drops"`
+	// RecvErrors counts transient receive-syscall failures (not shutdown).
+	RecvErrors int64 `json:"recv_errors"`
+	// SendErrors counts transient send failures.
+	SendErrors int64 `json:"send_errors"`
+	// RecvBatches counts receive operations (one recvmmsg, or one per-frame
+	// read); RecvFrames counts frames delivered. RecvFrames/RecvBatches is
+	// the observed receive batch size — frames per syscall.
+	RecvBatches int64 `json:"recv_batches"`
+	RecvFrames  int64 `json:"recv_frames"`
+	// MaxRecvBatch is the largest single receive batch observed.
+	MaxRecvBatch int64 `json:"max_recv_batch"`
+	// SendBatches counts send operations (one sendmmsg, or one per-frame
+	// write); SendFrames counts frames sent through them.
+	SendBatches int64 `json:"send_batches"`
+	SendFrames  int64 `json:"send_frames"`
+	// MaxSendBatch is the largest single send batch observed.
+	MaxSendBatch int64 `json:"max_send_batch"`
+	// GSOSends counts kernel-segmented super-packets sent (each carrying
+	// ≥2 frames); GROSplits counts frames recovered by splitting
+	// kernel-coalesced receive buffers.
+	GSOSends  int64 `json:"gso_sends"`
+	GROSplits int64 `json:"gro_splits"`
+}
+
+// StatsReporter is implemented by transports that keep Stats. Wrappers
+// (faultnet) forward to the wrapped transport.
+type StatsReporter interface {
+	TransportStats() (Stats, bool)
+}
 
 // Transport is an unreliable datagram channel. Frames may be lost,
 // duplicated, or reordered; the protocol layer copes.

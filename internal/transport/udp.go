@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"net"
 	"net/netip"
 	"sync"
@@ -36,7 +37,10 @@ func newUDPAddr(ap netip.AddrPort) *udpAddr {
 func (a *udpAddr) String() string  { return a.str }
 func (a *udpAddr) Network() string { return "udp" }
 
-// UDP is a Transport over a real UDP socket.
+// UDP is a Transport over a real UDP socket: the per-frame datapath, one
+// blocking read or write syscall per packet. The batched engine
+// (ListenUDPBatch) is the high-throughput alternative; this path stays the
+// simple, portable default.
 type UDP struct {
 	conn *net.UDPConn
 	self *udpAddr
@@ -48,6 +52,8 @@ type UDP struct {
 
 	peersMu sync.Mutex
 	peers   map[netip.AddrPort]*udpAddr
+
+	counters
 }
 
 // ListenUDP opens a UDP transport on addr ("host:port"; ":0" picks a port).
@@ -100,11 +106,24 @@ func (u *UDP) readLoop() {
 	for {
 		n, src, err := u.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
-			return // closed
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			u.mu.RLock()
+			closed := u.closed
+			u.mu.RUnlock()
+			if closed {
+				return
+			}
+			// Transient (ICMP-reflected, buffer pressure): count and go on.
+			u.recvErrors.Add(1)
+			continue
 		}
 		if n > UDPMaxFrame {
-			continue // oversize garbage
+			u.oversizeDrops.Add(1)
+			continue
 		}
+		u.observeRecvBatch(1)
 		u.mu.RLock()
 		recv := u.recv
 		u.mu.RUnlock()
@@ -125,22 +144,42 @@ func (u *UDP) Send(dst Addr, frame []byte) error {
 	if len(frame) > UDPMaxFrame {
 		return ErrFrameTooLarge
 	}
-	switch a := dst.(type) {
-	case *udpAddr:
-		_, err := u.conn.WriteToUDPAddrPort(frame, a.ap)
-		return err
-	case *net.UDPAddr:
-		_, err := u.conn.WriteToUDP(frame, a)
-		return err
-	default:
-		ua, err := net.ResolveUDPAddr("udp", dst.String())
-		if err != nil {
-			return err
-		}
-		_, err = u.conn.WriteToUDP(frame, ua)
+	ap, err := u.destAddrPort(dst)
+	if err != nil {
 		return err
 	}
+	if _, err := u.conn.WriteToUDPAddrPort(frame, ap); err != nil {
+		u.sendErrors.Add(1)
+		return err
+	}
+	u.observeSendBatch(1)
+	return nil
 }
+
+// destAddrPort maps an Addr to the wire destination. Foreign Addr types are
+// parsed once and interned through u.peer, so repeated Sends to the same
+// peer never re-resolve the string (names that aren't literal ip:port fall
+// back to the resolver, then intern the result).
+func (u *UDP) destAddrPort(dst Addr) (netip.AddrPort, error) {
+	switch a := dst.(type) {
+	case *udpAddr:
+		return a.ap, nil
+	case *net.UDPAddr:
+		return a.AddrPort(), nil
+	default:
+		if ap, err := netip.ParseAddrPort(dst.String()); err == nil {
+			return u.peer(ap).ap, nil
+		}
+		ua, err := net.ResolveUDPAddr("udp", dst.String())
+		if err != nil {
+			return netip.AddrPort{}, err
+		}
+		return u.peer(ua.AddrPort()).ap, nil
+	}
+}
+
+// TransportStats implements StatsReporter.
+func (u *UDP) TransportStats() (Stats, bool) { return u.snapshot(), true }
 
 // SetReceiver implements Transport.
 func (u *UDP) SetReceiver(r Receiver) {

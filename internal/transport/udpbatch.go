@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Receive-loop modes for the batched UDP engine.
+const (
+	// RecvModePark blocks each shard's read loop on the runtime netpoller
+	// between bursts: zero CPU when idle, one wakeup per burst.
+	RecvModePark = "park"
+	// RecvModeSpin polls the socket with nonblocking recvmmsg for a budget
+	// of iterations before parking: burns a core while hot but shaves the
+	// netpoller wakeup off the receive path for latency-sensitive runs.
+	RecvModeSpin = "spin"
+)
+
+// EnvNoBatch, when set to any non-empty value, forces ListenUDPBatch to
+// return the plain per-frame UDP transport — the force-disable switch the
+// fallback acceptance tests flip to prove the stack runs without any of the
+// batched machinery.
+const EnvNoBatch = "FIREFLYRPC_NOBATCH"
+
+// UDPOptions configures the batched UDP engine. The zero value picks
+// sensible defaults everywhere.
+type UDPOptions struct {
+	// Shards is the number of SO_REUSEPORT receive sockets, each with its
+	// own read loop and interned peer map. 0 means min(NumCPU, 4); 1
+	// disables sharding. The kernel's 4-tuple hash keeps every peer on one
+	// shard, so per-peer delivery order is preserved.
+	Shards int
+	// RecvMode is RecvModePark (default) or RecvModeSpin.
+	RecvMode string
+	// SpinBudget is how many nonblocking polls a spin-mode loop makes
+	// before parking. 0 means a default budget. Ignored in park mode.
+	SpinBudget int
+	// RecvBatch is the recvmmsg vector size per shard. 0 means 32.
+	RecvBatch int
+	// DisableGSO and DisableGRO opt out of kernel segmentation offload even
+	// when the kernel supports it (useful for A/B measurement).
+	DisableGSO bool
+	DisableGRO bool
+}
+
+func (o UDPOptions) withDefaults() (UDPOptions, error) {
+	if o.Shards <= 0 {
+		o.Shards = runtime.NumCPU()
+		if o.Shards > 4 {
+			o.Shards = 4
+		}
+	}
+	if o.RecvBatch <= 0 {
+		o.RecvBatch = 32
+	}
+	if o.SpinBudget <= 0 {
+		o.SpinBudget = 4096
+	}
+	switch o.RecvMode {
+	case "":
+		o.RecvMode = RecvModePark
+	case RecvModePark, RecvModeSpin:
+	default:
+		return o, fmt.Errorf("transport: unknown RecvMode %q", o.RecvMode)
+	}
+	return o, nil
+}
+
+// ListenUDPBatch opens the batched UDP transport on addr. On Linux this is
+// the sendmmsg/recvmmsg engine with GSO/GRO and SO_REUSEPORT sharding; on
+// other platforms it degrades to the per-frame path wrapped so SendBatch
+// still works (BatchEnabled reports false there). Setting EnvNoBatch forces
+// the plain per-frame transport everywhere.
+//
+// Upper layers see exactly the Transport contract either way: frames are
+// ≤ MaxFrame bytes, kernel coalescing and segmentation are invisible, and
+// frames to one peer are never reordered by the transport itself.
+func ListenUDPBatch(addr string, opts UDPOptions) (Transport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if os.Getenv(EnvNoBatch) != "" {
+		return ListenUDP(addr)
+	}
+	return listenUDPBatch(addr, opts)
+}
+
+// batchFallback is the generic ListenUDPBatch result on platforms without
+// the mmsg engine: the per-frame transport with a loop-over-Send SendBatch.
+// BatchEnabled reports false so upper layers don't build batching state for
+// a path that can't amortize anything.
+type batchFallback struct {
+	*UDP
+}
+
+func (b *batchFallback) SendBatch(frames []Frame) (int, error) {
+	for i, f := range frames {
+		if err := b.Send(f.Dst, f.Data); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+func (b *batchFallback) BatchEnabled() bool { return false }

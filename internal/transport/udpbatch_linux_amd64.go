@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// Raw syscall numbers for the message-vector calls. The stdlib syscall
+// package on linux/amd64 defines SYS_RECVMMSG but not SYS_SENDMMSG, and we
+// cannot vendor golang.org/x/net here, so both are pinned explicitly.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Raw syscall numbers for the message-vector calls on linux/arm64.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -1,0 +1,14 @@
+//go:build !(linux && (amd64 || arm64))
+
+package transport
+
+// listenUDPBatch on platforms without the mmsg engine: per-frame transport
+// behind the batchFallback shim, identical semantics, no amortization.
+func listenUDPBatch(addr string, opts UDPOptions) (Transport, error) {
+	_ = opts
+	u, err := ListenUDP(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &batchFallback{UDP: u}, nil
+}

@@ -9,7 +9,11 @@
 # add nothing to a call while tracing is disabled) and run the chaos smoke:
 # faultnet/overload under -race plus one tail-table cell asserting that
 # injected loss inflates p99 without failing calls and that the same seed
-# reproduces the same impairment schedule.
+# reproduces the same impairment schedule. The batched-datapath steps run
+# the transport package under -race, re-run transport/proto/faultnet with
+# FIREFLYRPC_NOBATCH=1 (everything must pass with batching force-disabled),
+# and cross-build for darwin and linux/arm64 so the non-Linux fallback and
+# the arm64 syscall numbers stay compilable.
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -64,5 +68,9 @@ run "alloc budget: tracing disabled" go test -run 'TestTraceDisabledAllocBudget'
 run "sim determinism: trace + timings" go test -run 'TestTraceDeterminism|TestTracerDoesNotPerturb' -count=1 ./internal/sim ./internal/simtrace
 run "chaos smoke: faultnet + overload race" go test -race ./internal/faultnet ./internal/overload
 run "chaos smoke: tail inflation + determinism" go test -run 'TestTailSweepP99Inflation|TestTailSweepDeterministic' -count=1 ./internal/realbench
+run "race: batched transport" go test -race ./internal/transport
+run "batch force-disabled: transport + proto" env FIREFLYRPC_NOBATCH=1 go test -count=1 ./internal/transport ./internal/proto ./internal/faultnet
+run "cross-build: darwin" env GOOS=darwin go build ./...
+run "cross-build: linux/arm64" env GOOS=linux GOARCH=arm64 go build ./...
 
 echo "verify: all checks passed"
