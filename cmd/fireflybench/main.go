@@ -43,6 +43,7 @@ func main() {
 	realCases := flag.String("realcases", "", "comma-separated -real case names (Null, MaxArg, MaxResult); empty = all")
 	realTime := flag.String("realtime", "", "per-cell benchmark time for -real (e.g. 50ms); empty = the testing default (1s)")
 	realMemOnly := flag.Bool("realmem", false, "restrict -real to the in-process exchange transport")
+	realTransport := flag.String("transport", "", "restrict -real to one transport: exchange, udp, udpbatch, or tcp; empty = mem+udp sweep")
 	realCheck := flag.String("realcheck", "", "validate this BENCH_realstack.json and exit")
 	realBatch := flag.Bool("batch", false, "run -real UDP cells over the batched datapath (sendmmsg/GSO); results diff under the @batch namespace")
 	realRecvMode := flag.String("recvmode", "", "batched engine receive mode for -batch: park (default) or spin")
@@ -93,8 +94,12 @@ func main() {
 			}
 			prof = p
 		}
-		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, prof, *faultSeed, *realBatch, *realRecvMode)
+		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, *realTransport, prof, *faultSeed, *realBatch, *realRecvMode)
 		return
+	}
+	if *realTransport != "" {
+		fmt.Fprintln(os.Stderr, "fireflybench: -transport requires -real")
+		os.Exit(2)
 	}
 	if *faulty != "" {
 		fmt.Fprintln(os.Stderr, "fireflybench: -faulty requires -real")
@@ -143,7 +148,7 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, prof *faultnet.Profile, faultSeed uint64, batch bool, recvMode string) {
+func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, transportName string, prof *faultnet.Profile, faultSeed uint64, batch bool, recvMode string) {
 	parse := func(spec, flagName string) []int {
 		var out []int
 		for _, s := range strings.Split(spec, ",") {
@@ -193,6 +198,7 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 		Outstanding: fanout,
 		Cases:       caseNames,
 		MemOnly:     memOnly,
+		Transport:   transportName,
 		Log:         os.Stdout,
 		Profile:     prof,
 		FaultSeed:   faultSeed,

@@ -106,6 +106,19 @@ func TestDebugSurface(t *testing.T) {
 	}
 	if len(sv.Peers) != 1 {
 		t.Errorf("server peer table: %+v", sv.Peers)
+	} else {
+		// The hello handshake ran as part of the traffic above, so the
+		// debug surface must report the negotiated session per peer.
+		p := sv.Peers[0]
+		if p.Session != "negotiated" {
+			t.Errorf("server peer session = %q, want negotiated", p.Session)
+		}
+		if p.SessionVersion == 0 || p.SessionFeatures == 0 {
+			t.Errorf("server peer session version/features = %d/%#x", p.SessionVersion, p.SessionFeatures)
+		}
+		if len(p.FeatureNames) == 0 {
+			t.Errorf("server peer feature names empty (features %#x)", p.SessionFeatures)
+		}
 	}
 
 	// Sub-pages and the expvar surface must parse too.
@@ -182,6 +195,7 @@ func TestDebugSurfaceAdmission(t *testing.T) {
 		`fireflyrpc_admission_queue_depth{conn="adm-server",policy="deadline"}`,
 		`fireflyrpc_admission_shed_total{conn="adm-server",policy="deadline",reason="capacity"} 0`,
 		`counter="calls_shed"`,
+		`fireflyrpc_session_features{conn="adm-server",peer="caller",state="negotiated",version="1"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -174,6 +174,14 @@ func writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "fireflyrpc_transport_max_send_batch{conn=\"%s\"} %d\n", promEscape(names[i]), ts.MaxSendBatch)
 	}
 
+	fmt.Fprint(w, "# TYPE fireflyrpc_session_features gauge\n")
+	for i, c := range conns {
+		for _, p := range c.Peers() {
+			fmt.Fprintf(w, "fireflyrpc_session_features{conn=\"%s\",peer=\"%s\",state=\"%s\",version=\"%d\"} %d\n",
+				promEscape(names[i]), promEscape(p.Addr), promEscape(p.Session), p.SessionVersion, p.SessionFeatures)
+		}
+	}
+
 	fmt.Fprint(w, "# TYPE fireflyrpc_admission_queue gauge\n")
 	for i, c := range conns {
 		as, ok := c.AdmissionStats()

@@ -1,0 +1,21 @@
+package faultnet
+
+import (
+	"testing"
+
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/transport/transporttest"
+)
+
+// TestConformance runs the shared transport contract suite against a
+// zero-profile wrap: fault injection disabled, the wrapper must be a
+// perfectly transparent member of the one transport contract.
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, "FaultnetWrap", func(t *testing.T) (transport.Transport, transport.Transport) {
+		ex := transport.NewExchange()
+		a := Wrap(ex.Port("conf-a"), Profile{}, 1)
+		b := Wrap(ex.Port("conf-b"), Profile{}, 2)
+		t.Cleanup(func() { a.Close(); b.Close() })
+		return a, b
+	})
+}

@@ -139,6 +139,12 @@ func (p *Pending) cancelNotify(cause error) {
 	if already {
 		return
 	}
+	if p.ch.features()&wire.FeatCancel == 0 {
+		// The negotiated session says the peer does not understand cancel
+		// packets; the local call still fails immediately, the server just
+		// wastes one execution (exactly the lost-cancel outcome).
+		return
+	}
 	h := wire.RPCHeader{Type: wire.TypeCancel, Activity: k.activity, Seq: k.seq, FragCount: 1}
 	_ = p.c.sendFrame(p.ch.peer, h, nil)
 }
@@ -210,6 +216,11 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 	}
 	oc.mu.Unlock()
 	ch := c.channelOf(dst)
+	// First contact kicks off session negotiation without waiting: the call
+	// proceeds under the legacy-implied capability set until the peer's
+	// hello-ack lands. Once the channel leaves the unknown state this is a
+	// single atomic load.
+	c.ensureSession(ch)
 	ch.callsMu.Lock()
 	ch.calls[k] = oc
 	ch.callsMu.Unlock()
@@ -241,13 +252,14 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 		Interface: iface,
 		Proc:      proc,
 	}
-	if !deadline.IsZero() {
+	if !deadline.IsZero() && ch.features()&wire.FeatBudget != 0 {
 		// Advertise the remaining budget (ms, saturating) so a server under
 		// admission control can shed this call if it cannot be served in
 		// time. Retransmissions re-send the original stamp; the server
 		// counts budget from each arrival, so a retried call looks slightly
 		// richer than it is — conservative in the right direction (the shed
-		// decision errs toward serving).
+		// decision errs toward serving). Gated on the negotiated session:
+		// a peer that did not advertise FeatBudget never sees the flag.
 		ms := time.Until(deadline) / time.Millisecond
 		if ms < 1 {
 			ms = 1

@@ -44,6 +44,14 @@ type channel struct {
 	// hist is this peer's call-latency histogram, installed lazily on the
 	// first completed call while observability is enabled (metrics.go).
 	hist atomic.Pointer[stats.Hist]
+
+	// sess is the packed session-negotiation word — state, agreed version,
+	// and negotiated feature bits (see session.go). The call path reads it
+	// with one atomic load; the hello state machine advances it by CAS.
+	// helloNonce is the newest hello attempt's nonce, binding ack and
+	// retry-timer processing to that attempt.
+	sess       atomic.Uint64
+	helloNonce atomic.Uint32
 }
 
 func (ch *channel) touch(now time.Time) { ch.lastUsed.Store(now.UnixNano()) }

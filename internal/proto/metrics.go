@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fireflyrpc/internal/stats"
+	"fireflyrpc/internal/wire"
 )
 
 // Latency histograms: while observability is enabled (SetTracing), every
@@ -142,6 +143,14 @@ type PeerInfo struct {
 	Executing        int64         `json:"executing"`
 	IdleFor          time.Duration `json:"idle_ns"`
 	RTT              time.Duration `json:"rtt_ns"` // 0 = no estimate
+
+	// Session negotiation state (session.go): unknown/pending/negotiated/
+	// legacy, the agreed session version (0 until negotiated), the raw
+	// negotiated feature bits, and their names for human readers.
+	Session         string   `json:"session"`
+	SessionVersion  uint16   `json:"session_version"`
+	SessionFeatures uint64   `json:"session_features"`
+	FeatureNames    []string `json:"feature_names,omitempty"`
 }
 
 // Peers snapshots the live peer table.
@@ -165,6 +174,13 @@ func (c *Conn) Peers() []PeerInfo {
 		if last := ch.lastUsed.Load(); last > 0 && now > last {
 			idle = time.Duration(now - last)
 		}
+		sess := ch.sess.Load()
+		var feats uint64
+		var version uint16
+		if sessStateOf(sess) == sessNegotiated {
+			version = sessVersionOf(sess)
+			feats = sessFeaturesOf(sess)
+		}
 		out = append(out, PeerInfo{
 			Addr:             ch.key,
 			OutstandingCalls: calls,
@@ -172,6 +188,10 @@ func (c *Conn) Peers() []PeerInfo {
 			Executing:        ch.executing.Load(),
 			IdleFor:          idle,
 			RTT:              rtt,
+			Session:          sessStateName(sessStateOf(sess)),
+			SessionVersion:   version,
+			SessionFeatures:  feats,
+			FeatureNames:     wire.FeatureNames(feats),
 		})
 	})
 	return out

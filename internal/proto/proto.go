@@ -95,6 +95,19 @@ type Config struct {
 	// (see internal/overload for the policies). Zero keeps the unbounded
 	// channel dispatch, so the fast path is untouched by default.
 	Admission overload.Config
+	// DisableHello makes this endpoint behave as a pre-session binary: it
+	// never initiates hello negotiation and drops hello packets as bad
+	// frames, speaking the implicit v0 legacy session with every peer.
+	// Exists for old-binary interop tests; leave false in production.
+	DisableHello bool
+	// HelloTimeout is the wait per hello attempt before retrying (and,
+	// after the attempts run out, falling back to the legacy session).
+	// Zero means RetransInterval.
+	HelloTimeout time.Duration
+	// AdvertiseFeatures, when non-zero, narrows the feature bitset this
+	// endpoint advertises in hellos (the default is every feature the
+	// binary implements). Used to exercise feature-downgrade paths.
+	AdvertiseFeatures uint64
 }
 
 // DefaultConfig mirrors sensible Firefly-like settings scaled to modern
@@ -135,6 +148,12 @@ type Stats struct {
 	PeersEvicted   int64 // idle peer channels reclaimed
 	CallsShed      int64 // server: calls shed by admission control
 	Overloads      int64 // caller: overload rejections received
+
+	// Session negotiation (see session.go).
+	HellosSent         int64 // hello packets transmitted (incl. retries)
+	SessionsNegotiated int64 // channels that concluded a hello agreement
+	SessionsLegacy     int64 // channels that fell back to the v0 session
+	HelloRejects       int64 // hellos/acks refused for version mismatch
 }
 
 // statCounters is the live, contention-free form of Stats: each event is a
@@ -158,6 +177,11 @@ type statCounters struct {
 	peersEvicted   atomic.Int64
 	callsShed      atomic.Int64
 	overloads      atomic.Int64
+
+	hellosSent         atomic.Int64
+	sessionsNegotiated atomic.Int64
+	sessionsLegacy     atomic.Int64
+	helloRejects       atomic.Int64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -179,6 +203,11 @@ func (s *statCounters) snapshot() Stats {
 		PeersEvicted:   s.peersEvicted.Load(),
 		CallsShed:      s.callsShed.Load(),
 		Overloads:      s.overloads.Load(),
+
+		HellosSent:         s.hellosSent.Load(),
+		SessionsNegotiated: s.sessionsNegotiated.Load(),
+		SessionsLegacy:     s.sessionsLegacy.Load(),
+		HelloRejects:       s.helloRejects.Load(),
 	}
 }
 
@@ -204,6 +233,17 @@ type Conn struct {
 	pingSeq uint32
 
 	activityCtr atomic.Uint64
+
+	// Session negotiation identity (session.go): the version range this
+	// endpoint speaks and the feature set it advertises. Immutable after
+	// NewConn; per-peer negotiation state lives on the channel. The
+	// version fields exist as fields (rather than reading the wire
+	// constants at use sites) so mismatch tests can impersonate a future
+	// binary.
+	helloVersion    uint16
+	helloMinVersion uint16
+	localFeatures   uint64
+	helloNonce      atomic.Uint32
 
 	// Retransmission engine state: a min-heap of pending calls ordered by
 	// next-fire time, drained by the retransLoop goroutine. earliestNs is
@@ -431,6 +471,13 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		workQuit:    make(chan struct{}),
 		retransKick: make(chan struct{}, 1),
 		earliestNs:  int64(1) << 62,
+
+		helloVersion:    wire.SessionVersion,
+		helloMinVersion: wire.SessionMinVersion,
+		localFeatures:   defaultFeatures,
+	}
+	if cfg.AdvertiseFeatures != 0 {
+		c.localFeatures = cfg.AdvertiseFeatures
 	}
 	for i := range c.peers.shards {
 		c.peers.shards[i].peers = make(map[string]*channel)

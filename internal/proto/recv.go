@@ -30,6 +30,10 @@ func (c *Conn) onFrame(src transport.Addr, frame []byte) {
 		c.onReject(src, hdr)
 	case wire.TypeCancel:
 		c.onCancel(src, hdr)
+	case wire.TypeHello:
+		c.onHello(src, hdr, payload)
+	case wire.TypeHelloAck:
+		c.onHelloAck(src, hdr, payload)
 	case wire.TypeProbe:
 		c.stats.probes.Add(1)
 		reply := wire.RPCHeader{Type: wire.TypeProbeReply, Seq: hdr.Seq, FragCount: 1}

@@ -33,7 +33,7 @@ const payloadBytes = 1440
 // Result is one benchmark case.
 type Result struct {
 	Bench       string  `json:"bench"`             // Null | MaxArg | MaxResult
-	Transport   string  `json:"transport"`         // mem | udp
+	Transport   string  `json:"transport"`         // mem | udp | tcp
 	Profile     string  `json:"profile,omitempty"` // faultnet profile name; empty = clean link
 	Batch       bool    `json:"batch,omitempty"`   // batched UDP datapath (sendmmsg/GSO)
 	Threads     int     `json:"threads"`
@@ -86,6 +86,7 @@ type trOpts struct {
 	overUDP  bool
 	batch    bool   // batched UDP engine (ListenUDPBatch) instead of per-frame
 	recvMode string // batched engine receive mode ("" = park)
+	kind     string // "tcp" = multiplexed TCP streams instead of UDP sockets
 }
 
 // pair builds a caller/server node pair over the requested transport.
@@ -99,10 +100,14 @@ func pair(to trOpts, workers int, prof *faultnet.Profile, seed uint64) (*benchPa
 		cfg.Workers = workers
 	}
 	listen := func() (transport.Transport, error) {
-		if to.batch {
+		switch {
+		case to.kind == "tcp":
+			return transport.ListenTCP("127.0.0.1:0", transport.TCPOptions{})
+		case to.batch:
 			return transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{RecvMode: to.recvMode})
+		default:
+			return transport.ListenUDP("127.0.0.1:0")
 		}
-		return transport.ListenUDP("127.0.0.1:0")
 	}
 	var callerTr, serverTr transport.Transport
 	if to.overUDP {
@@ -270,6 +275,13 @@ type Options struct {
 	MemOnly     bool      // skip the UDP loopback transport
 	Log         io.Writer // progress output; nil for quiet
 
+	// Transport restricts the run to one transport: "exchange" (or "mem"),
+	// "udp", "udpbatch" (the batched UDP engine, tagged like Batch), or
+	// "tcp" (multiplexed streams). Empty keeps the default mem+udp sweep.
+	// The transport name is part of every cell's identity, so e.g. tcp
+	// results diff only against tcp baselines.
+	Transport string
+
 	// Profile, when non-nil, wraps every caller transport in a faultnet
 	// impairer; each Result is tagged with the profile name so impaired
 	// cells never diff against a clean baseline.
@@ -329,19 +341,38 @@ func Run(opts Options) Suite {
 	suite := Suite{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Note: "Real-stack Table I analogue: Null/MaxArg/MaxResult over the " +
-			"in-process exchange (mem) and UDP loopback (udp), one client " +
-			"activity per caller thread. Async cells keep N calls in flight " +
-			"from one goroutine via Client.Go/Await.",
+			"in-process exchange (mem), UDP loopback (udp), and multiplexed " +
+			"TCP loopback (tcp), one client activity per caller thread. " +
+			"Async cells keep N calls in flight from one goroutine via " +
+			"Client.Go/Await.",
 	}
-	transports := []struct {
+	type trSel struct {
 		name    string
 		overUDP bool
-	}{{"mem", false}, {"udp", true}}
-	if opts.MemOnly {
-		transports = transports[:1]
+		kind    string
+		batch   bool
+	}
+	var transports []trSel
+	switch opts.Transport {
+	case "":
+		transports = []trSel{{name: "mem"}, {name: "udp", overUDP: true, batch: opts.Batch}}
+		if opts.MemOnly {
+			transports = transports[:1]
+		}
+	case "mem", "exchange":
+		transports = []trSel{{name: "mem"}}
+	case "udp":
+		transports = []trSel{{name: "udp", overUDP: true, batch: opts.Batch}}
+	case "udpbatch":
+		transports = []trSel{{name: "udp", overUDP: true, batch: true}}
+	case "tcp":
+		transports = []trSel{{name: "tcp", overUDP: true, kind: "tcp"}}
+	default:
+		logf("  unknown transport %q (want exchange, udp, udpbatch, or tcp)\n", opts.Transport)
+		return suite
 	}
 	for _, tr := range transports {
-		to := trOpts{overUDP: tr.overUDP, batch: opts.Batch && tr.overUDP, recvMode: opts.RecvMode}
+		to := trOpts{overUDP: tr.overUDP, batch: tr.batch, recvMode: opts.RecvMode, kind: tr.kind}
 		for _, c := range cases {
 			if !opts.wantCase(c.name) {
 				continue

@@ -1,0 +1,287 @@
+// Package simnet adapts the simulator's Ethernet model to the real
+// transport contract, closing the loop between the repo's two stacks: the
+// same protocol engine that runs over UDP or TCP sockets can run over the
+// modeled 10 Mbit/s segment (internal/ether) driven by the discrete-event
+// kernel (internal/sim), with the kernel's virtual clock advanced lazily
+// as traffic flows.
+//
+// The adapter inverts the simulator's usual control flow. A model owns the
+// kernel and calls Run once; here arbitrary goroutines call Send, so the
+// net serializes them through a pump goroutine: Send enqueues the frame
+// and returns, the pump transmits queued frames onto the segment, runs the
+// kernel until the event queue drains, and then invokes receivers with
+// whatever the wire delivered. Receivers run on the pump goroutine with no
+// simnet lock held, so a receiver that sends (the protocol answers acks
+// from its receive callback) simply re-enqueues for the next sweep. The
+// pump being a dedicated goroutine — rather than the sending goroutine —
+// is load-bearing: the protocol retransmits while holding per-call locks,
+// and a synchronous in-Send delivery of that call's own result would
+// deadlock on them.
+//
+// Frames cross the segment with real Ethernet framing (wire.EthernetHeader,
+// EtherTypeRawRPC) and a 10 Mbit/s transmission-time model, so the virtual
+// clock, medium utilization, and fault injection (Segment.SetFaulter /
+// LossRate) all behave exactly as they do under the simulator proper.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/wire"
+)
+
+// MaxFrame keeps the simulated transport on the same single-packet budget
+// as every real transport.
+const MaxFrame = wire.RPCHeaderLen + wire.MaxSinglePacketPayload
+
+// Net is one simulated Ethernet segment with transport endpoints attached.
+// The kernel and segment are only touched under mu (the pump holds it
+// across each transmit-and-run sweep), so endpoints may be attached and
+// queried while traffic flows.
+type Net struct {
+	k   *sim.Kernel
+	seg *ether.Segment
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	byName   map[string]*Endpoint
+	byMAC    map[wire.MAC]*Endpoint
+	nextHost uint32
+	sendq    []outFrame
+	closed   bool
+
+	// inbox collects deliveries during a kernel run; only the pump touches
+	// it, so it needs no further locking.
+	inbox []inFrame
+}
+
+type outFrame struct {
+	src *Endpoint
+	buf []byte // Ethernet-framed
+}
+
+type inFrame struct {
+	src, dst *Endpoint
+	payload  []byte
+}
+
+// New creates an empty segment on a fresh kernel seeded for determinism
+// (of the wire model; goroutine arrival order is still the scheduler's).
+func New(seed uint64) *Net {
+	k := sim.NewKernel(seed)
+	n := &Net{
+		k:      k,
+		seg:    ether.NewSegment(k),
+		byName: make(map[string]*Endpoint),
+		byMAC:  make(map[wire.MAC]*Endpoint),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	go n.pump()
+	return n
+}
+
+// Kernel exposes the simulation kernel for pre-traffic setup (installing a
+// faulter, tracer, …). Once traffic flows, the pump owns it; use Now for a
+// synchronized clock read.
+func (n *Net) Kernel() *sim.Kernel { return n.k }
+
+// Segment exposes the modeled wire for pre-traffic setup (SetFaulter,
+// LossRate). Use SegmentStats for synchronized counter reads.
+func (n *Net) Segment() *ether.Segment { return n.seg }
+
+// Now reads the virtual clock, synchronized against the pump.
+func (n *Net) Now() sim.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.k.Now()
+}
+
+// SegmentStats reads the wire's counters, synchronized against the pump.
+func (n *Net) SegmentStats() ether.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seg.Stats()
+}
+
+// simAddr names an endpoint; one value interned per endpoint.
+type simAddr struct{ str string }
+
+func (a *simAddr) String() string  { return a.str }
+func (a *simAddr) Network() string { return "sim" }
+
+// AddrOf names an endpoint on any Net.
+func AddrOf(name string) transport.Addr { return &simAddr{str: name} }
+
+// Endpoint is one station on the segment, satisfying transport.Transport.
+type Endpoint struct {
+	net  *Net
+	addr *simAddr
+	mac  wire.MAC
+	port *ether.Port
+
+	recvMu sync.RWMutex
+	recv   transport.Receiver
+	closed atomic.Bool
+
+	sendFrames atomic.Int64
+	recvFrames atomic.Int64
+}
+
+// Endpoint attaches a new station. name must be unique; empty picks one.
+func (n *Net) Endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("sim-%d", n.nextHost+1)
+	}
+	if _, dup := n.byName[name]; dup {
+		panic("simnet: duplicate endpoint " + name)
+	}
+	n.nextHost++
+	ep := &Endpoint{
+		net:  n,
+		addr: &simAddr{str: name},
+		mac:  wire.MACForHost(n.nextHost),
+	}
+	ep.port = n.seg.Attach(ep.mac, func(frame []byte) { n.onWireDeliver(ep, frame) })
+	n.byName[name] = ep
+	n.byMAC[ep.mac] = ep
+	return ep
+}
+
+// onWireDeliver runs in kernel event context (inside the pump's sweep): it
+// parses the Ethernet framing and queues the payload for delivery after
+// the kernel settles.
+func (n *Net) onWireDeliver(dst *Endpoint, frame []byte) {
+	hdr, payload, err := wire.UnmarshalEthernet(frame)
+	if err != nil || hdr.EtherType != wire.EtherTypeRawRPC {
+		return
+	}
+	src := n.byMAC[hdr.Src]
+	if src == nil {
+		return
+	}
+	n.inbox = append(n.inbox, inFrame{src: src, dst: dst, payload: payload})
+}
+
+// txTime models the 10 Mbit/s wire: 0.8 µs per byte.
+func txTime(bytes int) sim.Duration { return sim.MicrosF(float64(bytes) * 0.8) }
+
+// Send implements Transport: the frame is queued for the pump and
+// delivered asynchronously, like any real NIC ring.
+func (ep *Endpoint) Send(dst transport.Addr, frame []byte) error {
+	if ep.closed.Load() {
+		return transport.ErrClosed
+	}
+	if len(frame) > MaxFrame {
+		return transport.ErrFrameTooLarge
+	}
+	n := ep.net
+	n.mu.Lock()
+	target := n.byName[dst.String()]
+	if target == nil || target.closed.Load() {
+		n.mu.Unlock()
+		return nil // silently lost, like the wire
+	}
+	buf := make([]byte, wire.EthernetHeaderLen+len(frame))
+	h := wire.EthernetHeader{Dst: target.mac, Src: ep.mac, EtherType: wire.EtherTypeRawRPC}
+	h.MarshalTo(buf)
+	copy(buf[wire.EthernetHeaderLen:], frame)
+	n.sendq = append(n.sendq, outFrame{src: ep, buf: buf})
+	ep.sendFrames.Add(1)
+	n.cond.Signal()
+	n.mu.Unlock()
+	return nil
+}
+
+// pump is the net's single worker: transmit queued frames, run the kernel
+// to quiescence (both under mu), then invoke receivers with no lock held
+// so they can Send.
+func (n *Net) pump() {
+	for {
+		n.mu.Lock()
+		for len(n.sendq) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		batch := n.sendq
+		n.sendq = nil
+		for _, of := range batch {
+			if of.src.closed.Load() {
+				continue
+			}
+			of.src.port.Transmit(of.buf, txTime(len(of.buf)), nil)
+		}
+		n.k.Run()
+		inbox := n.inbox
+		n.inbox = nil
+		n.mu.Unlock()
+
+		for _, d := range inbox {
+			if d.dst.closed.Load() {
+				continue
+			}
+			d.dst.recvMu.RLock()
+			recv := d.dst.recv
+			d.dst.recvMu.RUnlock()
+			if recv != nil {
+				d.dst.recvFrames.Add(1)
+				recv(d.src.addr, d.payload)
+			}
+		}
+	}
+}
+
+// Close stops the pump goroutine; in-queue frames are discarded. Endpoints
+// keep rejecting Sends individually via their own Close.
+func (n *Net) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+// SetReceiver implements Transport.
+func (ep *Endpoint) SetReceiver(r transport.Receiver) {
+	ep.recvMu.Lock()
+	ep.recv = r
+	ep.recvMu.Unlock()
+}
+
+// LocalAddr implements Transport.
+func (ep *Endpoint) LocalAddr() transport.Addr { return ep.addr }
+
+// MaxFrame implements Transport.
+func (ep *Endpoint) MaxFrame() int { return MaxFrame }
+
+// Close implements Transport. Frames already on the wire to this endpoint
+// are dropped at delivery, like powering off a station.
+func (ep *Endpoint) Close() error {
+	if ep.closed.Swap(true) {
+		return nil
+	}
+	n := ep.net
+	n.mu.Lock()
+	delete(n.byName, ep.addr.str)
+	n.mu.Unlock()
+	return nil
+}
+
+// TransportStats implements transport.StatsReporter: frame counts only
+// (the simulated wire has no syscall batching to meter).
+func (ep *Endpoint) TransportStats() (transport.Stats, bool) {
+	return transport.Stats{
+		SendFrames:  ep.sendFrames.Load(),
+		SendBatches: ep.sendFrames.Load(),
+		RecvFrames:  ep.recvFrames.Load(),
+		RecvBatches: ep.recvFrames.Load(),
+	}, true
+}

@@ -1,0 +1,63 @@
+package transport_test
+
+import (
+	"testing"
+
+	"fireflyrpc/internal/transport"
+	"fireflyrpc/internal/transport/transporttest"
+)
+
+// TestConformance runs the shared contract suite against every bundled
+// transport: the point of the one-transport-contract invariant is that
+// these all behave identically from the protocol layer's seat.
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, "Exchange", func(t *testing.T) (transport.Transport, transport.Transport) {
+		ex := transport.NewExchange()
+		a := ex.Port("conf-a")
+		b := ex.Port("conf-b")
+		t.Cleanup(func() { a.Close(); b.Close() })
+		return a, b
+	})
+
+	transporttest.Run(t, "UDP", func(t *testing.T) (transport.Transport, transport.Transport) {
+		a, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenUDP: %v", err)
+		}
+		t.Cleanup(func() { a.Close() })
+		b, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenUDP: %v", err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return a, b
+	})
+
+	transporttest.Run(t, "UDPBatch", func(t *testing.T) (transport.Transport, transport.Transport) {
+		a, err := transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{})
+		if err != nil {
+			t.Fatalf("ListenUDPBatch: %v", err)
+		}
+		t.Cleanup(func() { a.Close() })
+		b, err := transport.ListenUDPBatch("127.0.0.1:0", transport.UDPOptions{})
+		if err != nil {
+			t.Fatalf("ListenUDPBatch: %v", err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return a, b
+	})
+
+	transporttest.Run(t, "TCP", func(t *testing.T) (transport.Transport, transport.Transport) {
+		a, err := transport.ListenTCP("127.0.0.1:0", transport.TCPOptions{})
+		if err != nil {
+			t.Fatalf("ListenTCP: %v", err)
+		}
+		t.Cleanup(func() { a.Close() })
+		b, err := transport.ListenTCP("127.0.0.1:0", transport.TCPOptions{})
+		if err != nil {
+			t.Fatalf("ListenTCP: %v", err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return a, b
+	})
+}

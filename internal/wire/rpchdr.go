@@ -32,6 +32,15 @@ const (
 	// advisory and best-effort, like everything else on a lossy datagram
 	// transport — a lost cancel merely wastes one execution.
 	TypeCancel
+	// TypeHello opens session negotiation with a peer: the payload (see
+	// hello.go) carries the sender's session version range and feature
+	// bitset; Seq carries a nonce echoed by the ack. A pre-hello binary
+	// counts it as a bad frame and stays silent, which is the legacy
+	// fallback signal.
+	TypeHello
+	// TypeHelloAck answers a hello with the agreed version (0 = no common
+	// version, stay legacy) and feature intersection, echoing the nonce.
+	TypeHelloAck
 )
 
 // String names the packet type.
@@ -51,6 +60,10 @@ func (t PacketType) String() string {
 		return "reject"
 	case TypeCancel:
 		return "cancel"
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

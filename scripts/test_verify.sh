@@ -110,7 +110,29 @@ case "$out" in
 *) fail "chaos-smoke failure did not print 'FAIL: chaos smoke' (got: $out)" ;;
 esac
 
-# 6. Unknown flags are rejected with a usage error.
+# 6. A failure in the session-negotiation race step must propagate — the
+# hello handshake gate is part of the contract like every other step.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*TestSession*) exit 11 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a session-negotiation failure"
+case "$out" in
+*"FAIL: race: session-negotiation"*) ;;
+*) fail "session-negotiation failure did not print its step (got: $out)" ;;
+esac
+
+# 7. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

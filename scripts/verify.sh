@@ -13,7 +13,11 @@
 # the transport package under -race, re-run transport/proto/faultnet with
 # FIREFLYRPC_NOBATCH=1 (everything must pass with batching force-disabled),
 # and cross-build for darwin and linux/arm64 so the non-Linux fallback and
-# the arm64 syscall numbers stay compilable.
+# the arm64 syscall numbers stay compilable. The session steps race the
+# hello handshake (negotiation under loss, legacy fallback, racing first
+# calls) and run the transport conformance suite over TCP, the simulated
+# Ethernet, and the faultnet wrapper, so every Transport keeps the one
+# shared contract.
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -69,6 +73,9 @@ run "sim determinism: trace + timings" go test -run 'TestTraceDeterminism|TestTr
 run "chaos smoke: faultnet + overload race" go test -race ./internal/faultnet ./internal/overload
 run "chaos smoke: tail inflation + determinism" go test -run 'TestTailSweepP99Inflation|TestTailSweepDeterministic' -count=1 ./internal/realbench
 run "race: batched transport" go test -race ./internal/transport
+run "race: session-negotiation" go test -race -run 'TestSession' ./internal/proto
+run "tcp transport: conformance + proto" go test -count=1 -run 'TestTCP|TestConformance' ./internal/transport
+run "transport conformance: sim + faultnet" go test -count=1 -run 'TestConformance|TestProtoOver' ./internal/simnet ./internal/faultnet
 run "batch force-disabled: transport + proto" env FIREFLYRPC_NOBATCH=1 go test -count=1 ./internal/transport ./internal/proto ./internal/faultnet
 run "cross-build: darwin" env GOOS=darwin go build ./...
 run "cross-build: linux/arm64" env GOOS=linux GOARCH=arm64 go build ./...
