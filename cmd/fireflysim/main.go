@@ -1,0 +1,116 @@
+// Command fireflysim executes a JSON runbook — a declarative macro-scenario
+// over N simulated nodes (internal/runbook) — and turns its assertion
+// outcome into an exit status:
+//
+//	0  the run completed and every assertion passed
+//	1  the run completed but an assertion failed (or -validate found a bad file)
+//	2  the runbook could not be loaded or executed
+//
+// Runs are seed-deterministic: the same runbook and seed produce a
+// byte-identical results JSON (-o) and trace (-trace) on every run.
+//
+// Usage:
+//
+//	fireflysim -f runbooks/overload_deadline.json -o results.json
+//	fireflysim -validate runbooks/*.json
+//	fireflysim -f runbooks/clean_baseline.json -serve :8080 -pace 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"fireflyrpc/internal/debughttp"
+	"fireflyrpc/internal/runbook"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		file      = flag.String("f", "", "runbook `file` to execute")
+		validate  = flag.Bool("validate", false, "validate the argument runbook files and exit")
+		out       = flag.String("o", "", "write the machine-readable results JSON to `file`")
+		tracePath = flag.String("trace", "", "write a Perfetto-compatible trace JSON to `file`")
+		seed      = flag.Uint64("seed", 0, "override the runbook's seed")
+		quiet     = flag.Bool("q", false, "suppress the human-readable report")
+		serve     = flag.String("serve", "", "serve the live debug surface on `addr` during the run")
+		pace      = flag.Float64("pace", 0, "wall-clock pacing factor (1 = virtual real time, 0 = as fast as possible)")
+	)
+	flag.Parse()
+
+	if *validate {
+		paths := flag.Args()
+		if *file != "" {
+			paths = append([]string{*file}, paths...)
+		}
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "fireflysim: -validate needs runbook files as arguments")
+			return 2
+		}
+		bad := false
+		for _, p := range paths {
+			if _, err := runbook.Load(p); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				bad = true
+			} else if !*quiet {
+				fmt.Printf("ok %s\n", p)
+			}
+		}
+		if bad {
+			return 1
+		}
+		return 0
+	}
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "fireflysim: -f runbook.json required (or -validate file...)")
+		flag.Usage()
+		return 2
+	}
+	opts := runbook.Options{Seed: *seed, Pace: *pace}
+	var traceFile *os.File
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fireflysim:", err)
+			return 2
+		}
+		traceFile = tf
+		opts.Trace = tf
+	}
+	if *serve != "" {
+		opts.DebugName = "fireflysim"
+		srv := &http.Server{Addr: *serve, Handler: debughttp.Handler()}
+		go srv.ListenAndServe()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fireflysim: live debug surface on http://%s/debug/rpc/sim\n", *serve)
+	}
+
+	rep, err := runbook.ExecuteFile(*file, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fireflysim:", err)
+		return 2
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fireflysim:", err)
+			return 2
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fireflysim:", err)
+			return 2
+		}
+	}
+	if !*quiet {
+		rep.Render(os.Stdout)
+	}
+	if !rep.Pass {
+		return 1
+	}
+	return 0
+}

@@ -75,6 +75,17 @@ type Faulter interface {
 	Frame(size int) Fault
 }
 
+// LinkFaulter is a Faulter that also sees the frame's addressing, so a
+// multi-node fabric can impair each (src, dst) link independently — the
+// runbook executor's per-link profiles hang off this. When the installed
+// faulter implements LinkFaulter, the segment calls LinkFrame instead of
+// Frame; dst is the zero MAC for frames whose Ethernet header fails to
+// parse, so implementations still consume exactly one decision per frame.
+type LinkFaulter interface {
+	Faulter
+	LinkFrame(src, dst wire.MAC, size int) Fault
+}
+
 // SetFaulter installs (nil removes) the segment's fault-injection hook.
 func (s *Segment) SetFaulter(f Faulter) { s.faulter = f }
 
@@ -83,9 +94,16 @@ func (s *Segment) Medium() *sim.Resource { return s.medium }
 
 // NewSegment creates an empty segment on the kernel's clock.
 func NewSegment(k *sim.Kernel) *Segment {
+	return NewSegmentNamed(k, "ethernet")
+}
+
+// NewSegmentNamed creates a segment whose medium resource carries the given
+// name, so fabrics with many segments (one per node pair) stay tellable
+// apart in utilization reports and on the debug surface.
+func NewSegmentNamed(k *sim.Kernel, name string) *Segment {
 	return &Segment{
 		k:        k,
-		medium:   sim.NewResource(k, "ethernet", 1),
+		medium:   sim.NewResource(k, name, 1),
 		stations: make(map[wire.MAC]*Port),
 	}
 }
@@ -130,12 +148,20 @@ func (p *Port) Transmit(frame []byte, txTime sim.Duration, onSent func()) {
 		if onSent != nil {
 			onSent()
 		}
+		hdr, _, err := wire.UnmarshalEthernet(frame)
 		fv := NoFault()
 		if s.faulter != nil {
-			fv = s.faulter.Frame(len(frame))
+			if lf, ok := s.faulter.(LinkFaulter); ok {
+				dst := wire.MAC{}
+				if err == nil {
+					dst = hdr.Dst
+				}
+				fv = lf.LinkFrame(p.mac, dst, len(frame))
+			} else {
+				fv = s.faulter.Frame(len(frame))
+			}
 		}
 		lost := fv.Drop || (s.LossRate > 0 && s.k.RNG().Float64() < s.LossRate)
-		hdr, _, err := wire.UnmarshalEthernet(frame)
 		if tr := s.tracer; tr != nil {
 			dstName := ""
 			if err == nil {

@@ -18,6 +18,7 @@ import (
 	"fireflyrpc/internal/faultnet"
 	"fireflyrpc/internal/overload"
 	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/runbook"
 	"fireflyrpc/internal/stats"
 	"fireflyrpc/internal/testsvc"
 	"fireflyrpc/internal/transport"
@@ -50,21 +51,23 @@ type TailCell struct {
 // TailSweep runs every loss×threads cell. Cells with the same options and
 // seed reproduce the same impairment schedule run to run.
 func TailSweep(opts TailOptions) ([]TailCell, error) {
+	// Defaults come from the canonical scenario grid shared with the
+	// committed runbooks, so both suites probe the same operating points.
 	losses := opts.Losses
 	if len(losses) == 0 {
-		losses = []float64{0, 0.01, 0.10}
+		losses = runbook.TailLosses
 	}
 	threads := opts.Threads
 	if len(threads) == 0 {
-		threads = []int{1, 4}
+		threads = runbook.TailThreads
 	}
 	calls := opts.CallsPerThread
 	if calls == 0 {
-		calls = 2000
+		calls = runbook.TailCallsPerThread
 	}
 	seed := opts.Seed
 	if seed == 0 {
-		seed = 1
+		seed = runbook.TailSeed
 	}
 	var cells []TailCell
 	for _, loss := range losses {
@@ -178,23 +181,27 @@ type OverloadCell struct {
 // serves only the dead), while deadline shedding keeps goodput near the
 // unsaturated baseline.
 func OverloadSweep(opts OverloadOptions) ([]OverloadCell, error) {
+	// Defaults come from the canonical operating point shared with the
+	// committed runbooks (runbook.DefaultOverload), so the real-stack sweep
+	// and the overload runbooks measure the same saturation regime.
+	canon := runbook.DefaultOverload()
 	if opts.ServiceUs == 0 {
-		opts.ServiceUs = 1000
+		opts.ServiceUs = canon.ServiceUs
 	}
 	if opts.Workers == 0 {
-		opts.Workers = 2
+		opts.Workers = canon.Workers
 	}
 	if opts.Callers == 0 {
-		opts.Callers = 24
+		opts.Callers = canon.Callers
 	}
 	if opts.Capacity == 0 {
-		opts.Capacity = 256
+		opts.Capacity = canon.Capacity
 	}
 	if opts.Timeout == 0 {
-		opts.Timeout = 5 * time.Millisecond
+		opts.Timeout = canon.Timeout
 	}
 	if opts.Duration == 0 {
-		opts.Duration = 500 * time.Millisecond
+		opts.Duration = canon.Duration
 	}
 	cells := []struct {
 		name    string

@@ -1,0 +1,239 @@
+package runbook
+
+import (
+	"io"
+	"time"
+
+	"fireflyrpc/internal/debughttp"
+	"fireflyrpc/internal/faultnet"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/simtrace"
+	"fireflyrpc/internal/wire"
+)
+
+// Options tunes one execution without touching the runbook itself.
+type Options struct {
+	// Seed overrides the runbook's seed when non-zero.
+	Seed uint64
+	// Trace, when non-nil, receives a Perfetto-compatible JSON trace of the
+	// run's wire traffic. Tracing never perturbs results.
+	Trace io.Writer
+	// DebugName, when non-empty, registers the running kernel on the
+	// debughttp live surface under /sim/<name> for the run's duration.
+	DebugName string
+	// Pace, when positive, sleeps Pace× virtual time per executor slice so
+	// a human (or the debug surface) can watch the run unfold. Pacing is
+	// wall-clock only; virtual results are identical.
+	Pace float64
+}
+
+// exec is one run's mutable state. Everything happens inside kernel event
+// context on virtual time — no goroutines, no wall clock — which is what
+// makes a run a pure function of (runbook, seed).
+type exec struct {
+	spec   *Spec
+	k      *sim.Kernel
+	fab    *fabric
+	nodes  []*node
+	byName map[string]*node
+	byMAC  map[wire.MAC]*node
+	wls    []*workloadRun
+	links  []execLink
+
+	calls      map[uint64]*call
+	nextCallID uint64
+
+	rto, rtoMax sim.Duration
+	maxRetries  int
+	warmupEnd   sim.Time
+
+	identity identityAcc
+}
+
+// execLink pairs a declared link with its running impairment engine.
+type execLink struct {
+	a, b *node
+	im   *faultnet.Impairer
+}
+
+// identityAcc accumulates the stage-accounting identity over calls that
+// completed without retransmission: the four stage stamps come
+// independently from the client and server sides of each call, and their
+// sum must reproduce the client's end-to-end latency. Drift means the
+// executor is mis-attributing time between stages.
+type identityAcc struct {
+	calls                                        int64
+	e2eNs, reqWireNs, queueNs, svcNs, respWireNs int64
+}
+
+func (ia *identityAcc) add(c *call, st *srvCall, now sim.Time) {
+	ia.calls++
+	ia.e2eNs += int64(now.Sub(c.start))
+	ia.reqWireNs += int64(st.arrive.Sub(c.start))
+	ia.queueNs += int64(st.svcStart.Sub(st.arrive))
+	ia.svcNs += int64(st.svcEnd.Sub(st.svcStart))
+	ia.respWireNs += int64(now.Sub(st.svcEnd))
+}
+
+// counting reports whether the run is past its warmup boundary; metrics
+// only accumulate once it is.
+func (ex *exec) counting() bool { return ex.k.Now() >= ex.warmupEnd }
+
+// resultBytes returns a workload's response padding for the server side.
+func (ex *exec) resultBytes(wl uint32) int {
+	if int(wl) < len(ex.wls) {
+		return ex.wls[wl].spec.ResultBytes
+	}
+	return 0
+}
+
+// argBytes returns a workload's request padding.
+func (ex *exec) argBytes(wl uint32) int {
+	if int(wl) < len(ex.wls) {
+		return ex.wls[wl].spec.ArgBytes
+	}
+	return 0
+}
+
+// ExecuteFile loads and executes a runbook file.
+func ExecuteFile(path string, opts Options) (*Report, error) {
+	spec, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(spec, opts)
+}
+
+// Execute runs a runbook to completion and returns its report. The report
+// (and the optional trace) is byte-identical across runs of the same
+// runbook with the same seed.
+func Execute(spec *Spec, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := spec.seed()
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	k := sim.NewKernel(seed)
+	ex := &exec{
+		spec:       spec,
+		k:          k,
+		byName:     make(map[string]*node),
+		byMAC:      make(map[wire.MAC]*node),
+		calls:      make(map[uint64]*call),
+		rto:        sim.Duration(spec.rto()),
+		rtoMax:     sim.Duration(spec.rtoMax()),
+		maxRetries: spec.maxRetries(),
+		warmupEnd:  sim.Time(0).Add(sim.Duration(spec.Warmup)),
+	}
+	for i := range spec.Nodes {
+		n := newNode(ex, i, &spec.Nodes[i])
+		ex.nodes = append(ex.nodes, n)
+		ex.byName[n.spec.Name] = n
+		ex.byMAC[n.mac] = n
+	}
+	ex.fab = newFabric(k, spec)
+	ex.fab.attach(ex.nodes, ex.deliver)
+	for i := range spec.Links {
+		l := &spec.Links[i]
+		a, b := ex.byName[l.A], ex.byName[l.B]
+		// Each link's fault schedule gets its own decorrelated seed stream.
+		im := ex.fab.addLink(a, b, l.Profile(), seed^(uint64(i+1)*0x9E3779B97F4A7C15))
+		ex.links = append(ex.links, execLink{a: a, b: b, im: im})
+	}
+	var builder *simtrace.Builder
+	if opts.Trace != nil {
+		builder = simtrace.NewBuilder(k)
+		ex.fab.attachTracer(builder, ex.nodes)
+	}
+	for i := range spec.Workloads {
+		ex.wls = append(ex.wls, newWorkloadRun(ex, uint32(i), &spec.Workloads[i]))
+	}
+
+	// The warmup reset is scheduled before any workload event, so at the
+	// warmup instant it fires ahead of same-instant arrivals.
+	if spec.Warmup > 0 {
+		k.At(ex.warmupEnd, ex.resetMetrics)
+	}
+	for _, w := range ex.wls {
+		w := w
+		k.At(sim.Time(0).Add(sim.Duration(w.spec.Start)), w.begin)
+	}
+
+	if opts.DebugName != "" {
+		debughttp.RegisterSim(opts.DebugName, k)
+		defer debughttp.UnregisterSim(opts.DebugName)
+	}
+
+	// Run in fixed virtual slices: RunUntil advances the clock even when
+	// the event queue drains, and slicing gives pacing (and the live debug
+	// surface) a steady cadence to observe.
+	end := sim.Time(0).Add(sim.Duration(spec.Duration))
+	const slice = 50 * time.Millisecond
+	for t := sim.Time(0); t < end; {
+		t = t.Add(slice)
+		if t > end {
+			t = end
+		}
+		k.RunUntil(t)
+		if opts.Pace > 0 {
+			time.Sleep(time.Duration(opts.Pace * float64(slice)))
+		}
+	}
+
+	rep := ex.buildReport(seed)
+	if builder != nil {
+		if _, err := builder.WriteTo(opts.Trace); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// resetMetrics is the warmup-boundary event.
+func (ex *exec) resetMetrics() {
+	for _, w := range ex.wls {
+		w.resetMetrics()
+	}
+	for _, n := range ex.nodes {
+		n.resetMetrics()
+	}
+	ex.identity = identityAcc{}
+}
+
+// deliver is the fabric's receive path: every frame addressed to a node
+// lands here in event context.
+func (ex *exec) deliver(dst *node, frame []byte) {
+	hdr, payload, err := wire.UnmarshalEthernet(frame)
+	if err != nil || hdr.EtherType != wire.EtherTypeRawRPC {
+		return
+	}
+	src := ex.byMAC[hdr.Src]
+	if src == nil {
+		return
+	}
+	f, ok := parseFrame(payload)
+	if !ok {
+		// A corrupted frame fails its checksum and is dropped here, exactly
+		// as a checksumming receive path behaves; the RTO recovers the call.
+		if ex.counting() {
+			dst.corruptDrops++
+		}
+		return
+	}
+	switch f.kind {
+	case kindReq:
+		dst.onRequest(src, f)
+	case kindResp, kindReject:
+		c := ex.calls[f.callID]
+		if c == nil || c.done || c.wl.client != dst {
+			return // late, duplicate, or misdelivered reply
+		}
+		if f.kind == kindResp {
+			c.wl.onResponse(c)
+		} else {
+			c.wl.onReject(c)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package runbook
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// loadCommitted loads a runbook from the repo's committed scenario suite.
+func loadCommitted(t *testing.T, name string) *Spec {
+	t.Helper()
+	s, err := Load(filepath.Join("..", "..", "runbooks", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return s
+}
+
+// TestRunbookDeterminism is the suite's core invariant: the same runbook and
+// seed produce a byte-identical results JSON, while changing the seed or any
+// scenario field changes the report. loss_tail_1pct exercises the fault
+// engine's randomness, Poisson-free closed loops, and retransmission.
+func TestRunbookDeterminism(t *testing.T) {
+	spec := loadCommitted(t, "loss_tail_1pct.json")
+	rep1, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	rep2, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(rep1.JSON(), rep2.JSON()) {
+		t.Fatalf("same runbook + seed produced different reports:\n--- run 1\n%s\n--- run 2\n%s", rep1.JSON(), rep2.JSON())
+	}
+
+	reseeded, err := Execute(spec, Options{Seed: 99})
+	if err != nil {
+		t.Fatalf("reseeded run: %v", err)
+	}
+	if bytes.Equal(rep1.JSON(), reseeded.JSON()) {
+		t.Fatalf("changing the seed did not change the report")
+	}
+
+	bumped := loadCommitted(t, "loss_tail_1pct.json")
+	bumped.Links[0].AtoB.Drop = 0.05
+	bumpedRep, err := Execute(bumped, Options{})
+	if err != nil {
+		t.Fatalf("bumped run: %v", err)
+	}
+	if bytes.Equal(rep1.JSON(), bumpedRep.JSON()) {
+		t.Fatalf("changing the drop rate did not change the report")
+	}
+}
+
+// TestTraceDoesNotPerturb: enabling the Perfetto trace must not change the
+// report, and the trace itself must be deterministic.
+func TestTraceDoesNotPerturb(t *testing.T) {
+	spec := loadCommitted(t, "clean_baseline.json")
+	plain, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr1, tr2 bytes.Buffer
+	traced1, err := Execute(spec, Options{Trace: &tr1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced2, err := Execute(spec, Options{Trace: &tr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.JSON(), traced1.JSON()) {
+		t.Fatalf("tracing changed the report")
+	}
+	if tr1.Len() == 0 {
+		t.Fatalf("trace output empty")
+	}
+	if !bytes.Equal(tr1.Bytes(), tr2.Bytes()) {
+		t.Fatalf("same-seed traces differ")
+	}
+	if traced2.Pass != traced1.Pass {
+		t.Fatalf("pass verdict unstable")
+	}
+}
+
+// TestOverloadRunbookPolicyFlip is the suite's acceptance gate: the
+// committed overload_deadline runbook passes as written, and flipping only
+// the admission policy to FIFO makes its goodput-floor assertion fail —
+// demonstrating the assertions detect the policy regression they exist for.
+func TestOverloadRunbookPolicyFlip(t *testing.T) {
+	spec := loadCommitted(t, "overload_deadline.json")
+	rep, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("overload_deadline should pass as committed:\n%s", rep.JSON())
+	}
+
+	flipped := loadCommitted(t, "overload_deadline.json")
+	var server *NodeSpec
+	for i := range flipped.Nodes {
+		if flipped.Nodes[i].Name == "server" {
+			server = &flipped.Nodes[i]
+		}
+	}
+	if server == nil || server.Admission.Policy != "deadline" {
+		t.Fatalf("runbook shape changed; expected a deadline-admission server node")
+	}
+	server.Admission.Policy = "fifo"
+	flippedRep, err := Execute(flipped, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flippedRep.Pass {
+		t.Fatalf("FIFO flip should fail the runbook:\n%s", flippedRep.JSON())
+	}
+	goodputFailed := false
+	for _, a := range flippedRep.Assertions {
+		if strings.HasSuffix(a.ID, "/goodput_min_per_sec") && !a.Pass {
+			goodputFailed = true
+		}
+	}
+	if !goodputFailed {
+		t.Fatalf("FIFO flip failed, but not on the goodput floor:\n%s", flippedRep.JSON())
+	}
+}
+
+// TestCommittedRunbooksPass executes every runbook in the committed suite:
+// a committed runbook that fails its own assertions is a broken CI gate.
+func TestCommittedRunbooksPass(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "runbooks", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed runbooks found: %v", err)
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			rep, err := ExecuteFile(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				var buf bytes.Buffer
+				rep.Render(&buf)
+				t.Fatalf("committed runbook fails its assertions:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestCIMatrixCoversAllRunbooks pins the CI scenario-suite matrix to the
+// committed runbook set: adding a runbook without adding it to the matrix
+// (or vice versa) fails here rather than silently skipping coverage.
+func TestCIMatrixCoversAllRunbooks(t *testing.T) {
+	ci, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("read ci.yml: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "runbooks", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed runbooks found: %v", err)
+	}
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".json")
+		if !bytes.Contains(ci, []byte(name)) {
+			t.Errorf("runbook %q missing from the CI scenario-suite matrix in ci.yml", name)
+		}
+	}
+}
+
+// TestRunbooksPinCanonicalScenarios keeps the committed runbooks aligned
+// with the canonical operating points that the real-stack sweeps
+// (internal/realbench) also default to.
+func TestRunbooksPinCanonicalScenarios(t *testing.T) {
+	canon := DefaultOverload()
+	for _, name := range []string{"overload_deadline.json", "overload_fifo.json"} {
+		s := loadCommitted(t, name)
+		var server *NodeSpec
+		for i := range s.Nodes {
+			if s.Nodes[i].Name == "server" {
+				server = &s.Nodes[i]
+			}
+		}
+		if server == nil {
+			t.Fatalf("%s: no server node", name)
+		}
+		if got := server.service(); got != time.Duration(canon.ServiceUs)*time.Microsecond {
+			t.Errorf("%s: service %v, canonical %dµs", name, got, canon.ServiceUs)
+		}
+		if server.workers() != canon.Workers {
+			t.Errorf("%s: workers %d, canonical %d", name, server.workers(), canon.Workers)
+		}
+		if server.Admission.Capacity != canon.Capacity {
+			t.Errorf("%s: capacity %d, canonical %d", name, server.Admission.Capacity, canon.Capacity)
+		}
+		w := &s.Workloads[0]
+		if w.outstanding() != canon.Callers {
+			t.Errorf("%s: outstanding %d, canonical %d callers", name, w.outstanding(), canon.Callers)
+		}
+		if got := time.Duration(w.Timeout); got != canon.Timeout {
+			t.Errorf("%s: timeout %v, canonical %v", name, got, canon.Timeout)
+		}
+	}
+
+	for name, want := range map[string]float64{
+		"loss_tail_1pct.json":  TailLosses[1],
+		"loss_tail_10pct.json": TailLosses[2],
+	} {
+		s := loadCommitted(t, name)
+		l := s.Links[0]
+		if l.AtoB.Drop != want || l.BtoA.Drop != want {
+			t.Errorf("%s: drop %g/%g, canonical %g", name, l.AtoB.Drop, l.BtoA.Drop, want)
+		}
+	}
+}

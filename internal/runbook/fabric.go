@@ -1,0 +1,144 @@
+package runbook
+
+import (
+	"fmt"
+	"time"
+
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/faultnet"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/simtrace"
+	"fireflyrpc/internal/wire"
+)
+
+// fabric is the wire topology: either one shared ether.Segment every node
+// contends on (the paper's private Ethernet, scaled to N stations) or a
+// switched mesh with a dedicated segment per node pair, so cross-pair
+// traffic never queues behind a busy link. Both kinds carry real Ethernet
+// framing and both run the per-link fault engine through the same
+// ether.LinkFaulter hook.
+type fabric struct {
+	k    *sim.Kernel
+	kind string
+	mbps float64
+
+	shared *ether.Segment            // kind "shared"
+	pairs  map[[2]int]*ether.Segment // kind "switched", key = sorted node indices
+
+	faulter *linkFaulter
+}
+
+func newFabric(k *sim.Kernel, spec *Spec) *fabric {
+	f := &fabric{
+		k:       k,
+		kind:    spec.Fabric.Kind,
+		mbps:    spec.mbps(),
+		faulter: &linkFaulter{k: k, links: make(map[[2]wire.MAC]*linkDir)},
+	}
+	if f.kind == "" {
+		f.kind = "switched"
+	}
+	if f.kind == "shared" {
+		f.shared = ether.NewSegmentNamed(k, "ethernet")
+		f.shared.SetFaulter(f.faulter)
+	} else {
+		f.pairs = make(map[[2]int]*ether.Segment)
+	}
+	return f
+}
+
+// txTime models the configured bit rate.
+func (f *fabric) txTime(bytes int) sim.Duration {
+	return sim.MicrosF(float64(bytes) * 8 / f.mbps)
+}
+
+// attach wires every node into the fabric, filling each node's per-target
+// port table. Pair segments are created in node-index order, so resource
+// registration (and therefore reports) is deterministic.
+func (f *fabric) attach(nodes []*node, deliver func(dst *node, frame []byte)) {
+	if f.kind == "shared" {
+		for _, n := range nodes {
+			n := n
+			port := f.shared.Attach(n.mac, func(frame []byte) { deliver(n, frame) })
+			for _, m := range nodes {
+				if m != n {
+					n.ports[m.idx] = port
+				}
+			}
+		}
+		return
+	}
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i], nodes[j]
+			seg := ether.NewSegmentNamed(f.k, "wire:"+a.spec.Name+"<->"+b.spec.Name)
+			seg.SetFaulter(f.faulter)
+			f.pairs[[2]int{i, j}] = seg
+			a.ports[j] = seg.Attach(a.mac, func(frame []byte) { deliver(a, frame) })
+			b.ports[i] = seg.Attach(b.mac, func(frame []byte) { deliver(b, frame) })
+		}
+	}
+}
+
+// attachTracer routes every segment's packet lifecycle into the trace
+// builder, each under its own named wire process.
+func (f *fabric) attachTracer(b *simtrace.Builder, nodes []*node) {
+	if f.kind == "shared" {
+		f.shared.SetTracer(b.SegmentTracer("ethernet", 0))
+		return
+	}
+	segIdx := uint64(0)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			seg := f.pairs[[2]int{i, j}]
+			segIdx++
+			seg.SetTracer(b.SegmentTracer(
+				"wire:"+nodes[i].spec.Name+"<->"+nodes[j].spec.Name, segIdx<<32))
+		}
+	}
+}
+
+// addLink installs a link's impairment engine for both directions.
+func (f *fabric) addLink(a, b *node, prof faultnet.Profile, seed uint64) *faultnet.Impairer {
+	im := faultnet.NewImpairer(prof, seed)
+	f.faulter.links[[2]wire.MAC{a.mac, b.mac}] = &linkDir{im: im, dir: faultnet.DirOut}
+	f.faulter.links[[2]wire.MAC{b.mac, a.mac}] = &linkDir{im: im, dir: faultnet.DirIn}
+	return im
+}
+
+// linkFaulter is the fabric-wide ether.LinkFaulter: it routes each frame's
+// impairment decision to the (src, dst) link's faultnet engine. Links with
+// no declared profile are clean and consume no random draws. Plan phases
+// advance on virtual time (the profile has been "running" since t=0).
+type linkFaulter struct {
+	k     *sim.Kernel
+	links map[[2]wire.MAC]*linkDir
+}
+
+type linkDir struct {
+	im  *faultnet.Impairer
+	dir faultnet.Dir
+}
+
+// Frame implements ether.Faulter for frames with no parseable addressing.
+func (lf *linkFaulter) Frame(size int) ether.Fault { return ether.NoFault() }
+
+// LinkFrame implements ether.LinkFaulter.
+func (lf *linkFaulter) LinkFrame(src, dst wire.MAC, size int) ether.Fault {
+	ld := lf.links[[2]wire.MAC{src, dst}]
+	if ld == nil {
+		return ether.NoFault()
+	}
+	v := ld.im.Decide(ld.dir, time.Duration(lf.k.Now()), size)
+	return ether.Fault{
+		Drop:       v.Drop,
+		Dup:        v.Dup,
+		Delay:      v.Delay,
+		DupDelay:   v.DupDelay,
+		CorruptAt:  v.CorruptAt,
+		CorruptXor: v.CorruptXor,
+	}
+}
+
+// linkName labels one direction for the report.
+func linkName(a, b *node) string { return fmt.Sprintf("%s->%s", a.spec.Name, b.spec.Name) }

@@ -1,0 +1,98 @@
+package runbook
+
+import (
+	"encoding/binary"
+
+	"fireflyrpc/internal/wire"
+)
+
+// ethHdrLen avoids sprinkling the wire package constant through the model.
+const ethHdrLen = wire.EthernetHeaderLen
+
+// The modeled RPC frame rides inside a real Ethernet frame on the simulated
+// segment. It is deliberately tiny — a macro-level scenario cares about
+// frame counts, sizes, and addressing, not the full Firefly packet layout —
+// but it carries everything the model's semantics need: a call id for
+// dedup and response matching, the remaining deadline budget for deadline
+// admission, and a checksum so faultnet's byte corruption surfaces as a
+// dropped (not misrouted) frame, exactly as a checksumming stack behaves.
+//
+// Layout (all integers big-endian):
+//
+//	[0]     magic 0xF5
+//	[1]     kind (req, resp, reject)
+//	[2:10]  call id
+//	[10:18] budget ns (req: remaining deadline at send; 0 = none)
+//	[18:22] workload index
+//	[22]    xor checksum of every other payload byte
+//	[23:]   zero padding to the workload's arg/result size
+const (
+	frameMagic    = 0xF5
+	frameHdrLen   = 23
+	frameCksumOff = 22
+)
+
+const (
+	kindReq = iota + 1
+	kindResp
+	kindReject
+)
+
+// rpcFrame is one modeled frame's semantic content.
+type rpcFrame struct {
+	kind     byte
+	callID   uint64
+	budgetNs int64
+	workload uint32
+}
+
+// payloadLen returns the frame's on-wire payload length for a padding size.
+func payloadLen(padding int) int { return frameHdrLen + padding }
+
+// wireFrameLen is the full Ethernet frame length for a padding size.
+func wireFrameLen(padding int) int { return ethHdrLen + payloadLen(padding) }
+
+// marshalFrame renders f with the given padding into a fresh payload.
+func marshalFrame(f rpcFrame, padding int) []byte {
+	buf := make([]byte, payloadLen(padding))
+	buf[0] = frameMagic
+	buf[1] = f.kind
+	binary.BigEndian.PutUint64(buf[2:], f.callID)
+	binary.BigEndian.PutUint64(buf[10:], uint64(f.budgetNs))
+	binary.BigEndian.PutUint32(buf[18:], f.workload)
+	buf[frameCksumOff] = xorSum(buf)
+	return buf
+}
+
+// parseFrame decodes a payload, rejecting short, mistyped, or corrupted
+// frames (any single flipped byte changes the xor sum).
+func parseFrame(buf []byte) (rpcFrame, bool) {
+	if len(buf) < frameHdrLen || buf[0] != frameMagic {
+		return rpcFrame{}, false
+	}
+	if xorSum(buf) != buf[frameCksumOff] {
+		return rpcFrame{}, false
+	}
+	f := rpcFrame{
+		kind:     buf[1],
+		callID:   binary.BigEndian.Uint64(buf[2:]),
+		budgetNs: int64(binary.BigEndian.Uint64(buf[10:])),
+		workload: binary.BigEndian.Uint32(buf[18:]),
+	}
+	if f.kind < kindReq || f.kind > kindReject {
+		return rpcFrame{}, false
+	}
+	return f, true
+}
+
+// xorSum folds every payload byte except the checksum slot.
+func xorSum(buf []byte) byte {
+	var s byte
+	for i, b := range buf {
+		if i == frameCksumOff {
+			continue
+		}
+		s ^= b
+	}
+	return s
+}

@@ -1,0 +1,284 @@
+package runbook
+
+import (
+	"fireflyrpc/internal/ether"
+	"fireflyrpc/internal/overload"
+	"fireflyrpc/internal/sim"
+	"fireflyrpc/internal/wire"
+)
+
+// node is one simulated machine. Every node can originate calls (client
+// role) and nodes with a server or mixed role also run the server model: an
+// admission queue in front of a fixed-size worker pool with a configured
+// service time. Admission policies mirror internal/overload — FIFO drop-tail,
+// LIFO shed-oldest, and deadline-aware shedding with an EWMA service
+// estimate — but are re-implemented on virtual time so a run is a pure
+// function of (runbook, seed).
+type node struct {
+	ex    *exec
+	spec  *NodeSpec
+	idx   int
+	mac   wire.MAC
+	ports map[int]*ether.Port // target node idx → transmit port
+
+	policy   overload.Policy
+	capacity int
+	workers  int
+
+	queue  []*srvCall
+	busy   int
+	ewmaNs int64 // EWMA of observed service time, deadline policy only
+
+	// states dedups retransmitted requests and retains each finished call's
+	// outcome so a duplicated or re-sent request elicits a re-sent reply.
+	states map[uint64]*srvCall
+
+	// Counters below reset at the warmup boundary.
+	served       int64
+	shedCapacity int64
+	shedDeadline int64
+	corruptDrops int64
+	maxQueue     int
+}
+
+// srvCall is the server-side state of one distinct call id.
+type srvCall struct {
+	id       uint64
+	from     *node
+	wl       uint32
+	resBytes int
+
+	deadline sim.Time // 0 = caller sent no budget
+	status   byte
+
+	arrive, svcStart, svcEnd sim.Time // stage stamps for the accounting identity
+}
+
+const (
+	stQueued = iota + 1
+	stServing
+	stDone
+	stShed
+)
+
+func newNode(ex *exec, idx int, spec *NodeSpec) *node {
+	n := &node{
+		ex:       ex,
+		spec:     spec,
+		idx:      idx,
+		mac:      wire.MACForHost(uint32(idx + 1)),
+		ports:    make(map[int]*ether.Port),
+		workers:  spec.workers(),
+		capacity: spec.Admission.Capacity,
+		states:   make(map[uint64]*srvCall),
+	}
+	n.policy, _ = spec.Admission.policy()
+	return n
+}
+
+// onRequest handles an arriving request frame: dedup, admission, dispatch.
+func (n *node) onRequest(from *node, f rpcFrame) {
+	if st, ok := n.states[f.callID]; ok {
+		// Retransmission of a known call: replay the outcome if decided,
+		// otherwise the original is still queued or in service — stay quiet
+		// and let it finish (the eventual reply answers the retransmit too).
+		switch st.status {
+		case stDone:
+			n.sendReply(st, kindResp)
+		case stShed:
+			n.sendReply(st, kindReject)
+		}
+		return
+	}
+	now := n.ex.k.Now()
+	st := &srvCall{
+		id:       f.callID,
+		from:     from,
+		wl:       f.workload,
+		resBytes: n.ex.resultBytes(f.workload),
+		arrive:   now,
+	}
+	if f.budgetNs > 0 {
+		// The budget was stamped at send time; the request's own wire
+		// transmission has already consumed part of it, so discount that
+		// (the caller's true deadline is earlier than arrive + budget).
+		budget := sim.Duration(f.budgetNs) - n.ex.fab.txTime(wireFrameLen(n.ex.argBytes(f.workload)))
+		st.deadline = now.Add(budget)
+	}
+	n.states[f.callID] = st
+
+	if n.capacity > 0 && len(n.queue) >= n.capacity {
+		if !n.admitOverflow(st) {
+			return
+		}
+	}
+	st.status = stQueued
+	n.queue = append(n.queue, st)
+	if len(n.queue) > n.maxQueue {
+		n.maxQueue = len(n.queue)
+	}
+	n.kick()
+}
+
+// admitOverflow applies the admission policy to a full queue. It returns
+// true when the arriving call should be enqueued (some victim was shed to
+// make room) and false when the arriving call itself was rejected.
+func (n *node) admitOverflow(st *srvCall) bool {
+	switch n.policy {
+	case overload.LIFO:
+		// Shed the oldest queued call: the newest work is the most likely to
+		// still have a live caller.
+		victim := n.queue[0]
+		n.queue = n.queue[1:]
+		n.shed(victim, false)
+		return true
+	case overload.Deadline:
+		// Shed the call with the least remaining budget; calls without a
+		// deadline never lose this comparison. The arriving call competes too.
+		victim, vi := st, -1
+		for i, q := range n.queue {
+			if sooner(q.deadline, victim.deadline) {
+				victim, vi = q, i
+			}
+		}
+		if vi >= 0 {
+			n.queue = append(n.queue[:vi], n.queue[vi+1:]...)
+		}
+		n.shed(victim, true)
+		return vi >= 0
+	default: // FIFO: classic drop-tail, reject the arrival
+		n.shed(st, false)
+		return false
+	}
+}
+
+// replyWireNs estimates the response frame's wire transmission time.
+func (n *node) replyWireNs(st *srvCall) int64 {
+	return int64(n.ex.fab.txTime(wireFrameLen(st.resBytes)))
+}
+
+// sooner reports whether deadline a expires strictly before b, treating the
+// zero Time as "no deadline" (never sooner than anything).
+func sooner(a, b sim.Time) bool {
+	if a == 0 {
+		return false
+	}
+	return b == 0 || a < b
+}
+
+// kick dispatches queued calls onto idle workers.
+func (n *node) kick() {
+	for n.busy < n.workers && len(n.queue) > 0 {
+		st := n.pop()
+		if st == nil {
+			return
+		}
+		n.busy++
+		st.status = stServing
+		st.svcStart = n.ex.k.Now()
+		n.ex.k.After(n.serviceTime(), func() { n.complete(st) })
+	}
+}
+
+// pop removes the next call to serve per the admission policy, shedding
+// dead-on-arrival work first under the deadline policy.
+func (n *node) pop() *srvCall {
+	if n.policy == overload.Deadline {
+		now := n.ex.k.Now()
+		for len(n.queue) > 0 {
+			st := n.queue[0]
+			n.queue = n.queue[1:]
+			// Would miss its deadline even if served immediately — the
+			// remaining budget must cover the expected service time AND the
+			// reply's trip back, or the caller sees a late answer. The trip
+			// estimate is 3× the reply's transmission time: under saturation
+			// the queue's head is always exactly marginal, so without
+			// headroom for medium queueing every served reply lands just
+			// past its deadline.
+			if st.deadline != 0 && n.ewmaNs > 0 &&
+				int64(st.deadline.Sub(now)) < n.ewmaNs+3*n.replyWireNs(st) {
+				n.shed(st, true)
+				continue
+			}
+			return st
+		}
+		return nil
+	}
+	if n.policy == overload.LIFO {
+		st := n.queue[len(n.queue)-1]
+		n.queue = n.queue[:len(n.queue)-1]
+		return st
+	}
+	st := n.queue[0]
+	n.queue = n.queue[1:]
+	return st
+}
+
+// serviceTime draws this call's service duration.
+func (n *node) serviceTime() sim.Duration {
+	d := sim.Duration(n.spec.service())
+	if j := n.spec.ServiceJitter; j > 0 {
+		d += n.ex.k.RNG().Duration(sim.Duration(j))
+	}
+	return d
+}
+
+// complete finishes a served call: stamp, learn, reply, take the next one.
+func (n *node) complete(st *srvCall) {
+	n.busy--
+	now := n.ex.k.Now()
+	st.svcEnd = now
+	st.status = stDone
+	sample := int64(now.Sub(st.svcStart))
+	if n.ewmaNs == 0 {
+		n.ewmaNs = sample
+	} else {
+		n.ewmaNs = (7*n.ewmaNs + sample) / 8
+	}
+	if n.ex.counting() {
+		n.served++
+	}
+	n.sendReply(st, kindResp)
+	n.kick()
+}
+
+// shed rejects a call, retaining the decision for retransmit replay.
+func (n *node) shed(st *srvCall, deadline bool) {
+	st.status = stShed
+	if n.ex.counting() {
+		if deadline {
+			n.shedDeadline++
+		} else {
+			n.shedCapacity++
+		}
+	}
+	n.sendReply(st, kindReject)
+}
+
+// sendReply transmits a response or reject frame back to the caller.
+// Responses carry the workload's result payload; rejects are header-only.
+func (n *node) sendReply(st *srvCall, kind byte) {
+	padding := 0
+	if kind == kindResp {
+		padding = st.resBytes
+	}
+	n.sendTo(st.from, marshalFrame(rpcFrame{kind: kind, callID: st.id, workload: st.wl}, padding))
+}
+
+// sendTo frames the payload in an Ethernet header and puts it on the wire.
+func (n *node) sendTo(dst *node, payload []byte) {
+	buf := make([]byte, wire.EthernetHeaderLen+len(payload))
+	h := wire.EthernetHeader{Dst: dst.mac, Src: n.mac, EtherType: wire.EtherTypeRawRPC}
+	h.MarshalTo(buf)
+	copy(buf[wire.EthernetHeaderLen:], payload)
+	n.ports[dst.idx].Transmit(buf, n.ex.fab.txTime(len(buf)), nil)
+}
+
+// resetMetrics zeroes the warmup-scoped counters at the warmup boundary.
+func (n *node) resetMetrics() {
+	n.served = 0
+	n.shedCapacity = 0
+	n.shedDeadline = 0
+	n.corruptDrops = 0
+	n.maxQueue = len(n.queue)
+}

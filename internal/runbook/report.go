@@ -1,0 +1,318 @@
+package runbook
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fireflyrpc/internal/faultnet"
+	"fireflyrpc/internal/stats"
+)
+
+// Report is one run's complete machine-readable outcome. Field order is
+// fixed and no maps appear, so JSON() is byte-identical for identical runs.
+type Report struct {
+	Runbook    string            `json:"runbook"`
+	Seed       uint64            `json:"seed"`
+	DurationNs int64             `json:"duration_ns"`
+	WarmupNs   int64             `json:"warmup_ns"`
+	Fabric     string            `json:"fabric"`
+	Workloads  []WorkloadReport  `json:"workloads"`
+	Nodes      []NodeReport      `json:"nodes"`
+	Links      []LinkReport      `json:"links,omitempty"`
+	Identity   IdentityReport    `json:"identity"`
+	Assertions []AssertionResult `json:"assertions,omitempty"`
+	Pass       bool              `json:"pass"`
+}
+
+// WorkloadReport is one workload's steady-state (post-warmup) results.
+type WorkloadReport struct {
+	Name          string        `json:"name"`
+	Started       int64         `json:"started"`
+	Completed     int64         `json:"completed"`
+	Timeouts      int64         `json:"timeouts"`
+	Failures      int64         `json:"failures"`
+	Overloads     int64         `json:"overloads"`
+	Retransmits   int64         `json:"retransmits"`
+	InFlight      int64         `json:"in_flight"`
+	GoodputPerSec float64       `json:"goodput_per_sec"`
+	Latency       stats.Summary `json:"latency"`
+}
+
+// NodeReport is one server node's admission counters.
+type NodeReport struct {
+	Name          string `json:"name"`
+	Role          string `json:"role"`
+	Served        int64  `json:"served"`
+	ShedCapacity  int64  `json:"shed_capacity"`
+	ShedDeadline  int64  `json:"shed_deadline"`
+	CorruptDrops  int64  `json:"corrupt_drops"`
+	MaxQueueDepth int    `json:"max_queue_depth"`
+}
+
+// LinkReport is one direction of a declared link's impairment counters.
+// Unlike workload and node counters these span the whole run including
+// warmup — they are fault-engine diagnostics, not assertion targets.
+type LinkReport struct {
+	Link      string `json:"link"`
+	Frames    int64  `json:"frames"`
+	Drops     int64  `json:"drops"`
+	Dups      int64  `json:"dups"`
+	Delayed   int64  `json:"delayed"`
+	Reordered int64  `json:"reordered"`
+	Corrupted int64  `json:"corrupted"`
+}
+
+// IdentityReport is the stage-accounting identity over calls completed
+// without retransmission: req wire + queue + service + resp wire vs the
+// client's end-to-end latency.
+type IdentityReport struct {
+	Calls      int64   `json:"calls"`
+	E2eNs      int64   `json:"e2e_ns"`
+	ReqWireNs  int64   `json:"req_wire_ns"`
+	QueueNs    int64   `json:"queue_ns"`
+	ServiceNs  int64   `json:"service_ns"`
+	RespWireNs int64   `json:"resp_wire_ns"`
+	DeltaPct   float64 `json:"delta_pct"`
+}
+
+// AssertionResult is one evaluated bound from the runbook's assert block.
+type AssertionResult struct {
+	ID   string `json:"id"`
+	Want string `json:"want"`
+	Got  string `json:"got"`
+	Pass bool   `json:"pass"`
+}
+
+// buildReport snapshots the run and evaluates the assert block.
+func (ex *exec) buildReport(seed uint64) *Report {
+	rep := &Report{
+		Runbook:    ex.spec.Name,
+		Seed:       seed,
+		DurationNs: int64(ex.spec.Duration),
+		WarmupNs:   int64(ex.spec.Warmup),
+		Fabric:     ex.fab.kind,
+	}
+	windowNs := rep.DurationNs - rep.WarmupNs
+	for _, w := range ex.wls {
+		wr := WorkloadReport{
+			Name:        w.spec.Name,
+			Started:     w.started,
+			Completed:   w.completed,
+			Timeouts:    w.timeouts,
+			Failures:    w.failures,
+			Overloads:   w.overloads,
+			Retransmits: w.retransmits,
+		}
+		wr.InFlight = wr.Started - wr.Completed - wr.Timeouts - wr.Failures - wr.Overloads
+		if windowNs > 0 {
+			wr.GoodputPerSec = float64(wr.Completed) * float64(time.Second) / float64(windowNs)
+		}
+		snap := w.hist.Snapshot()
+		wr.Latency = snap.Summarize()
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+	for _, n := range ex.nodes {
+		if n.spec.Role == "client" {
+			continue
+		}
+		rep.Nodes = append(rep.Nodes, NodeReport{
+			Name:          n.spec.Name,
+			Role:          n.spec.Role,
+			Served:        n.served,
+			ShedCapacity:  n.shedCapacity,
+			ShedDeadline:  n.shedDeadline,
+			CorruptDrops:  n.corruptDrops,
+			MaxQueueDepth: n.maxQueue,
+		})
+	}
+	for _, l := range ex.links {
+		rep.Links = append(rep.Links,
+			linkReport(linkName(l.a, l.b), l.im.Stats(faultnet.DirOut)),
+			linkReport(linkName(l.b, l.a), l.im.Stats(faultnet.DirIn)))
+	}
+	ia := &ex.identity
+	rep.Identity = IdentityReport{
+		Calls:      ia.calls,
+		E2eNs:      ia.e2eNs,
+		ReqWireNs:  ia.reqWireNs,
+		QueueNs:    ia.queueNs,
+		ServiceNs:  ia.svcNs,
+		RespWireNs: ia.respWireNs,
+	}
+	if ia.e2eNs > 0 {
+		stage := ia.reqWireNs + ia.queueNs + ia.svcNs + ia.respWireNs
+		delta := stage - ia.e2eNs
+		if delta < 0 {
+			delta = -delta
+		}
+		rep.Identity.DeltaPct = float64(delta) / float64(ia.e2eNs) * 100
+	}
+	rep.Assertions = ex.evalAsserts(rep)
+	rep.Pass = true
+	for _, a := range rep.Assertions {
+		if !a.Pass {
+			rep.Pass = false
+		}
+	}
+	return rep
+}
+
+func linkReport(name string, s faultnet.Stats) LinkReport {
+	return LinkReport{
+		Link:      name,
+		Frames:    s.Frames,
+		Drops:     s.Drops,
+		Dups:      s.Dups,
+		Delayed:   s.Delayed,
+		Reordered: s.Reordered,
+		Corrupted: s.Corrupted,
+	}
+}
+
+// evalAsserts walks the assert block in sorted-name order so the result
+// list (and therefore the report bytes) is deterministic.
+func (ex *exec) evalAsserts(rep *Report) []AssertionResult {
+	var out []AssertionResult
+	byWl := make(map[string]*WorkloadReport)
+	for i := range rep.Workloads {
+		byWl[rep.Workloads[i].Name] = &rep.Workloads[i]
+	}
+	byNode := make(map[string]*NodeReport)
+	for i := range rep.Nodes {
+		byNode[rep.Nodes[i].Name] = &rep.Nodes[i]
+	}
+
+	for _, name := range sortedKeys(ex.spec.Assert.Workloads) {
+		wa := ex.spec.Assert.Workloads[name]
+		wr := byWl[name]
+		id := "workload:" + name
+		fb := func(field string, bound *float64, got float64, max bool) {
+			if bound != nil {
+				out = append(out, boundF(id+"/"+field, *bound, got, max))
+			}
+		}
+		cb := func(field string, bound *int64, got int64, max bool) {
+			if bound != nil {
+				out = append(out, boundC(id+"/"+field, *bound, got, max))
+			}
+		}
+		fb("p50_max_us", wa.P50MaxUs, wr.Latency.P50Us, true)
+		fb("p95_max_us", wa.P95MaxUs, wr.Latency.P95Us, true)
+		fb("p99_max_us", wa.P99MaxUs, wr.Latency.P99Us, true)
+		fb("p999_max_us", wa.P999MaxUs, wr.Latency.P999Us, true)
+		fb("goodput_min_per_sec", wa.GoodputMinPerSec, wr.GoodputPerSec, false)
+		cb("min_completed", wa.MinCompleted, wr.Completed, false)
+		cb("min_timeouts", wa.MinTimeouts, wr.Timeouts, false)
+		cb("max_timeouts", wa.MaxTimeouts, wr.Timeouts, true)
+		cb("min_failures", wa.MinFailures, wr.Failures, false)
+		cb("max_failures", wa.MaxFailures, wr.Failures, true)
+		cb("max_overloads", wa.MaxOverloads, wr.Overloads, true)
+		cb("min_retransmits", wa.MinRetransmits, wr.Retransmits, false)
+		cb("max_retransmits", wa.MaxRetransmits, wr.Retransmits, true)
+	}
+
+	for _, name := range sortedKeys(ex.spec.Assert.Nodes) {
+		na := ex.spec.Assert.Nodes[name]
+		nr := byNode[name]
+		id := "node:" + name
+		shed := nr.ShedCapacity + nr.ShedDeadline
+		if na.MinShed != nil {
+			out = append(out, boundC(id+"/min_shed", *na.MinShed, shed, false))
+		}
+		if na.MaxShed != nil {
+			out = append(out, boundC(id+"/max_shed", *na.MaxShed, shed, true))
+		}
+		if na.MaxQueueDepth != nil {
+			out = append(out, boundC(id+"/max_queue_depth", *na.MaxQueueDepth, int64(nr.MaxQueueDepth), true))
+		}
+	}
+
+	if tol := ex.spec.Assert.StageIdentityTolPct; tol != nil {
+		out = append(out, boundF("identity/stage_identity_tol_pct", *tol, rep.Identity.DeltaPct, true))
+	}
+	return out
+}
+
+func boundF(id string, bound, got float64, max bool) AssertionResult {
+	r := AssertionResult{ID: id, Got: fmt.Sprintf("%g", got)}
+	if max {
+		r.Want = fmt.Sprintf("<= %g", bound)
+		r.Pass = got <= bound
+	} else {
+		r.Want = fmt.Sprintf(">= %g", bound)
+		r.Pass = got >= bound
+	}
+	return r
+}
+
+func boundC(id string, bound, got int64, max bool) AssertionResult {
+	r := AssertionResult{ID: id, Got: fmt.Sprintf("%d", got)}
+	if max {
+		r.Want = fmt.Sprintf("<= %d", bound)
+		r.Pass = got <= bound
+	} else {
+		r.Want = fmt.Sprintf(">= %d", bound)
+		r.Pass = got >= bound
+	}
+	return r
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JSON renders the report with stable formatting (trailing newline).
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // no unmarshalable types in Report
+	}
+	return append(b, '\n')
+}
+
+// Render writes the human-readable report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "runbook %s  seed %d  duration %v  warmup %v  fabric %s\n",
+		r.Runbook, r.Seed, time.Duration(r.DurationNs), time.Duration(r.WarmupNs), r.Fabric)
+	for _, wr := range r.Workloads {
+		fmt.Fprintf(w, "  workload %-16s completed %d/%d (%.1f/s)  timeouts %d  failures %d  overloads %d  retransmits %d  in-flight %d\n",
+			wr.Name, wr.Completed, wr.Started, wr.GoodputPerSec,
+			wr.Timeouts, wr.Failures, wr.Overloads, wr.Retransmits, wr.InFlight)
+		if wr.Latency.N > 0 {
+			fmt.Fprintf(w, "    latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  max %.0fµs\n",
+				wr.Latency.P50Us, wr.Latency.P95Us, wr.Latency.P99Us, wr.Latency.P999Us, wr.Latency.MaxUs)
+		}
+	}
+	for _, nr := range r.Nodes {
+		fmt.Fprintf(w, "  node %-20s served %d  shed %d cap + %d deadline  corrupt-drops %d  max-queue %d\n",
+			nr.Name, nr.Served, nr.ShedCapacity, nr.ShedDeadline, nr.CorruptDrops, nr.MaxQueueDepth)
+	}
+	for _, lr := range r.Links {
+		fmt.Fprintf(w, "  link %-20s frames %d  drops %d  dups %d  delayed %d  reordered %d  corrupted %d\n",
+			lr.Link, lr.Frames, lr.Drops, lr.Dups, lr.Delayed, lr.Reordered, lr.Corrupted)
+	}
+	if r.Identity.Calls > 0 {
+		fmt.Fprintf(w, "  identity over %d calls: stage sum within %.4f%% of end-to-end\n",
+			r.Identity.Calls, r.Identity.DeltaPct)
+	}
+	for _, a := range r.Assertions {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-44s want %-12s got %s\n", verdict, a.ID, a.Want, a.Got)
+	}
+	if r.Pass {
+		fmt.Fprintln(w, "PASS")
+	} else {
+		fmt.Fprintln(w, "FAIL")
+	}
+}

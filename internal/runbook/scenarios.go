@@ -1,0 +1,51 @@
+package runbook
+
+import "time"
+
+// Canonical chaos-scenario operating points, shared by the real-stack
+// sweeps (internal/realbench) and the committed runbooks under runbooks/.
+// The two suites exercise different stacks — realbench drives the real
+// protocol engine over impaired in-process transports, the runbook executor
+// drives the macro model over the simulated fabric — but they should probe
+// the *same* loss grid and the same saturation point, so a regression
+// caught by one is interpretable in the other. Tests pin the committed
+// runbooks to these values.
+
+// TailLosses is the canonical per-direction frame-loss grid for the
+// tail-latency scenarios (clean, the paper-plausible 1%, and a pathological
+// 10%).
+var TailLosses = []float64{0, 0.01, 0.10}
+
+// TailThreads is the canonical caller-concurrency grid for the real-stack
+// tail sweep.
+var TailThreads = []int{1, 4}
+
+// Canonical tail-sweep sizing.
+const (
+	TailCallsPerThread = 2000
+	TailSeed           = 1
+)
+
+// OverloadParams is the canonical 2×-saturation overload operating point:
+// a server whose worker pool saturates at Workers/ServiceUs calls per
+// second, driven by a closed-loop caller population sized to twice that.
+type OverloadParams struct {
+	ServiceUs int           // handler busy time per call
+	Workers   int           // server worker-pool width
+	Callers   int           // closed-loop caller population
+	Capacity  int           // admission queue capacity
+	Timeout   time.Duration // per-call deadline
+	Duration  time.Duration // measured window
+}
+
+// DefaultOverload returns the canonical overload operating point.
+func DefaultOverload() OverloadParams {
+	return OverloadParams{
+		ServiceUs: 1000,
+		Workers:   2,
+		Callers:   24,
+		Capacity:  256,
+		Timeout:   5 * time.Millisecond,
+		Duration:  500 * time.Millisecond,
+	}
+}

@@ -1,0 +1,81 @@
+package runbook
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadRunbooksGolden parses every fixture under testdata/bad and checks
+// the error against the .err golden alongside it (a substring, so error
+// wording can gain context without breaking the suite). A fixture that
+// parses cleanly is itself a failure — these files document exactly which
+// mistakes the schema rejects.
+func TestBadRunbooksGolden(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "bad", "*.json"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no bad-runbook fixtures: %v", err)
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(strings.TrimSuffix(f, ".json") + ".err")
+			if err != nil {
+				t.Fatalf("fixture has no .err golden: %v", err)
+			}
+			_, perr := Parse(data)
+			if perr == nil {
+				t.Fatalf("fixture parsed cleanly; want error containing %q", strings.TrimSpace(string(want)))
+			}
+			if !strings.Contains(perr.Error(), strings.TrimSpace(string(want))) {
+				t.Fatalf("error %q does not contain golden %q", perr.Error(), strings.TrimSpace(string(want)))
+			}
+		})
+	}
+}
+
+// TestLoadDefaultsNameFromFile: a runbook with no name field is named after
+// its file, so ad-hoc runbooks report usefully without boilerplate.
+func TestLoadDefaultsNameFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "adhoc.json")
+	body := `{
+		"duration": "10ms",
+		"nodes": [
+			{"name": "c", "role": "client"},
+			{"name": "s", "role": "server"}
+		],
+		"workloads": [
+			{"name": "w", "client": "c", "targets": ["s"], "mode": "closed"}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "adhoc" {
+		t.Fatalf("name = %q, want file-derived %q", s.Name, "adhoc")
+	}
+}
+
+// TestCommittedRunbooksValidate is the cheap half of what fireflysim
+// -validate does in CI: every committed runbook must parse and validate.
+func TestCommittedRunbooksValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "runbooks", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed runbooks: %v", err)
+	}
+	for _, p := range paths {
+		if _, err := Load(p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}

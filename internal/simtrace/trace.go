@@ -286,7 +286,11 @@ func (b *Builder) CtlOp(at sim.Time, machine string, op string, bytes int, d sim
 // FrameOnWire renders the frame's wire occupancy as a complete slice on the
 // segment's wire track and opens its packet-flow arrow.
 func (b *Builder) FrameOnWire(at sim.Time, id uint64, src, dst string, n int, txTime sim.Duration, lost bool) {
-	pid := b.pid(b.segName())
+	b.frameOnWire(b.segName(), at, id, src, dst, n, txTime, lost)
+}
+
+func (b *Builder) frameOnWire(seg string, at sim.Time, id uint64, src, dst string, n int, txTime sim.Duration, lost bool) {
+	pid := b.pid(seg)
 	tid := b.tid(pid, "wire")
 	start := int64(at) - int64(txTime)
 	name := fmt.Sprintf("frame %d", id)
@@ -322,6 +326,32 @@ func (b *Builder) segName() string {
 		return b.segment
 	}
 	return "ethernet"
+}
+
+// SegmentTracer returns an ether.Tracer that attributes frames to their own
+// named wire process, for fabrics where one builder watches many segments
+// (AttachSegment assumes exactly one). Each segment numbers frames from
+// zero, so idBase must be distinct per segment to keep packet-flow arrow ids
+// unambiguous — the runbook executor uses segmentIndex<<32. The returned
+// tracer must still be installed with Segment.SetTracer.
+func (b *Builder) SegmentTracer(name string, idBase uint64) ether.Tracer {
+	pid := b.pid(name)
+	b.tid(pid, "wire")
+	return &segTracer{b: b, name: name, base: idBase}
+}
+
+type segTracer struct {
+	b    *Builder
+	name string
+	base uint64
+}
+
+func (t *segTracer) FrameOnWire(at sim.Time, id uint64, src, dst string, n int, txTime sim.Duration, lost bool) {
+	t.b.frameOnWire(t.name, at, t.base+id, src, dst, n, txTime, lost)
+}
+
+func (t *segTracer) FrameDelivered(at sim.Time, id uint64, dst string, n int) {
+	t.b.FrameDelivered(at, t.base+id, dst, n)
 }
 
 // WriteTo writes the complete trace JSON document.

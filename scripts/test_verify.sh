@@ -132,7 +132,29 @@ case "$out" in
 *) fail "session-negotiation failure did not print its step (got: $out)" ;;
 esac
 
-# 7. Unknown flags are rejected with a usage error.
+# 7. A failure in the runbook-validation step must propagate with its own
+# step name — the scenario suite's schema gate is part of the contract.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*fireflysim*) exit 13 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a runbook-validation failure"
+case "$out" in
+*"FAIL: runbook validation"*) ;;
+*) fail "runbook-validation failure did not print its step (got: $out)" ;;
+esac
+
+# 8. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

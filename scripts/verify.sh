@@ -17,7 +17,11 @@
 # hello handshake (negotiation under loss, legacy fallback, racing first
 # calls) and run the transport conformance suite over TCP, the simulated
 # Ethernet, and the faultnet wrapper, so every Transport keeps the one
-# shared contract.
+# shared contract. The runbook steps validate every committed scenario
+# runbook's schema (the same cheap gate CI runs before the scenario suite)
+# and pin the macro-scenario executor's determinism: same runbook + seed =>
+# byte-identical report, and the committed overload runbook's assertions
+# must detect an admission-policy flip.
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -63,6 +67,7 @@ run() {
 
 run "build" go build ./...
 run "vet" go vet ./...
+run "runbook validation" go run ./cmd/fireflysim -validate runbooks/*.json
 run "tests" go test ./...
 run "race: proto + core" go test -race ./internal/proto ./internal/core
 run "race: cancellation + leak stress" go test -race -run 'TestLossyAsyncStressNoLeaks|TestCancel' ./internal/proto
@@ -70,6 +75,7 @@ run "race: live sim inspection" go test -race -run 'TestInspectConcurrentWithRun
 run "alloc budgets: fast path" go test -run 'TestNullAllocBudget|TestAsyncNullAllocBudget' -count=1 .
 run "alloc budget: tracing disabled" go test -run 'TestTraceDisabledAllocBudget' -count=1 ./internal/proto
 run "sim determinism: trace + timings" go test -run 'TestTraceDeterminism|TestTracerDoesNotPerturb' -count=1 ./internal/sim ./internal/simtrace
+run "runbook determinism + policy gate" go test -run 'TestRunbookDeterminism|TestOverloadRunbookPolicyFlip' -count=1 ./internal/runbook
 run "chaos smoke: faultnet + overload race" go test -race ./internal/faultnet ./internal/overload
 run "chaos smoke: tail inflation + determinism" go test -run 'TestTailSweepP99Inflation|TestTailSweepDeterministic' -count=1 ./internal/realbench
 run "race: batched transport" go test -race ./internal/transport
