@@ -14,6 +14,9 @@
 //	fireflybench -real -faulty lossy.json  # real-stack benchmark under a faultnet impairment profile
 //	fireflybench -real -batch     # real-stack benchmark over the batched UDP datapath
 //	fireflybench -batchcompare    # per-frame vs batched UDP fan-out, back to back
+//	fireflybench -real -traced    # real-stack benchmark with tracing on (@trace cells)
+//	fireflybench -traceoverhead   # tracing-on vs tracing-off async Null, gated ≤5%
+//	fireflybench -mergedtrace out.json  # one Perfetto doc: simulated run + real chained-call spans
 package main
 
 import (
@@ -50,6 +53,13 @@ func main() {
 	batchCompare := flag.Bool("batchcompare", false, "run the per-frame vs batched UDP async fan-out comparison and exit")
 	batchCompareCalls := flag.Int("batchcomparecalls", 20000, "calls per side for -batchcompare")
 	batchCompareWidth := flag.Int("batchcomparewidth", 64, "async fan-out width for -batchcompare")
+	realTraced := flag.Bool("traced", false, "run -real cells with stage tracing on at the production posture; results diff under the @trace namespace")
+	traceOverhead := flag.Bool("traceoverhead", false, "run the tracing-on vs tracing-off async Null comparison and exit non-zero above the bound")
+	traceOverheadCalls := flag.Int("traceoverheadcalls", 20000, "calls per round for -traceoverhead")
+	traceOverheadWidth := flag.Int("traceoverheadwidth", 64, "async fan-out width for -traceoverhead")
+	traceOverheadBound := flag.Float64("traceoverheadbound", 1.05, "maximum tracing-on/off ns-per-op ratio for -traceoverhead")
+	mergedTrace := flag.String("mergedtrace", "", "write one Perfetto JSON combining a simulated run and real chained-call spans to this path and exit")
+	mergedChainCalls := flag.Int("mergedchaincalls", 16, "real two-hop chained calls for -mergedtrace")
 	faulty := flag.String("faulty", "", "faultnet profile JSON; -real cells run behind this impairment")
 	faultSeed := flag.Uint64("faultseed", 1, "impairment schedule seed for -faulty")
 	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
@@ -79,6 +89,16 @@ func main() {
 		return
 	}
 
+	if *traceOverhead {
+		runTraceOverhead(*traceOverheadCalls, *traceOverheadWidth, *traceOverheadBound)
+		return
+	}
+
+	if *mergedTrace != "" {
+		runMergedTrace(*mergedTrace, *seed, *simTraceThreads, *simTraceCalls, *mergedChainCalls)
+		return
+	}
+
 	if *simTrace != "" {
 		runSimTrace(*simTrace, *seed, *simTraceThreads, *simTraceCalls)
 		return
@@ -94,8 +114,12 @@ func main() {
 			}
 			prof = p
 		}
-		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, *realTransport, prof, *faultSeed, *realBatch, *realRecvMode)
+		runReal(*realOut, *realThreads, *realFanout, *realCases, *realTime, *realMemOnly, *realTransport, prof, *faultSeed, *realBatch, *realRecvMode, *realTraced)
 		return
+	}
+	if *realTraced {
+		fmt.Fprintln(os.Stderr, "fireflybench: -traced requires -real")
+		os.Exit(2)
 	}
 	if *realTransport != "" {
 		fmt.Fprintln(os.Stderr, "fireflybench: -transport requires -real")
@@ -148,7 +172,7 @@ func main() {
 }
 
 // runReal benchmarks the real stack and writes the JSON suite.
-func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, transportName string, prof *faultnet.Profile, faultSeed uint64, batch bool, recvMode string) {
+func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly bool, transportName string, prof *faultnet.Profile, faultSeed uint64, batch bool, recvMode string, traced bool) {
 	parse := func(spec, flagName string) []int {
 		var out []int
 		for _, s := range strings.Split(spec, ",") {
@@ -187,6 +211,9 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 			datapath += " (" + recvMode + ")"
 		}
 	}
+	if traced {
+		datapath += ", tracing on"
+	}
 	if prof != nil {
 		fmt.Printf("Real-stack Table I analogue under profile %q, fault seed %d (threads %v, async fan-out %v%s)\n",
 			prof.Name, faultSeed, threads, fanout, datapath)
@@ -204,6 +231,7 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 		FaultSeed:   faultSeed,
 		Batch:       batch,
 		RecvMode:    recvMode,
+		Trace:       traced,
 	})
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)

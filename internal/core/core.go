@@ -35,13 +35,19 @@ var (
 // args, invokes the implementation, and returns the marshalled results.
 type ProcFunc func(src transport.Addr, args *marshal.Dec) ([]byte, error)
 
+// ProcCtxFunc is a context-aware procedure stub. The context carries the
+// caller's distributed trace identity when the call arrived traced; an
+// implementation that makes further RPCs threads ctx into CallCtx/Go so its
+// downstream spans parent onto this call's span.
+type ProcCtxFunc func(ctx context.Context, src transport.Addr, args *marshal.Dec) ([]byte, error)
+
 // Interface is an exportable set of procedures, identified on the wire by a
 // hash of its name and version (as the stub compiler assigns).
 type Interface struct {
 	Name    string
 	Version uint32
 	ID      uint32
-	procs   map[uint16]ProcFunc
+	procs   map[uint16]ProcCtxFunc
 }
 
 // NewInterface creates an interface; register procedures with Proc.
@@ -50,12 +56,21 @@ func NewInterface(name string, version uint32) *Interface {
 		Name:    name,
 		Version: version,
 		ID:      wire.InterfaceID(name, version),
-		procs:   make(map[uint16]ProcFunc),
+		procs:   make(map[uint16]ProcCtxFunc),
 	}
 }
 
-// Proc registers a procedure stub under its wire ID.
+// Proc registers a procedure stub under its wire ID. The adapter closure is
+// built once at registration, so context-oblivious stubs pay nothing per
+// call.
 func (i *Interface) Proc(id uint16, fn ProcFunc) *Interface {
+	return i.ProcCtx(id, func(_ context.Context, src transport.Addr, args *marshal.Dec) ([]byte, error) {
+		return fn(src, args)
+	})
+}
+
+// ProcCtx registers a context-aware procedure stub under its wire ID.
+func (i *Interface) ProcCtx(id uint16, fn ProcCtxFunc) *Interface {
 	if _, dup := i.procs[id]; dup {
 		panic(fmt.Sprintf("core: duplicate proc %d in %s", id, i.Name))
 	}
@@ -76,7 +91,7 @@ type Node struct {
 // the retransmission policy and server worker count.
 func NewNode(tr transport.Transport, cfg proto.Config) *Node {
 	n := &Node{ifaces: make(map[uint32]*Interface)}
-	n.conn = proto.NewConn(tr, cfg, n.dispatch)
+	n.conn = proto.NewConnTraced(tr, cfg, n.dispatch)
 	return n
 }
 
@@ -101,8 +116,11 @@ func (n *Node) Export(iface *Interface) {
 // its return (generated stubs never do).
 var decPool = sync.Pool{New: func() any { return new(marshal.Dec) }}
 
-// dispatch is the proto.Handler: find the interface and procedure, run it.
-func (n *Node) dispatch(src transport.Addr, ifaceID uint32, proc uint16, args []byte) ([]byte, error) {
+// dispatch is the proto.TraceHandler: find the interface and procedure, run
+// it. A traced call gets a context carrying the caller's trace identity so
+// ProcCtx implementations can re-emit it on chained calls; the untraced
+// fast path reuses the shared background context and allocates nothing.
+func (n *Node) dispatch(src transport.Addr, tc wire.TraceCtx, ifaceID uint32, proc uint16, args []byte) ([]byte, error) {
 	n.mu.RLock()
 	iface := n.ifaces[ifaceID]
 	n.mu.RUnlock()
@@ -113,9 +131,13 @@ func (n *Node) dispatch(src transport.Addr, ifaceID uint32, proc uint16, args []
 	if fn == nil {
 		return nil, ErrNoSuchProc
 	}
+	ctx := context.Background()
+	if tc.Valid() {
+		ctx = proto.ContextWithTrace(ctx, tc)
+	}
 	d := decPool.Get().(*marshal.Dec)
 	d.Reset(args)
-	res, err := fn(src, d)
+	res, err := fn(ctx, src, d)
 	d.Reset(nil) // drop the args reference before pooling
 	decPool.Put(d)
 	return res, err

@@ -12,6 +12,8 @@
 //	/debug/rpc/peers  peer/channel table only
 //	/debug/rpc/hist   per-peer and per-method latency summaries only
 //	/debug/rpc/trace  stage-trace accounting (empty unless tracing is on)
+//	/debug/rpc/trace/spans  assembled distributed-trace spans (add ?format=perfetto for a viewer-ready document)
+//	/debug/rpc/flight  per-Conn flight recorder: live anomaly ring + last auto-dump
 //	/debug/rpc/sim    registered simulation kernels: clock + per-resource stats
 //	/debug/rpc/metrics  Prometheus text format: counters, latency histograms, sim gauges
 //	/debug/vars       expvar (includes the "fireflyrpc" snapshot var)
@@ -190,6 +192,10 @@ func Handler() http.Handler {
 			out["joined"] = snap.Accounting
 		}
 		writeJSON(w, out)
+	})
+	mux.HandleFunc("/debug/rpc/trace/spans", serveSpans)
+	mux.HandleFunc("/debug/rpc/flight", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, flightSnapshot())
 	})
 	mux.HandleFunc("/debug/rpc/sim", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, simSnapshot())

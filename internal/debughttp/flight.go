@@ -1,0 +1,91 @@
+package debughttp
+
+import (
+	"fmt"
+	"net/http"
+
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/simtrace"
+)
+
+// The flight-recorder and distributed-span pages: like everything else on
+// this surface, pull-time snapshots of lock-free state the protocol already
+// maintains — serving them costs in-flight calls nothing.
+
+// FlightView is one Conn's flight-recorder state: the live anomaly ring and
+// the most recent auto-dump.
+type FlightView struct {
+	Events []proto.FlightEvent `json:"events"`
+	Dumps  int64               `json:"dumps"`
+	Last   *proto.FlightDump   `json:"last_dump,omitempty"`
+}
+
+// flightSnapshot collects every registered Conn's recorder state.
+func flightSnapshot() map[string]FlightView {
+	names, conns := registeredConns()
+	out := make(map[string]FlightView, len(names))
+	for i, c := range conns {
+		last, dumps := c.LastFlightDump()
+		out[names[i]] = FlightView{Events: c.FlightEvents(), Dumps: dumps, Last: last}
+	}
+	return out
+}
+
+// spansSnapshot assembles distributed-trace spans across every registered
+// tracing Conn, so a process hosting several endpoints of a chained call
+// (or scraped by a collector that merges processes) reports one causally
+// linked span set.
+func spansSnapshot() []proto.Span {
+	_, conns := registeredConns()
+	var rings [][]proto.TraceRecord
+	for _, c := range conns {
+		if c.TracingEnabled() {
+			rings = append(rings, c.TraceRecords())
+		}
+	}
+	if len(rings) == 0 {
+		return nil
+	}
+	return proto.AssembleSpans(rings...)
+}
+
+// PerfettoSpans converts real-stack spans into the shared simtrace span
+// schema, placing each under the named process with one track per activity.
+// The result feeds simtrace.Builder.AddSpans — standalone via NewSpanDoc, or
+// merged into a simulation run's document.
+func PerfettoSpans(process string, spans []proto.Span) []simtrace.Span {
+	out := make([]simtrace.Span, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		sp := simtrace.Span{
+			Trace:   s.TraceID,
+			ID:      s.SpanID,
+			Parent:  s.Parent,
+			Process: process,
+			Track:   fmt.Sprintf("act %x", s.Activity),
+			Name:    fmt.Sprintf("rpc %d/%d", s.Interface, s.Proc),
+			StartNs: s.StartNs(),
+			EndNs:   s.EndNs(),
+			Args:    [][2]string{{"seq", fmt.Sprint(s.Seq)}},
+		}
+		if s.Retries > 0 {
+			sp.Args = append(sp.Args, [2]string{"retries", fmt.Sprint(s.Retries)})
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// serveSpans handles /debug/rpc/trace/spans: the assembled span set as
+// JSON, or (?format=perfetto) a ready-to-load Perfetto trace document.
+func serveSpans(w http.ResponseWriter, r *http.Request) {
+	spans := spansSnapshot()
+	if r.URL.Query().Get("format") == "perfetto" {
+		b := simtrace.NewSpanDoc()
+		b.AddSpans(PerfettoSpans("rpc", spans))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = b.WriteTo(w)
+		return
+	}
+	writeJSON(w, spans)
+}

@@ -3,6 +3,8 @@ package debughttp
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +13,15 @@ import (
 	"fireflyrpc/internal/sim"
 	"fireflyrpc/internal/stats"
 )
+
+// buildVersion reports the main module's version when build info is
+// embedded (it is not under plain `go test`, hence the guard).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
 
 // simReg holds the kernels the surface reports on, alongside the Conn
 // registry. A simulation registered here can be watched live over HTTP while
@@ -82,13 +93,29 @@ func promEscape(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// The fixed Prometheus le grid: powers of two from 2^10 ns (~1 µs) to
+// 2^36 ns (~69 s), every other exponent. A histogram series must expose the
+// same le set on every scrape — the export used to emit only the snapshot's
+// non-empty log2 buckets, so the label set mutated as traffic arrived and
+// rate()/histogram_quantile() silently misbehaved across scrapes.
+const (
+	histLeMinExp  = 10
+	histLeMaxExp  = 36
+	histLeExpStep = 2
+)
+
 // writeHist renders one stats.Hist snapshot as a Prometheus histogram
-// (cumulative le buckets in seconds, then +Inf, _sum, _count).
+// (cumulative counts on the fixed le grid in seconds, then +Inf, _sum,
+// _count). stats.Hist bucket b holds durations in [2^(b-1), 2^b) ns, so the
+// cumulative count at le = 2^k ns is the sum of buckets 0..k.
 func writeHist(w io.Writer, name, labels string, snap stats.HistSnapshot) {
 	var cum int64
-	for _, b := range snap.Buckets() {
-		cum += b.N
-		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, float64(b.HiNs)/1e9, cum)
+	b := 0
+	for k := histLeMinExp; k <= histLeMaxExp; k += histLeExpStep {
+		for ; b <= k && b < len(snap.Counts); b++ {
+			cum += snap.Counts[b]
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, float64(int64(1)<<k)/1e9, cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, snap.N)
 	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, strings.TrimSuffix(labels, ","), float64(snap.SumNs)/1e9)
@@ -116,6 +143,10 @@ func registeredConns() ([]string, []*proto.Conn) {
 // Prometheus text exposition format.
 func writeMetrics(w io.Writer) {
 	names, conns := registeredConns()
+
+	fmt.Fprint(w, "# TYPE fireflyrpc_build_info gauge\n")
+	fmt.Fprintf(w, "fireflyrpc_build_info{go_version=\"%s\",module_version=\"%s\"} 1\n",
+		promEscape(runtime.Version()), promEscape(buildVersion()))
 
 	fmt.Fprint(w, "# TYPE fireflyrpc_counter_total counter\n")
 	for i, c := range conns {

@@ -139,6 +139,7 @@ func (p *Pending) cancelNotify(cause error) {
 	if already {
 		return
 	}
+	p.c.flight.record(FlightCancelSent, k.activity, k.seq, 0)
 	if p.ch.features()&wire.FeatCancel == 0 {
 		// The negotiated session says the peer does not understand cancel
 		// packets; the local call still fails immediately, the server just
@@ -177,13 +178,60 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 		return err // cancelled before sending anything
 	}
 
+	ch := c.channelOf(dst)
+	// First contact kicks off session negotiation without waiting: the call
+	// proceeds under the legacy-implied capability set until the peer's
+	// hello-ack lands. Once the channel leaves the unknown state this is a
+	// single atomic load.
+	c.ensureSession(ch)
+
+	// Sampled stage tracing plus distributed trace context. One atomic load
+	// when tracing is disabled (rec stays nil and the context is never
+	// consulted). With tracing on, a call carrying a sampled parent context
+	// is always traced — claimFlagged bypasses the local sampler — so every
+	// hop of a chained call joins the tree; its span parents onto the
+	// caller's ambient span and inherits the trace id.
+	rec, traceOn := c.trace.sample()
+	var tc wire.TraceCtx
+	var parentSpan uint64
+	if traceOn {
+		if ptc, ok := TraceContextFrom(ctx); ok && ptc.Sampled() {
+			if rec == nil {
+				rec = c.trace.claimFlagged()
+			}
+			tc.TraceID = ptc.TraceID
+			parentSpan = ptc.SpanID
+		}
+		if rec != nil {
+			if tc.TraceID == 0 {
+				tc.TraceID = c.newSpanID()
+			}
+			tc.SpanID = c.newSpanID()
+			tc.Flags = wire.TraceFlagSampled
+		}
+	}
+	// The context rides the wire only on sessions that negotiated FeatTrace
+	// (a v0 peer would misparse the prefix as arguments; it gets the legacy
+	// FlagTraced bit instead). The prefix is part of the message stream, so
+	// fragmentation reserves its bytes in fragment 0's budget.
+	inlineTC := rec != nil && ch.features()&wire.FeatTrace != 0
+	extra := 0
+	if inlineTC {
+		extra = wire.TraceCtxLen
+	}
+
 	// Single-packet calls — the fast path — skip the fragmentation helper
 	// and its slice allocation entirely.
 	maxP := c.maxPayload()
 	nfrags := 1
 	var frags [][]byte
-	if len(args) > maxP {
-		frags = fragment(args, maxP)
+	if len(args)+extra > maxP {
+		if extra > 0 {
+			frags = append(frags, args[:maxP-extra])
+			frags = append(frags, fragment(args[maxP-extra:], maxP)...)
+		} else {
+			frags = fragment(args, maxP)
+		}
 		if len(frags) > maxFragments {
 			return ErrTooLarge
 		}
@@ -203,24 +251,17 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 
 	k := callKey{activity, seq}
 	oc := getOutCall(k, dst, resBuf)
-	// Sampled stage tracing: claim a pooled ring record and stamp the
-	// start. One atomic load when tracing is disabled (rec stays nil).
-	rec := c.trace.sample()
 	oc.mu.Lock()
 	oc.deadline = deadline
 	oc.iface, oc.proc = iface, proc
 	if rec != nil {
 		rec.claim(activity, seq)
+		rec.setSpan(tc.TraceID, tc.SpanID, parentSpan)
+		rec.setMethod(iface, proc)
 		rec.stamp(StageStart)
 		oc.trace = rec
 	}
 	oc.mu.Unlock()
-	ch := c.channelOf(dst)
-	// First contact kicks off session negotiation without waiting: the call
-	// proceeds under the legacy-implied capability set until the peer's
-	// hello-ack lands. Once the channel leaves the unknown state this is a
-	// single atomic load.
-	c.ensureSession(ch)
 	ch.callsMu.Lock()
 	ch.calls[k] = oc
 	ch.callsMu.Unlock()
@@ -270,15 +311,25 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 		hdr.Hint = uint16(ms)
 		hdr.Flags |= wire.FlagBudget
 	}
+	if inlineTC {
+		// Every fragment advertises the prefix; its bytes ride in fragment 0.
+		hdr.Flags |= wire.FlagTraceCtx
+	}
 
 	if nfrags == 1 {
 		last := hdr
 		last.Flags |= wire.FlagLastFrag
-		if rec != nil {
-			// Ask the server to stamp its stages for this call too.
-			last.Flags |= wire.FlagTraced
+		var frame *buffer.Frame
+		if inlineTC {
+			frame = c.newFrameTC(last, tc, args)
+		} else {
+			if rec != nil {
+				// Ask the server to stamp its stages for this call too —
+				// the legacy path for peers without FeatTrace.
+				last.Flags |= wire.FlagTraced
+			}
+			frame = c.newFrame(last, args)
 		}
-		frame := c.newFrame(last, args)
 		sent := now
 		if err := c.send(dst, frame.Bytes()); err != nil {
 			frame.Release()
@@ -302,7 +353,11 @@ func (c *Conn) StartCall(ctx context.Context, dst transport.Addr, activity uint6
 	// until the pump exits, which Await waits for.
 	pump := make(chan struct{})
 	p.pump = pump
-	go c.pumpCall(oc, ch, k, hdr, frags, iv, deadline, pump)
+	var tcp *wire.TraceCtx
+	if inlineTC {
+		tcp = &tc
+	}
+	go c.pumpCall(oc, ch, k, hdr, frags, iv, deadline, pump, tcp)
 	return nil
 }
 
@@ -332,14 +387,20 @@ func (c *Conn) armRetrans(oc *outCall, k callKey, frame *buffer.Frame, sent time
 // fragment. It exits promptly if the call completes or is cancelled
 // mid-stream (sendFragWithAck watches oc.done).
 func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
-	frags [][]byte, iv time.Duration, deadline time.Time, pump chan struct{}) {
+	frags [][]byte, iv time.Duration, deadline time.Time, pump chan struct{}, tcp *wire.TraceCtx) {
 	defer close(pump)
 	nfrags := len(frags)
 	for i := 0; i < nfrags-1; i++ {
 		h := hdr
 		h.FragIndex = uint16(i)
 		h.Flags |= wire.FlagPleaseAck
-		f := c.newFrame(h, frags[i])
+		var f *buffer.Frame
+		if i == 0 && tcp != nil {
+			// The trace-context prefix rides in fragment 0's bytes.
+			f = c.newFrameTC(h, *tcp, frags[i])
+		} else {
+			f = c.newFrame(h, frags[i])
+		}
 		err := c.sendFragWithAck(oc, k, f, uint16(i), deadline)
 		f.Release()
 		if err != nil {
@@ -353,7 +414,7 @@ func (c *Conn) pumpCall(oc *outCall, ch *channel, k callKey, hdr wire.RPCHeader,
 	oc.mu.Lock()
 	rec := oc.trace
 	oc.mu.Unlock()
-	if rec != nil {
+	if rec != nil && tcp == nil {
 		last.Flags |= wire.FlagTraced
 	}
 	frame := c.newFrame(last, frags[nfrags-1])
@@ -458,6 +519,7 @@ func (c *Conn) sendFragWithAck(oc *outCall, k callKey, frame *buffer.Frame, idx 
 				return ErrTimeout
 			}
 			c.stats.retransmits.Add(1)
+			c.noteRetransmit(k, retries, int64(interval), false)
 			if err := c.send(oc.dst, frame.Bytes()); err != nil {
 				return err
 			}

@@ -128,6 +128,13 @@ func DefaultConfig() Config {
 // that need the arguments afterwards must copy them.
 type Handler func(src transport.Addr, iface uint32, proc uint16, args []byte) ([]byte, error)
 
+// TraceHandler is a Handler that also receives the call's distributed
+// trace context (zero when the caller sent none). Dispatch layers that
+// re-emit the context on chained calls — core.Node threading it into the
+// handler's context.Context — serve with NewConnTraced; everything else is
+// identical to Handler.
+type TraceHandler func(src transport.Addr, tc wire.TraceCtx, iface uint32, proc uint16, args []byte) ([]byte, error)
+
 // Stats counts protocol events. It is the snapshot type returned by
 // Conn.Stats; the live counters are lock-free atomics.
 type Stats struct {
@@ -219,9 +226,10 @@ func (s *statCounters) snapshot() Stats {
 // path holds two of these locks at once except the documented
 // retransMu → outCall.mu nesting in the retransmission engine.
 type Conn struct {
-	tr      transport.Transport
-	cfg     Config
-	handler Handler // immutable after NewConn
+	tr       transport.Transport
+	cfg      Config
+	handler  Handler      // immutable after NewConn
+	thandler TraceHandler // immutable; set by NewConnTraced instead of handler
 
 	closed atomic.Bool
 
@@ -284,6 +292,16 @@ type Conn struct {
 	// methods is the per-method latency histogram table, populated only
 	// while tracing is enabled.
 	methods methodTable
+
+	// Distributed-trace span identifiers (tracectx.go): a per-Conn
+	// splitmix64 stream. spanSeed is immutable after NewConn.
+	spanSeed uint64
+	spanCtr  atomic.Uint64
+
+	// flight is the always-on anomaly recorder (flight.go): a fixed
+	// all-atomic event ring plus its dump triggers, embedded so recording
+	// never allocates.
+	flight flightRecorder
 }
 
 // execReq hands one complete call to a server worker. The fragment data is
@@ -302,6 +320,9 @@ type execReq struct {
 	// (from the call header's FlagBudget Hint); 0 when unknown. Only the
 	// admission queue's Deadline policy consumes it.
 	budgetNs int64
+	// tc is the call's distributed trace context (zero when the caller
+	// sent none), handed to a TraceHandler for downstream re-emission.
+	tc wire.TraceCtx
 }
 
 type callKey struct {
@@ -438,6 +459,9 @@ type serverAct struct {
 	frags map[uint16][]byte
 	count uint16
 	hdr   wire.RPCHeader
+	// tc is the current call's trace context, parsed from fragment 0's
+	// FlagTraceCtx prefix; zero for untraced calls and legacy peers.
+	tc    wire.TraceCtx
 	ackCh chan fragAck // acks of our result fragments; lazy, multi-frag only
 	// lastResultFrame is the final packet of the last result, retained in
 	// its pooled buffer for retransmission until the activity's next call
@@ -453,6 +477,17 @@ const (
 
 // NewConn wraps a transport. handler may be nil for a pure caller.
 func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
+	return newConn(tr, cfg, handler, nil)
+}
+
+// NewConnTraced is NewConn for a trace-aware dispatch layer: the handler
+// additionally receives each call's distributed trace context so it can
+// re-emit it on chained calls (core.Node builds a context.Context from it).
+func NewConnTraced(tr transport.Transport, cfg Config, handler TraceHandler) *Conn {
+	return newConn(tr, cfg, nil, handler)
+}
+
+func newConn(tr transport.Transport, cfg Config, handler Handler, thandler TraceHandler) *Conn {
 	if cfg.RetransInterval <= 0 {
 		cfg.RetransInterval = DefaultConfig().RetransInterval
 	}
@@ -467,6 +502,7 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		cfg:         cfg,
 		pings:       make(map[uint32]chan struct{}),
 		handler:     handler,
+		thandler:    thandler,
 		work:        make(chan execReq, 8*cfg.Workers),
 		workQuit:    make(chan struct{}),
 		retransKick: make(chan struct{}, 1),
@@ -475,6 +511,7 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 		helloVersion:    wire.SessionVersion,
 		helloMinVersion: wire.SessionMinVersion,
 		localFeatures:   defaultFeatures,
+		spanSeed:        hashString(tr.LocalAddr().String()) ^ uint64(time.Now().UnixNano()),
 	}
 	if cfg.AdvertiseFeatures != 0 {
 		c.localFeatures = cfg.AdvertiseFeatures
@@ -482,7 +519,7 @@ func NewConn(tr transport.Transport, cfg Config, handler Handler) *Conn {
 	for i := range c.peers.shards {
 		c.peers.shards[i].peers = make(map[string]*channel)
 	}
-	if cfg.Admission.Capacity > 0 && handler != nil {
+	if cfg.Admission.Capacity > 0 && (handler != nil || thandler != nil) {
 		c.admit = overload.NewQueue[execReq](cfg.Admission, c.shedExec)
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -580,6 +617,7 @@ func (c *Conn) shedExec(req execReq, _ overload.Reason) {
 	ch := act.ch
 	defer ch.executing.Add(-1)
 	c.stats.callsShed.Add(1)
+	c.flight.record(FlightShed, hdr.Activity, hdr.Seq, 0)
 	if req.trace != nil {
 		// Close out the server-side stage record so a traced shed call still
 		// joins: dispatch, done, and result-sent collapse to the shed point.
@@ -728,6 +766,22 @@ func (c *Conn) newFrame(h wire.RPCHeader, payload []byte) *buffer.Frame {
 	b := f.Cap()
 	h.MarshalTo(b)
 	copy(b[wire.RPCHeaderLen:], payload)
+	return f
+}
+
+// newFrameTC is newFrame with a wire.TraceCtx prefix spliced ahead of the
+// payload — FlagTraceCtx's wire layout: header, 17-byte context, payload.
+// The fragmentation budget in StartCall reserves the prefix bytes, so the
+// frame never exceeds the transport's MaxFrame.
+func (c *Conn) newFrameTC(h wire.RPCHeader, tc wire.TraceCtx, payload []byte) *buffer.Frame {
+	h.Version = wire.RPCVersion
+	h.Length = uint32(wire.TraceCtxLen + len(payload))
+	f := c.frames.Get()
+	f.SetLen(wire.RPCHeaderLen + wire.TraceCtxLen + len(payload))
+	b := f.Cap()
+	h.MarshalTo(b)
+	tc.MarshalTo(b[wire.RPCHeaderLen:])
+	copy(b[wire.RPCHeaderLen+wire.TraceCtxLen:], payload)
 	return f
 }
 

@@ -85,16 +85,24 @@ func (c *Conn) sendAck(dst transport.Addr, activity uint64, seq uint32, frag uin
 	_ = c.sendFrame(dst, h, nil)
 }
 
-// traceServerRecv claims a server-side stage record for a FlagTraced call
-// that has just become ready to execute, stamping its arrival (recvNs,
-// captured at frame entry) and its hand-off to the dispatch queue. The
-// record rides the execReq to the worker for the remaining stages.
+// traceServerRecv claims a server-side stage record for a traced call —
+// legacy FlagTraced or a sampled wire.TraceCtx prefix — that has just become
+// ready to execute, stamping its arrival (recvNs, captured at frame entry)
+// and its hand-off to the dispatch queue. With a trace context, the record
+// adopts the caller's trace and span ids, so both halves of the call join
+// into one span. The record rides the execReq to the worker for the
+// remaining stages.
 func (c *Conn) traceServerRecv(req *execReq, recvNs int64) {
+	if req.hdr.Flags&wire.FlagTraced == 0 && !req.tc.Sampled() {
+		return
+	}
 	rec := c.trace.claimFlagged()
 	if rec == nil {
 		return
 	}
 	rec.claim(req.hdr.Activity, req.hdr.Seq)
+	rec.setSpan(req.tc.TraceID, req.tc.SpanID, 0)
+	rec.setMethod(req.hdr.Interface, req.hdr.Proc)
 	rec.stampAt(StageSrvRecv, recvNs)
 	rec.stamp(StageSrvQueued)
 	req.trace = rec
@@ -106,10 +114,10 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 	// Traced calls stamp their arrival before any locking; untraced calls
 	// pay one branch on an already-loaded header byte.
 	var recvNs int64
-	if hdr.Flags&wire.FlagTraced != 0 {
+	if hdr.Flags&(wire.FlagTraced|wire.FlagTraceCtx) != 0 {
 		recvNs = traceNow()
 	}
-	if c.handler == nil || c.closed.Load() {
+	if (c.handler == nil && c.thandler == nil) || c.closed.Load() {
 		c.stats.rejects.Add(1)
 		rej := wire.RPCHeader{
 			Type: wire.TypeReject, Activity: hdr.Activity, Seq: hdr.Seq, FragCount: 1,
@@ -120,6 +128,19 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 	if hdr.FragCount == 0 || hdr.FragCount > maxFragments {
 		c.stats.badFrames.Add(1)
 		return
+	}
+	// A FeatTrace peer ships the distributed trace context as a message
+	// prefix riding in fragment 0; strip it before the payload joins
+	// reassembly.
+	var tc wire.TraceCtx
+	if hdr.Flags&wire.FlagTraceCtx != 0 && hdr.FragIndex == 0 {
+		parsed, perr := wire.UnmarshalTraceCtx(payload)
+		if perr != nil {
+			c.stats.badFrames.Add(1)
+			return
+		}
+		tc = parsed
+		payload = payload[wire.TraceCtxLen:]
 	}
 	ch := c.channelOf(src)
 	ch.touch(time.Now())
@@ -140,6 +161,9 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 	case hdr.Seq == act.lastSeq && act.lastSeq != 0:
 		switch act.phase {
 		case phaseReceiving:
+			if tc.Valid() {
+				act.tc = tc
+			}
 			needAck, req, run := c.storeFragLocked(act, hdr, payload)
 			if run {
 				ch.executing.Add(1)
@@ -181,6 +205,7 @@ func (c *Conn) onCallFrag(src transport.Addr, hdr wire.RPCHeader, payload []byte
 		act.abandoned = false
 		act.count = hdr.FragCount
 		act.hdr = hdr
+		act.tc = tc // resets any stale context from the previous call
 		if act.lastResultFrame != nil {
 			// Recycle the retained result buffer — the paper's on-the-fly
 			// replacement: the arrival of the next call frees the packet.
@@ -231,7 +256,7 @@ func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byt
 		buf := act.argBuf
 		act.argBuf = nil // the worker owns it until execution finishes
 		act.phase = phaseExecuting
-		return false, execReq{act: act, hdr: hdr, args: append(buf[:0], payload...), budgetNs: callBudgetNs(hdr)}, true
+		return false, execReq{act: act, hdr: hdr, tc: act.tc, args: append(buf[:0], payload...), budgetNs: callBudgetNs(hdr)}, true
 	}
 	if _, dup := act.frags[hdr.FragIndex]; dup {
 		c.stats.dupFrags.Add(1)
@@ -243,7 +268,7 @@ func (c *Conn) storeFragLocked(act *serverAct, hdr wire.RPCHeader, payload []byt
 		act.phase = phaseExecuting
 		frags := act.frags
 		act.frags = nil
-		return needAck, execReq{act: act, hdr: hdr, frags: frags, budgetNs: callBudgetNs(hdr)}, true
+		return needAck, execReq{act: act, hdr: hdr, tc: act.tc, frags: frags, budgetNs: callBudgetNs(hdr)}, true
 	}
 	return needAck, execReq{}, false
 }
@@ -279,7 +304,16 @@ func (c *Conn) execute(req execReq) {
 		}
 	}
 
-	result, err := c.handler(act.src, hdr.Interface, hdr.Proc, args)
+	var result []byte
+	var err error
+	if c.thandler != nil {
+		// Trace-aware dispatch: the handler sees the caller's trace context
+		// (zero for untraced or legacy calls) so it can re-emit it on calls
+		// it makes in turn.
+		result, err = c.thandler(act.src, req.tc, hdr.Interface, hdr.Proc, args)
+	} else {
+		result, err = c.handler(act.src, hdr.Interface, hdr.Proc, args)
+	}
 	c.stats.callsServed.Add(1)
 	if req.trace != nil {
 		req.trace.stamp(StageSrvDone)
@@ -449,6 +483,7 @@ func (c *Conn) sendResultFragWithAck(act *serverAct, call wire.RPCHeader, frame 
 				return false
 			}
 			c.stats.retransmits.Add(1)
+			c.noteRetransmit(callKey{call.Activity, call.Seq}, retries, int64(interval), false)
 			if err := c.send(act.src, frame.Bytes()); err != nil {
 				return false
 			}
@@ -590,7 +625,10 @@ func (c *Conn) onReject(src transport.Addr, hdr wire.RPCHeader) {
 	err := ErrRejected
 	if hdr.Hint == wire.RejectOverload {
 		c.stats.overloads.Add(1)
+		c.noteOverloadRecv(hdr.Activity, hdr.Seq)
 		err = ErrOverloaded
+	} else {
+		c.flight.record(FlightReject, hdr.Activity, hdr.Seq, 0)
 	}
 	oc.finish(k, nil, err)
 }
@@ -605,6 +643,7 @@ func (c *Conn) onCancel(src transport.Addr, hdr wire.RPCHeader) {
 		return
 	}
 	c.stats.cancels.Add(1)
+	c.flight.record(FlightCancelRecv, hdr.Activity, hdr.Seq, 0)
 	ch.actsMu.Lock()
 	act := ch.acts[hdr.Activity]
 	if act != nil && act.lastSeq == hdr.Seq && act.phase != phaseDone {

@@ -153,8 +153,10 @@ func (c *Conn) fireRetrans(oc *outCall) {
 		// Per-call deadline (Config.CallTimeout or the caller's context
 		// deadline) wins over the retry budget, even while retransmissions
 		// are being answered with in-progress acks.
+		retries := oc.retries
 		oc.finishLocked(k, nil, ErrTimeout)
 		oc.mu.Unlock()
+		c.noteTimeout(k, retries)
 		return
 	}
 	if oc.nextAt.After(now) {
@@ -167,8 +169,10 @@ func (c *Conn) fireRetrans(oc *outCall) {
 	}
 	oc.retries++
 	if oc.retries > c.cfg.MaxRetries {
+		retries := oc.retries - 1
 		oc.finishLocked(k, nil, ErrTimeout)
 		oc.mu.Unlock()
+		c.noteTimeout(k, retries)
 		return
 	}
 	c.stats.retransmits.Add(1)
@@ -188,15 +192,20 @@ func (c *Conn) fireRetrans(oc *outCall) {
 		oc.trace.stamp(StageRetransmit)
 		oc.trace.retries.Store(int32(oc.retries))
 	}
+	doubled := false
 	if oc.interval < 8*c.cfg.RetransInterval {
 		oc.interval *= 2
+		doubled = true
 	}
+	retries := oc.retries
+	intervalNs := int64(oc.interval)
 	oc.nextAt = now.Add(oc.interval)
 	at := oc.nextAt
 	if !oc.deadline.IsZero() && oc.deadline.Before(at) {
 		at = oc.deadline // fire the deadline check promptly
 	}
 	oc.mu.Unlock()
+	c.noteRetransmit(k, retries, intervalNs, doubled)
 	c.scheduleRetrans(oc, k, at)
 }
 

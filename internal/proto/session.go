@@ -45,8 +45,10 @@ const (
 const legacyFeatures = wire.FeatBudget | wire.FeatCancel
 
 // defaultFeatures is what a connection advertises unless
-// Config.AdvertiseFeatures narrows it.
-const defaultFeatures = wire.FeatBudget | wire.FeatCancel | wire.FeatBatch
+// Config.AdvertiseFeatures narrows it. FeatTrace is safe to advertise
+// unconditionally: the trace-context prefix is only emitted once the peer
+// has agreed to it, and never on the legacy session.
+const defaultFeatures = wire.FeatBudget | wire.FeatCancel | wire.FeatBatch | wire.FeatTrace
 
 // sessFeatMask bounds the feature bits stored in the packed word. Known
 // bits live far below it, and negotiation intersects with our own
@@ -181,6 +183,7 @@ func (c *Conn) helloExpire(ch *channel, nonce uint32, attempt int) {
 	}
 	if ch.casSess(sessPending, packSess(sessLegacy, 0, legacyFeatures)) {
 		c.stats.sessionsLegacy.Add(1)
+		c.flight.record(FlightSessionFallback, 0, 0, int64(attempt))
 	}
 }
 

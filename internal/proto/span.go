@@ -1,0 +1,107 @@
+package proto
+
+import "sort"
+
+// Span assembly: join stage-trace records from any number of rings into
+// per-call spans carrying the distributed-trace identity. A call's caller
+// half and server half stamp the same SpanID (the caller generates it and
+// ships it in the wire.TraceCtx prefix), so the join by (activity, seq)
+// yields one span per call with both sides' stamps; Parent links a chained
+// call's span to the handler span that issued it. The result renders as a
+// Perfetto timeline via internal/simtrace's shared span schema — the same
+// viewer a fireflysim runbook trace loads into.
+
+// Span is one call assembled across both endpoints' trace rings.
+type Span struct {
+	TraceID   uint64            `json:"trace"`
+	SpanID    uint64            `json:"span"`
+	Parent    uint64            `json:"parent,omitempty"`
+	Activity  uint64            `json:"activity"`
+	Seq       uint32            `json:"seq"`
+	Interface uint32            `json:"interface"`
+	Proc      uint16            `json:"proc"`
+	Retries   int32             `json:"retries,omitempty"`
+	TS        [stageCount]int64 `json:"ts"`
+}
+
+// StartNs is the span's earliest stamp: the caller's start when the caller
+// ring was joined, else the server's receive (a legacy peer's server-only
+// record still renders, just without the wire time).
+func (s *Span) StartNs() int64 {
+	for _, st := range []Stage{StageStart, StageSent, StageSrvRecv, StageSrvQueued, StageSrvDispatch} {
+		if s.TS[st] != 0 {
+			return s.TS[st]
+		}
+	}
+	return 0
+}
+
+// EndNs is the span's latest completion stamp.
+func (s *Span) EndNs() int64 {
+	for _, st := range []Stage{StageWakeup, StageResultRecv, StageSrvResultSent, StageSrvDone} {
+		if s.TS[st] != 0 {
+			return s.TS[st]
+		}
+	}
+	return s.StartNs()
+}
+
+// AssembleSpans joins trace records from one or more rings (typically every
+// Conn that participated in a scenario) into spans, ordered by start time.
+// Records without a distributed-trace identity — calls sampled before
+// FeatTrace negotiation, or stamped for a legacy FlagTraced peer — carry no
+// SpanID and are skipped; Account still covers them.
+func AssembleSpans(recordSets ...[]TraceRecord) []Span {
+	type key struct {
+		activity uint64
+		seq      uint32
+	}
+	merged := make(map[key]*TraceRecord)
+	var order []key
+	for _, set := range recordSets {
+		for i := range set {
+			r := &set[i]
+			k := key{r.Activity, r.Seq}
+			m := merged[k]
+			if m == nil {
+				cp := *r
+				merged[k] = &cp
+				order = append(order, k)
+				continue
+			}
+			mergeTraceRecord(m, r)
+		}
+	}
+	spans := make([]Span, 0, len(order))
+	for _, k := range order {
+		m := merged[k]
+		if m.SpanID == 0 {
+			continue
+		}
+		spans = append(spans, Span{
+			TraceID:   m.TraceID,
+			SpanID:    m.SpanID,
+			Parent:    m.Parent,
+			Activity:  m.Activity,
+			Seq:       m.Seq,
+			Interface: m.Interface,
+			Proc:      m.Proc,
+			Retries:   m.Retries,
+			TS:        m.TS,
+		})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		si, sj := spans[i].StartNs(), spans[j].StartNs()
+		if si != sj {
+			return si < sj
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	return spans
+}
+
+// Spans assembles this Conn's own ring; a multi-node view passes every
+// participating ring to AssembleSpans.
+func (c *Conn) Spans() []Span {
+	return AssembleSpans(c.TraceRecords())
+}

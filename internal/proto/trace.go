@@ -92,7 +92,15 @@ type traceRec struct {
 	activity atomic.Uint64
 	seq      atomic.Uint32
 	retries  atomic.Int32
-	ts       [stageCount]atomic.Int64
+	// Distributed-trace identity (tracectx.go): the trace this call belongs
+	// to, the span both endpoints share for it, and the caller's ambient
+	// parent span. Zero on records from peers that never sent a context.
+	traceID atomic.Uint64
+	spanID  atomic.Uint64
+	parent  atomic.Uint64
+	iface   atomic.Uint32
+	proc    atomic.Uint32
+	ts      [stageCount]atomic.Int64
 }
 
 func (r *traceRec) claim(activity uint64, seq uint32) {
@@ -100,9 +108,25 @@ func (r *traceRec) claim(activity uint64, seq uint32) {
 	r.activity.Store(activity)
 	r.seq.Store(seq)
 	r.retries.Store(0)
+	r.traceID.Store(0)
+	r.spanID.Store(0)
+	r.parent.Store(0)
+	r.iface.Store(0)
+	r.proc.Store(0)
 	for i := range r.ts {
 		r.ts[i].Store(0)
 	}
+}
+
+func (r *traceRec) setSpan(traceID, spanID, parent uint64) {
+	r.traceID.Store(traceID)
+	r.spanID.Store(spanID)
+	r.parent.Store(parent)
+}
+
+func (r *traceRec) setMethod(iface uint32, proc uint16) {
+	r.iface.Store(iface)
+	r.proc.Store(uint32(proc))
 }
 
 func (r *traceRec) stamp(s Stage)             { r.ts[s].Store(traceNow()) }
@@ -110,12 +134,20 @@ func (r *traceRec) stampAt(s Stage, ns int64) { r.ts[s].Store(ns) }
 
 // TraceRecord is the exported snapshot of one sampled call: timestamps in
 // nanoseconds since a process-wide origin, zero meaning the stage was not
-// reached (or belongs to the other endpoint's ring).
+// reached (or belongs to the other endpoint's ring). TraceID/SpanID/Parent
+// carry the distributed-trace identity when the call ran with a trace
+// context; records from a caller and a server stamp the same SpanID, which
+// is how AssembleSpans joins them into one span.
 type TraceRecord struct {
-	Activity uint64
-	Seq      uint32
-	Retries  int32
-	TS       [stageCount]int64
+	Activity  uint64
+	Seq       uint32
+	Retries   int32
+	TraceID   uint64
+	SpanID    uint64
+	Parent    uint64
+	Interface uint32
+	Proc      uint16
+	TS        [stageCount]int64
 }
 
 // Stamped reports whether stage s was recorded.
@@ -135,18 +167,19 @@ type tracer struct {
 const DefaultTraceRing = 1024
 
 // sample returns a claimed ring record for this call if tracing is enabled
-// and the 1-in-N sampler selects it, else nil. The sampler is a plain
-// modulo counter, so a single sequential caller sees deterministic
-// selection (calls N, 2N, 3N, …).
-func (t *tracer) sample() *traceRec {
+// and the 1-in-N sampler selects it, else nil, plus whether tracing is
+// enabled at all (so the call path learns both from the one atomic load it
+// is budgeted). The sampler is a plain modulo counter, so a single
+// sequential caller sees deterministic selection (calls N, 2N, 3N, …).
+func (t *tracer) sample() (*traceRec, bool) {
 	n := t.sampleN.Load()
 	if n == 0 {
-		return nil
+		return nil, false
 	}
 	if t.ctr.Add(1)%uint64(n) != 0 {
-		return nil
+		return nil, true
 	}
-	return t.claimSlot()
+	return t.claimSlot(), true
 }
 
 // claimFlagged claims a record for a call another endpoint sampled (the
@@ -223,6 +256,11 @@ func (c *Conn) TraceRecords() []TraceRecord {
 		rec.Activity = r.activity.Load()
 		rec.Seq = r.seq.Load()
 		rec.Retries = r.retries.Load()
+		rec.TraceID = r.traceID.Load()
+		rec.SpanID = r.spanID.Load()
+		rec.Parent = r.parent.Load()
+		rec.Interface = r.iface.Load()
+		rec.Proc = uint16(r.proc.Load())
 		for s := range rec.TS {
 			rec.TS[s] = r.ts[s].Load()
 		}
@@ -298,14 +336,7 @@ func Account(recordSets ...[]TraceRecord) AccountingReport {
 				order = append(order, k)
 				continue
 			}
-			for s := range m.TS {
-				if m.TS[s] == 0 {
-					m.TS[s] = r.TS[s]
-				}
-			}
-			if r.Retries > m.Retries {
-				m.Retries = r.Retries
-			}
+			mergeTraceRecord(m, r)
 		}
 	}
 	rep := AccountingReport{Stages: make([]StageStat, len(accountingSpans))}
@@ -342,6 +373,33 @@ func Account(recordSets ...[]TraceRecord) AccountingReport {
 		rep.E2EUs = e2eSum / n / 1e3
 	}
 	return rep
+}
+
+// mergeTraceRecord folds r's stamps and identity into m (both halves of
+// one call, joined by (activity, seq)): zero timestamps fill in from the
+// other endpoint's record, and the distributed-trace identity keeps
+// whichever side carries it.
+func mergeTraceRecord(m, r *TraceRecord) {
+	for s := range m.TS {
+		if m.TS[s] == 0 {
+			m.TS[s] = r.TS[s]
+		}
+	}
+	if r.Retries > m.Retries {
+		m.Retries = r.Retries
+	}
+	if m.TraceID == 0 {
+		m.TraceID = r.TraceID
+	}
+	if m.SpanID == 0 {
+		m.SpanID = r.SpanID
+	}
+	if m.Parent == 0 {
+		m.Parent = r.Parent
+	}
+	if m.Interface == 0 && m.Proc == 0 {
+		m.Interface, m.Proc = r.Interface, r.Proc
+	}
 }
 
 // Accounting compiles this Conn's own ring. A full-path breakdown joins

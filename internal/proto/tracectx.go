@@ -1,0 +1,56 @@
+package proto
+
+import (
+	"context"
+
+	"fireflyrpc/internal/wire"
+)
+
+// Distributed trace propagation. A sampled call carries a wire.TraceCtx
+// prefix (behind the negotiated FeatTrace session bit) naming the trace it
+// belongs to and the span the caller opened for it. On the server, the
+// dispatch layer (core.Node) rebuilds a context.Context holding that
+// identity; a handler that makes further calls threads it through, and
+// StartCall reads it back — so a chained call's span parents onto the
+// handler's span and every hop of a multi-node call joins one causal tree.
+//
+// Cost discipline: the context is only consulted when tracing is enabled on
+// the local Conn (the same single atomic load the stage tracer pays), and
+// ContextWithTrace only allocates for calls that actually carry a sampled
+// context — the steady-state untraced path never touches any of this.
+
+// traceCtxKey keys the wire.TraceCtx value in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying tc, for handlers and clients
+// that thread a caller's trace identity through to downstream calls. An
+// invalid (zero) context returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tc wire.TraceCtx) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context from ctx, if one is carried.
+func TraceContextFrom(ctx context.Context) (wire.TraceCtx, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(wire.TraceCtx)
+	return tc, ok
+}
+
+// newSpanID returns a fresh non-zero span (or trace) identifier: a
+// splitmix64 stream seeded per Conn from the local address and start time,
+// so concurrent endpoints in one process draw from distinct sequences
+// without coordination, and the call path pays one atomic add.
+func (c *Conn) newSpanID() uint64 {
+	x := c.spanSeed + c.spanCtr.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

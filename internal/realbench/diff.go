@@ -91,6 +91,11 @@ func cellKey(r Result) string {
 	if r.Batch {
 		k += "@batch"
 	}
+	// Traced cells likewise: tracing-on runs carry the sampling and wire-
+	// prefix cost by design, and gate against a traced baseline only.
+	if r.Traced {
+		k += "@trace"
+	}
 	return k
 }
 

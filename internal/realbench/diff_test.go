@@ -140,3 +140,22 @@ func TestDiffProfileIsolation(t *testing.T) {
 		t.Fatalf("impaired cell not keyed into its own namespace: %v", rep.MissingOld)
 	}
 }
+
+// TestDiffTraceIsolation: a tracing-on cell keys into the @trace namespace,
+// so the (deliberate, bounded) tracing cost is gated against a traced
+// baseline and never reads as a regression of the untraced cells.
+func TestDiffTraceIsolation(t *testing.T) {
+	old := baseSuite()
+	cur := baseSuite()
+	cur.Results = append(cur.Results, Result{
+		Bench: "NullAsync", Transport: "mem", Threads: 1, Outstanding: 8, Traced: true,
+		N: 1000, NsPerOp: 2600, AllocsPerOp: 2, CallsPerSec: 384000,
+	})
+	rep := Diff(old, cur, DefaultDiffOptions())
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("traced cell compared against untraced baseline: %s", rep.Format())
+	}
+	if len(rep.MissingOld) != 1 || !strings.Contains(rep.MissingOld[0], "@trace") {
+		t.Fatalf("traced cell not keyed into its own namespace: %v", rep.MissingOld)
+	}
+}

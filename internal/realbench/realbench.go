@@ -36,6 +36,7 @@ type Result struct {
 	Transport   string  `json:"transport"`         // mem | udp | tcp
 	Profile     string  `json:"profile,omitempty"` // faultnet profile name; empty = clean link
 	Batch       bool    `json:"batch,omitempty"`   // batched UDP datapath (sendmmsg/GSO)
+	Traced      bool    `json:"traced,omitempty"`  // stage tracing enabled on both Conns
 	Threads     int     `json:"threads"`
 	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
 	N           int     `json:"n"`                     // calls measured
@@ -87,7 +88,17 @@ type trOpts struct {
 	batch    bool   // batched UDP engine (ListenUDPBatch) instead of per-frame
 	recvMode string // batched engine receive mode ("" = park)
 	kind     string // "tcp" = multiplexed TCP streams instead of UDP sockets
+	traced   bool   // enable stage tracing on both Conns (production posture)
 }
+
+// The tracing posture traced cells run under: the production always-on
+// configuration (1-in-N sampling over a modest ring), not trace-everything.
+// The zero-cost-when-off invariant is about sampleN==0; these cells measure
+// what turning tracing ON costs, which is what the ≤5% CI gate bounds.
+const (
+	traceSampleN  = 64
+	traceRingSize = 4096
+)
 
 // pair builds a caller/server node pair over the requested transport.
 // When prof is non-nil the caller's transport is wrapped in a faultnet
@@ -131,6 +142,10 @@ func pair(to trOpts, workers int, prof *faultnet.Profile, seed uint64) (*benchPa
 	}
 	server := core.NewNode(serverTr, cfg)
 	caller := core.NewNode(callerTr, cfg)
+	if to.traced {
+		caller.Conn().SetTracing(traceSampleN, traceRingSize)
+		server.Conn().SetTracing(traceSampleN, traceRingSize)
+	}
 	server.Export(testsvc.ExportTest(impl{}))
 	binding := caller.Bind(server.Addr(), testsvc.TestName, testsvc.TestVersion)
 	p := &benchPair{binding: binding, caller: caller, server: server}
@@ -297,6 +312,13 @@ type Options struct {
 	// RecvMode selects the batched engine's receive loop
 	// (transport.RecvModePark or RecvModeSpin); empty = park.
 	RecvMode string
+
+	// Trace enables stage tracing on both Conns in every cell, at the
+	// production always-on posture (1-in-64 sampling). Results are tagged
+	// traced=true and diff under the @trace cell namespace, so the cost of
+	// tracing is gated against a traced baseline — never against the
+	// tracing-off cells.
+	Trace bool
 }
 
 // wantCase reports whether name passed the Options.Cases filter.
@@ -372,7 +394,7 @@ func Run(opts Options) Suite {
 		return suite
 	}
 	for _, tr := range transports {
-		to := trOpts{overUDP: tr.overUDP, batch: tr.batch, recvMode: opts.RecvMode, kind: tr.kind}
+		to := trOpts{overUDP: tr.overUDP, batch: tr.batch, recvMode: opts.RecvMode, kind: tr.kind, traced: opts.Trace}
 		for _, c := range cases {
 			if !opts.wantCase(c.name) {
 				continue
@@ -388,6 +410,7 @@ func Run(opts Options) Suite {
 					Transport:   tr.name,
 					Profile:     profName,
 					Batch:       to.batch,
+					Traced:      to.traced,
 					Threads:     th,
 					N:           br.N,
 					NsPerOp:     float64(br.NsPerOp()),
@@ -418,6 +441,7 @@ func Run(opts Options) Suite {
 					Transport:   tr.name,
 					Profile:     profName,
 					Batch:       to.batch,
+					Traced:      to.traced,
 					Threads:     1,
 					Outstanding: out,
 					N:           br.N,

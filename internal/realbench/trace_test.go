@@ -1,0 +1,78 @@
+package realbench
+
+import (
+	"math"
+	"testing"
+)
+
+// The acceptance gate for wire-propagated tracing: a two-hop chained call
+// (client → server A → server B, bound through the registry) must produce
+// one causally linked Perfetto-renderable trace per call — the A→B span a
+// child of the client→A span — and the joined stage accounting must
+// telescope: stage sums within 10% of measured end-to-end latency.
+func TestChainSpansLinked(t *testing.T) {
+	const calls = 32
+	rep, err := ChainSpans(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spans=%d roots=%d children=%d orphans=%d accounted=%d unaccounted=%+.2f%%",
+		len(rep.Spans), rep.Roots, rep.Children, rep.Orphans,
+		rep.Accounting.Calls, 100*rep.Unaccounted)
+
+	if !rep.Linked() {
+		t.Fatalf("trace not causally complete: roots=%d children=%d orphans=%d",
+			rep.Roots, rep.Children, rep.Orphans)
+	}
+	if rep.Roots != calls {
+		t.Errorf("roots = %d, want %d (one per chained call)", rep.Roots, calls)
+	}
+	// Every child must share its parent's trace id and carry both endpoints'
+	// stamps (the wire prefix reached B and B's ring joined in).
+	roots := make(map[uint64]uint64) // span id -> trace id
+	for i := range rep.Spans {
+		if rep.Spans[i].Parent == 0 {
+			roots[rep.Spans[i].SpanID] = rep.Spans[i].TraceID
+		}
+	}
+	for i := range rep.Spans {
+		s := &rep.Spans[i]
+		if s.Parent == 0 {
+			continue
+		}
+		if tid, ok := roots[s.Parent]; !ok || tid != s.TraceID {
+			t.Fatalf("child span %x: parent %x not a root of trace %x", s.SpanID, s.Parent, s.TraceID)
+		}
+		if s.StartNs() == 0 || s.EndNs() <= s.StartNs() {
+			t.Errorf("child span %x has degenerate bounds [%d, %d]", s.SpanID, s.StartNs(), s.EndNs())
+		}
+	}
+	if rep.Accounting.Calls == 0 {
+		t.Fatal("no fully stamped calls in the joined accounting")
+	}
+	if math.Abs(rep.Unaccounted) > 0.10 {
+		t.Errorf("stage sums leave %+.2f%% of e2e unaccounted (gate 10%%)", 100*rep.Unaccounted)
+	}
+}
+
+// TraceOverhead must run end to end over the exchange; the ratio itself is
+// gated in CI (-traceoverhead, ≤1.05), not here, where a loaded test runner
+// would make a tight bound flaky. A wildly out-of-bounds ratio still fails:
+// that is a mechanism bug, not noise.
+func TestTraceOverheadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := TraceOverhead(4000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("off: %.0f ns/op  on: %.0f ns/op  ratio: %.3f",
+		res.Off.NsPerOp, res.On.NsPerOp, res.Ratio)
+	if res.Off.NsPerOp <= 0 || res.On.NsPerOp <= 0 {
+		t.Fatal("side did not measure")
+	}
+	if res.Ratio > 2.0 {
+		t.Errorf("tracing-on ratio %.2fx — far above any plausible overhead", res.Ratio)
+	}
+}

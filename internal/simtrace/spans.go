@@ -1,0 +1,126 @@
+package simtrace
+
+import "fmt"
+
+// The shared span schema: one shape for "a call happened from StartNs to
+// EndNs on this process/track, inside this trace tree" that both domains
+// render through — the real stack's distributed-trace spans (assembled from
+// proto stage records) and simulation-side summaries. Both funnel through
+// AddSpans into the same Chrome trace-event JSON, so a multi-node run over
+// real transports and a fireflysim runbook run load into the same Perfetto
+// viewer, side by side or merged into one document.
+//
+// The package deliberately does not import the real stack (proto imports
+// nothing simulation-side and vice versa); callers that hold proto spans
+// convert them to this schema (see debughttp and cmd/fireflybench).
+
+// Span is one renderable span: identity for tree linkage, placement for the
+// viewer, and ordered args for determinism (maps would iterate randomly and
+// break byte-identical output).
+type Span struct {
+	Trace   uint64 // trace tree id (0: standalone)
+	ID      uint64 // unique within the document; flow arrows key on it
+	Parent  uint64 // parent span's ID (0: root)
+	Process string // Perfetto process row
+	Track   string // track within the process
+	Name    string // slice label
+	StartNs int64
+	EndNs   int64
+	Args    [][2]string // ordered key/value pairs rendered into the slice's args
+}
+
+// NewSpanDoc creates a builder for a spans-only document: the same emitter
+// NewBuilder wires into a simulation kernel, minus the kernel. Use it to
+// render real-stack spans (or any external span set) standalone; to merge
+// spans into a simulation trace, call AddSpans on the run's Builder instead.
+func NewSpanDoc() *Builder {
+	return &Builder{
+		pids:       make(map[string]int),
+		nextPid:    1,
+		tids:       make(map[string]int),
+		nextTid:    make(map[int]int),
+		threadName: make(map[int]string),
+		openRun:    make(map[int]bool),
+		stations:   make(map[string]string),
+		pendingRx:  make(map[string][]uint64),
+	}
+}
+
+// AddSpans renders spans as complete (X) slices, with a packet-flow arrow
+// from each parent slice to its child's start when both ends are present in
+// this batch. Callers pass spans in a deterministic order (the real stack's
+// AssembleSpans sorts by start time); pids/tids allocate in first-use order,
+// so the same span set always yields byte-identical JSON.
+func (b *Builder) AddSpans(spans []Span) {
+	type loc struct {
+		pid, tid   int
+		start, end int64
+	}
+	byID := make(map[uint64]loc, len(spans))
+	// Pre-register every span's track first so metadata order depends only
+	// on span order, not on the parent/child arrow pattern.
+	for i := range spans {
+		s := &spans[i]
+		pid := b.pid(s.Process)
+		tid := b.tid(pid, s.Track)
+		if s.ID != 0 {
+			byID[s.ID] = loc{pid, tid, s.StartNs, s.EndNs}
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		pid := b.pid(s.Process)
+		tid := b.tid(pid, s.Track)
+		dur := s.EndNs - s.StartNs
+		if dur < 0 {
+			dur = 0
+		}
+		b.open()
+		fmt.Fprintf(&b.buf, `{"name":"%s","cat":"span","ph":"X","pid":%d,"tid":%d,`, esc(s.Name), pid, tid)
+		ts(&b.buf, s.StartNs)
+		fmt.Fprintf(&b.buf, `,"dur":%d.%03d,"args":{`, dur/1000, dur%1000)
+		if s.Trace != 0 {
+			fmt.Fprintf(&b.buf, `"trace":"%016x","span":"%016x"`, s.Trace, s.ID)
+			if s.Parent != 0 {
+				fmt.Fprintf(&b.buf, `,"parent":"%016x"`, s.Parent)
+			}
+			for _, kv := range s.Args {
+				fmt.Fprintf(&b.buf, `,"%s":"%s"`, esc(kv[0]), esc(kv[1]))
+			}
+		} else {
+			for j, kv := range s.Args {
+				if j > 0 {
+					b.buf.WriteByte(',')
+				}
+				fmt.Fprintf(&b.buf, `"%s":"%s"`, esc(kv[0]), esc(kv[1]))
+			}
+		}
+		b.buf.WriteString("}}")
+
+		if s.Parent == 0 || s.ID == 0 {
+			continue
+		}
+		pl, ok := byID[s.Parent]
+		if !ok {
+			continue
+		}
+		// The arrow leaves the parent slice at the child's start, clamped
+		// into the parent's bounds (Perfetto binds an "s" event to the slice
+		// enclosing its timestamp).
+		at := s.StartNs
+		if at < pl.start {
+			at = pl.start
+		}
+		if at > pl.end {
+			at = pl.end
+		}
+		b.open()
+		fmt.Fprintf(&b.buf, `{"name":"call","cat":"span","ph":"s","id":%d,"pid":%d,"tid":%d,`, s.ID, pl.pid, pl.tid)
+		ts(&b.buf, at)
+		b.buf.WriteByte('}')
+		b.open()
+		fmt.Fprintf(&b.buf, `{"name":"call","cat":"span","ph":"f","bp":"e","id":%d,"pid":%d,"tid":%d,`, s.ID, pid, tid)
+		ts(&b.buf, s.StartNs)
+		b.buf.WriteByte('}')
+	}
+}

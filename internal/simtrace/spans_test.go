@@ -1,0 +1,99 @@
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{
+			Trace: 0xabc, ID: 1, Process: "rpc", Track: "act 1", Name: "client→A",
+			StartNs: 1000, EndNs: 9000,
+			Args: [][2]string{{"iface", "calc"}, {"proc", "2"}},
+		},
+		{
+			Trace: 0xabc, ID: 2, Parent: 1, Process: "rpc", Track: "act 2", Name: "A→B",
+			StartNs: 3000, EndNs: 7000,
+		},
+		{
+			ID: 3, Process: "rpc", Track: "act 3", Name: "standalone",
+			StartNs: 500, EndNs: 600,
+			Args: [][2]string{{"note", "no trace id"}},
+		},
+	}
+}
+
+// TestAddSpansDocument checks the rendered document is valid JSON carrying
+// the slices, the parent/child flow arrow, and the trace identity args.
+func TestAddSpansDocument(t *testing.T) {
+	b := NewSpanDoc()
+	b.AddSpans(sampleSpans())
+	out := b.JSON()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	var slices, starts, finishes int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+		case "s":
+			starts++
+		case "f":
+			finishes++
+		}
+	}
+	if slices != 3 {
+		t.Errorf("got %d X slices, want 3", slices)
+	}
+	if starts != 1 || finishes != 1 {
+		t.Errorf("got %d/%d flow start/finish events, want 1/1", starts, finishes)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"trace":"0000000000000abc"`,
+		`"parent":"0000000000000001"`,
+		`"iface":"calc"`,
+		`"client→A"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("document missing %s", want)
+		}
+	}
+}
+
+// TestAddSpansDeterministic: the same span set renders byte-identically.
+func TestAddSpansDeterministic(t *testing.T) {
+	render := func() []byte {
+		b := NewSpanDoc()
+		b.AddSpans(sampleSpans())
+		return b.JSON()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two renders of the same spans differ")
+	}
+}
+
+// TestAddSpansOnSimBuilder: spans merge into a kernel-attached builder's
+// document alongside simulation events (the real+sim merged-viewer path).
+func TestAddSpansMerge(t *testing.T) {
+	b := NewSpanDoc()
+	// Simulate prior sim content by pre-registering a process.
+	b.pid("machine0")
+	b.AddSpans(sampleSpans())
+	out := b.JSON()
+	if !json.Valid(out) {
+		t.Fatalf("merged document is not valid JSON:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"name":"rpc"`) {
+		t.Error("span process metadata missing from merged document")
+	}
+}

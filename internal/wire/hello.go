@@ -40,6 +40,13 @@ const (
 	// FeatStream is reserved for windowed bulk transfer (ROADMAP item 2b):
 	// pipelined multi-frame streams replacing stop-and-wait fragments.
 	FeatStream uint64 = 1 << 4
+	// FeatTrace: sampled calls may carry a TraceCtx message prefix
+	// (FlagTraceCtx) naming the distributed trace and parent span, and the
+	// peer both stamps its stage records under those identifiers and
+	// re-emits the context on chained calls. Never part of the legacy set:
+	// a v0 peer would misparse the prefix as arguments, so without this bit
+	// callers degrade to the advisory FlagTraced behavior.
+	FeatTrace uint64 = 1 << 5
 )
 
 // featureNames maps known bits to display names, in bit order.
@@ -52,6 +59,7 @@ var featureNames = []struct {
 	{FeatBatch, "batch"},
 	{FeatCoalesce, "coalesce"},
 	{FeatStream, "stream"},
+	{FeatTrace, "trace"},
 }
 
 // FeatureNames renders a feature bitset as its known bit names, in bit

@@ -86,6 +86,12 @@ const (
 	// remaining deadline budget in milliseconds, so a server running
 	// admission control can shed requests that cannot complete in time.
 	FlagBudget = 1 << 4
+	// FlagTraceCtx marks a call whose message stream begins with a TraceCtx
+	// prefix (see tracectx.go). Set on every fragment of the call; the
+	// prefix bytes ride in fragment 0. Only sent on sessions that
+	// negotiated FeatTrace — a v0 peer would misparse the prefix as
+	// arguments.
+	FlagTraceCtx = 1 << 5
 )
 
 // Reject reasons, carried in the Hint field of a TypeReject packet. The

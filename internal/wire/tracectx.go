@@ -1,0 +1,62 @@
+package wire
+
+// Distributed trace context. When a session has negotiated FeatTrace, a
+// sampled call's message stream begins with a fixed 17-byte TraceCtx prefix
+// (the header sets FlagTraceCtx on every fragment; the bytes themselves ride
+// in fragment 0, ahead of the marshalled arguments). The context names the
+// trace the call belongs to, the span the caller opened for it, and whether
+// the trace is sampled — enough for the server to stamp its own stage
+// records under the caller's identifiers and to re-emit the context on any
+// calls the handler makes in turn, linking a chained call's spans into one
+// causal tree.
+//
+// The prefix is part of the message, not the header, so the 32-byte
+// RPCHeader stays fixed-size and v0-compatible: a peer that never negotiated
+// FeatTrace is never sent the prefix (it would misparse it as arguments),
+// and instead degrades to the advisory FlagTraced bit.
+
+// TraceCtxLen is the fixed encoded size: trace id + span id + flags.
+const TraceCtxLen = 17
+
+// Trace context flags.
+const (
+	// TraceFlagSampled: the trace is sampled; both sides should record
+	// stage stamps and the server should propagate the context downstream.
+	TraceFlagSampled = 1 << 0
+)
+
+// TraceCtx is the trace context carried ahead of a sampled call's
+// arguments. TraceID identifies the whole causal tree (assigned by the
+// root caller, inherited by every downstream call); SpanID identifies the
+// caller's span for this specific call, and becomes the parent of any spans
+// the handler opens. A zero TraceID means "no context".
+type TraceCtx struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether the context names a trace.
+func (t *TraceCtx) Valid() bool { return t.TraceID != 0 }
+
+// Sampled reports whether the trace is sampled.
+func (t *TraceCtx) Sampled() bool { return t.TraceID != 0 && t.Flags&TraceFlagSampled != 0 }
+
+// MarshalTo writes the 17-byte context into b.
+func (t *TraceCtx) MarshalTo(b []byte) {
+	put64(b[0:], t.TraceID)
+	put64(b[8:], t.SpanID)
+	b[16] = t.Flags
+}
+
+// UnmarshalTraceCtx parses a trace context from the front of b.
+func UnmarshalTraceCtx(b []byte) (TraceCtx, error) {
+	var t TraceCtx
+	if len(b) < TraceCtxLen {
+		return t, ErrTruncated
+	}
+	t.TraceID = be64(b[0:])
+	t.SpanID = be64(b[8:])
+	t.Flags = b[16]
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package wire
+
+import "testing"
+
+func TestTraceCtxRoundTrip(t *testing.T) {
+	in := TraceCtx{TraceID: 0xDEADBEEFCAFEF00D, SpanID: 0x0123456789ABCDEF, Flags: TraceFlagSampled}
+	var b [TraceCtxLen]byte
+	in.MarshalTo(b[:])
+	out, err := UnmarshalTraceCtx(b[:])
+	if err != nil {
+		t.Fatalf("UnmarshalTraceCtx: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	if !out.Valid() || !out.Sampled() {
+		t.Fatalf("Valid/Sampled = %v/%v, want true/true", out.Valid(), out.Sampled())
+	}
+}
+
+func TestTraceCtxTruncated(t *testing.T) {
+	if _, err := UnmarshalTraceCtx(make([]byte, TraceCtxLen-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTraceCtxZero(t *testing.T) {
+	var z TraceCtx
+	if z.Valid() || z.Sampled() {
+		t.Fatalf("zero context must be invalid and unsampled")
+	}
+	// An unsampled-but-present context is valid but not sampled.
+	c := TraceCtx{TraceID: 1}
+	if !c.Valid() || c.Sampled() {
+		t.Fatalf("Valid/Sampled = %v/%v, want true/false", c.Valid(), c.Sampled())
+	}
+}
+
+func TestTraceCtxAsMessagePrefix(t *testing.T) {
+	// The context rides ahead of the arguments inside an RPC frame whose
+	// header carries FlagTraceCtx; the header Length covers prefix + args.
+	tc := TraceCtx{TraceID: 9, SpanID: 10, Flags: TraceFlagSampled}
+	args := []byte("argument bytes")
+	payload := make([]byte, TraceCtxLen+len(args))
+	tc.MarshalTo(payload)
+	copy(payload[TraceCtxLen:], args)
+	h := RPCHeader{Version: RPCVersion, Type: TypeCall, Flags: FlagLastFrag | FlagTraceCtx,
+		Activity: 3, Seq: 4, FragCount: 1, Length: uint32(len(payload))}
+	frame := make([]byte, RPCHeaderLen+len(payload))
+	h.MarshalTo(frame)
+	copy(frame[RPCHeaderLen:], payload)
+
+	gotHdr, gotPayload, err := UnmarshalRPC(frame)
+	if err != nil {
+		t.Fatalf("UnmarshalRPC: %v", err)
+	}
+	if gotHdr.Flags&FlagTraceCtx == 0 {
+		t.Fatalf("FlagTraceCtx lost: flags = %#x", gotHdr.Flags)
+	}
+	gotTC, err := UnmarshalTraceCtx(gotPayload)
+	if err != nil || gotTC != tc {
+		t.Fatalf("prefix = %+v, %v; want %+v", gotTC, err, tc)
+	}
+	if string(gotPayload[TraceCtxLen:]) != string(args) {
+		t.Fatalf("args = %q, want %q", gotPayload[TraceCtxLen:], args)
+	}
+}

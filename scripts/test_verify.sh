@@ -154,7 +154,29 @@ case "$out" in
 *) fail "runbook-validation failure did not print its step (got: $out)" ;;
 esac
 
-# 8. Unknown flags are rejected with a usage error.
+# 8. A failure in the flight-recorder alloc-budget step must propagate —
+# the zero-allocation recording guarantee is part of the contract.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*TestFlightRecorderAllocBudget*) exit 15 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a flight-recorder alloc failure"
+case "$out" in
+*"FAIL: alloc budget: flight recorder"*) ;;
+*) fail "flight-recorder alloc failure did not print its step (got: $out)" ;;
+esac
+
+# 9. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

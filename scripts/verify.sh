@@ -21,7 +21,11 @@
 # runbook's schema (the same cheap gate CI runs before the scenario suite)
 # and pin the macro-scenario executor's determinism: same runbook + seed =>
 # byte-identical report, and the committed overload runbook's assertions
-# must detect an admission-policy flip.
+# must detect an admission-policy flip. The tracing steps race the wire
+# trace-context propagation path (negotiated prefix, inheritance, legacy
+# fallback, the two-hop chained-call join) and pin the flight recorder's
+# zero-allocation budget: recording an anomaly in steady state must not
+# allocate.
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -80,6 +84,8 @@ run "chaos smoke: faultnet + overload race" go test -race ./internal/faultnet ./
 run "chaos smoke: tail inflation + determinism" go test -run 'TestTailSweepP99Inflation|TestTailSweepDeterministic' -count=1 ./internal/realbench
 run "race: batched transport" go test -race ./internal/transport
 run "race: session-negotiation" go test -race -run 'TestSession' ./internal/proto
+run "race: trace-propagation" go test -race -run 'TestTraceCtx|TestTraceLegacyV0Compat|TestChainSpansLinked' ./internal/proto ./internal/realbench
+run "alloc budget: flight recorder" go test -run 'TestFlightRecorderAllocBudget' -count=1 ./internal/proto
 run "tcp transport: conformance + proto" go test -count=1 -run 'TestTCP|TestConformance' ./internal/transport
 run "transport conformance: sim + faultnet" go test -count=1 -run 'TestConformance|TestProtoOver' ./internal/simnet ./internal/faultnet
 run "batch force-disabled: transport + proto" env FIREFLYRPC_NOBATCH=1 go test -count=1 ./internal/transport ./internal/proto ./internal/faultnet
