@@ -17,6 +17,7 @@
 //	fireflybench -real -traced    # real-stack benchmark with tracing on (@trace cells)
 //	fireflybench -traceoverhead   # tracing-on vs tracing-off async Null, gated ≤5%
 //	fireflybench -mergedtrace out.json  # one Perfetto doc: simulated run + real chained-call spans
+//	fireflybench -cluster         # replica-set hedged vs unhedged tail sweep (@cluster cells)
 package main
 
 import (
@@ -65,6 +66,10 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "trace Null calls through both endpoints and print the per-stage latency accounting")
 	breakdownCalls := flag.Int("breakdowncalls", 2000, "calls to trace for -breakdown")
 	breakdownSample := flag.Int("breakdownsample", 64, "sampling stride for the -breakdown overhead measurement")
+	clusterSweep := flag.Bool("cluster", false, "run the replica-set hedged vs unhedged tail sweep and write @cluster cells to -realout")
+	clusterReplicas := flag.Int("clusterreplicas", 3, "replica-set size for -cluster")
+	clusterLoss := flag.Float64("clusterloss", 0.10, "caller-uplink frame-drop probability for -cluster")
+	clusterCalls := flag.Int("clustercalls", 1000, "measured calls per caller thread for -cluster")
 	simTrace := flag.String("simtrace", "", "write a Chrome trace-event JSON timeline of a simulated run to this path and exit")
 	simTraceThreads := flag.Int("simtracethreads", 4, "caller threads for -simtrace")
 	simTraceCalls := flag.Int("simtracecalls", 200, "total calls for -simtrace")
@@ -91,6 +96,11 @@ func main() {
 
 	if *traceOverhead {
 		runTraceOverhead(*traceOverheadCalls, *traceOverheadWidth, *traceOverheadBound)
+		return
+	}
+
+	if *clusterSweep {
+		runCluster(*realOut, *clusterReplicas, *clusterLoss, *clusterCalls, *seed)
 		return
 	}
 
@@ -233,6 +243,38 @@ func runReal(outPath, threadSpec, fanoutSpec, caseSpec, timeSpec string, memOnly
 		RecvMode:    recvMode,
 		Trace:       traced,
 	})
+	if err := suite.WriteJSON(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", outPath, len(suite.Results))
+}
+
+// runCluster runs the hedged vs unhedged replica-set sweep and writes the
+// @cluster cells as their own suite — the measurement behind the
+// EXPERIMENTS.md hedging table and the cluster cells in the committed
+// baseline.
+func runCluster(outPath string, replicas int, loss float64, callsPerThread int, seed uint64) {
+	fmt.Printf("Replica-set tail sweep: %d replicas, %.0f%% caller-uplink loss, 2%% 20ms stragglers\n",
+		replicas, 100*loss)
+	results, err := realbench.ClusterSweep(realbench.ClusterOptions{
+		Replicas:       replicas,
+		Loss:           loss,
+		CallsPerThread: callsPerThread,
+		Seed:           seed,
+		Log:            os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fireflybench: cluster sweep: %v\n", err)
+		os.Exit(1)
+	}
+	suite := realbench.Suite{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note: "Replica-set tail sweep: blocking Null through the cluster " +
+			"balancer against 3 replicas behind a lossy caller uplink with " +
+			"deterministic server-side stragglers, hedged vs unhedged.",
+		Results: results,
+	}
 	if err := suite.WriteJSON(outPath); err != nil {
 		fmt.Fprintf(os.Stderr, "fireflybench: writing %s: %v\n", outPath, err)
 		os.Exit(1)

@@ -1,0 +1,200 @@
+// Command kvctl runs and exercises the replicated key-value store — the
+// cluster layer's flagship — over real UDP.
+//
+// Serve a replica (repeat on three hosts/ports for a replica set):
+//
+//	kvctl serve -listen 127.0.0.1:5601
+//	kvctl serve -listen 127.0.0.1:5601 -registry 127.0.0.1:5500 -service kv/main
+//
+// Operate on the set, naming replicas directly or via a registry:
+//
+//	kvctl put  -replicas 127.0.0.1:5601,127.0.0.1:5602,127.0.0.1:5603 color teal
+//	kvctl get  -replicas ...                                          color
+//	kvctl getany -hedge -replicas ...                                 color
+//	kvctl get  -registry 127.0.0.1:5500 -service kv/main              color
+//	kvctl stats -replicas ...
+//
+// put fans the write to every replica and succeeds on a majority ack;
+// get reads a majority and returns the newest version; getany reads one
+// balanced replica (add -hedge for tail-tolerant backup requests).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"fireflyrpc/internal/cluster"
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/debughttp"
+	"fireflyrpc/internal/kvstore"
+	"fireflyrpc/internal/proto"
+	"fireflyrpc/internal/registry"
+	"fireflyrpc/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kvctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		serve(args)
+	case "put", "get", "getany", "stats":
+		client(cmd, args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kvctl serve|put|get|getany|stats [flags] [key [value]]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:5601", "UDP address to serve on")
+	workers := fs.Int("workers", 8, "server threads")
+	regAddr := fs.String("registry", "", "directory address to register with (empty = none)")
+	service := fs.String("service", "kv/main", "service name to register as")
+	ttl := fs.Duration("ttl", 10*time.Second, "registration lease TTL (refreshed automatically)")
+	debugAddr := fs.String("debug", "", "serve /debug/rpc on this HTTP address; empty = off")
+	fs.Parse(args)
+
+	tr, err := transport.ListenUDP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := proto.DefaultConfig()
+	cfg.Workers = *workers
+	node := core.NewNode(tr, cfg)
+	store := kvstore.NewStore()
+	node.Export(store.Export())
+
+	if *regAddr != "" {
+		raddr, err := transport.ResolveUDPAddr(*regAddr)
+		if err != nil {
+			log.Fatalf("-registry: %v", err)
+		}
+		reg := registry.NewClient(node, raddr)
+		stop, err := reg.Lease(*service, node.Addr().String(), *ttl)
+		if err != nil {
+			log.Fatalf("register %s: %v", *service, err)
+		}
+		defer stop()
+		fmt.Printf("kvctl: registered as %s at %s (lease %v)\n", *service, node.Addr(), *ttl)
+	}
+	if *debugAddr != "" {
+		debughttp.Register("kv-replica", node.Conn())
+		dbg, err := debughttp.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("kvctl: debug surface on http://%s/debug/rpc\n", dbg.Addr())
+	}
+	fmt.Printf("kvctl: KV replica v%d on %s (%d workers)\n", kvstore.IfaceVersion, node.Addr(), *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := store.Stats()
+	fmt.Printf("kvctl: %d keys, %d applies, %d stale writes ignored\n", store.Len(), st.Applies, st.Ignored)
+	node.Close()
+}
+
+func client(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	replicas := fs.String("replicas", "", "comma-separated replica addresses (alternative to -registry)")
+	regAddr := fs.String("registry", "", "directory address to resolve -service through")
+	service := fs.String("service", "kv/main", "service name to resolve")
+	bind := fs.String("bind", "127.0.0.1:0", "local UDP address")
+	hedge := fs.Bool("hedge", false, "enable hedged reads (getany)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "fixed hedge delay; 0 = adaptive p95")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-operation deadline")
+	fs.Parse(args)
+
+	tr, err := transport.ListenUDP(*bind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := core.NewNode(tr, proto.DefaultConfig())
+	defer node.Close()
+
+	var resolver cluster.Resolver
+	switch {
+	case *replicas != "":
+		resolver = cluster.Static(strings.Split(*replicas, ","))
+	case *regAddr != "":
+		raddr, err := transport.ResolveUDPAddr(*regAddr)
+		if err != nil {
+			log.Fatalf("-registry: %v", err)
+		}
+		resolver = cluster.NewRegistryResolver(registry.NewClient(node, raddr), *service, time.Second)
+	default:
+		log.Fatal("need -replicas or -registry")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cc, err := cluster.New(ctx, cluster.Config{
+		Node:      node,
+		Resolver:  resolver,
+		ParseAddr: transport.ResolveUDPAddr,
+		Iface:     kvstore.IfaceName,
+		Version:   kvstore.IfaceVersion,
+		Hedge:     cluster.HedgeConfig{Enabled: *hedge, After: *hedgeAfter},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := kvstore.NewKV(cc)
+
+	rest := fs.Args()
+	switch cmd {
+	case "put":
+		if len(rest) != 2 {
+			log.Fatal("put needs: key value")
+		}
+		ver, err := kv.Put(ctx, rest[0], []byte(rest[1]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok v%d\n", ver)
+	case "get":
+		if len(rest) != 1 {
+			log.Fatal("get needs: key")
+		}
+		val, ver, err := kv.Get(ctx, rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (v%d)\n", val, ver)
+	case "getany":
+		if len(rest) != 1 {
+			log.Fatal("getany needs: key")
+		}
+		val, ver, err := kv.GetAny(ctx, rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (v%d)\n", val, ver)
+	case "stats":
+		s := cc.Stats()
+		fmt.Printf("service %s: %d calls, %d issued, %d hedges (%d won, %d cancelled)\n",
+			s.Service, s.Calls, s.Issued, s.HedgesFired, s.HedgesWon, s.HedgesCancelled)
+		for _, r := range s.Replicas {
+			fmt.Printf("  %-22s picks=%-6d wins=%-6d fails=%-4d ejected=%-5v p95=%.0fµs\n",
+				r.Addr, r.Picks, r.Wins, r.Failures, r.Ejected, r.P95Us)
+		}
+	}
+}

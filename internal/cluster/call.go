@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fireflyrpc/internal/core"
+	"fireflyrpc/internal/marshal"
+)
+
+// ErrNoQuorum reports a Fanout that could not gather `need` acks.
+var ErrNoQuorum = errors.New("cluster: quorum not reached")
+
+// Call issues one logical call against the replica set: resolve, pick by
+// P2C, and — when hedging is enabled and a second replica exists — issue a
+// backup copy if the primary has not answered within the hedge delay. The
+// first result wins and the loser is cancelled on the wire (TypeCancel),
+// so the losing server abandons the work instead of completing it for
+// nobody. Because a hedged call can execute on two servers, Call is for
+// idempotent operations only; non-idempotent writes go through Fanout,
+// which never hedges.
+//
+// The ctx deadline rides every issued copy as a FlagBudget hint, so each
+// replica's admission policy sees the caller's remaining budget no matter
+// which server the balancer or the hedge chose.
+func (c *Client) Call(ctx context.Context, proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
+	c.calls.Add(1)
+	reps, err := c.resolve(ctx)
+	if err != nil {
+		return err
+	}
+	primary := c.pick(reps, nil)
+	if primary == nil {
+		return ErrNoReplicas
+	}
+	if !c.cfg.Hedge.Enabled || len(reps) < 2 {
+		c.issued.Add(1)
+		return c.issue(ctx, primary, proc, argSize, enc, dec)
+	}
+	return c.hedged(ctx, reps, primary, proc, argSize, enc, dec)
+}
+
+// issue runs one blocking call on one replica with a pooled client and
+// records the outcome against the replica's histogram and ejection state.
+func (c *Client) issue(ctx context.Context, r *replica, proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
+	cl := r.get()
+	start := time.Now()
+	err := cl.CallCtx(ctx, proc, argSize, enc, dec)
+	r.put(cl)
+	c.account(r, start, err)
+	return err
+}
+
+// leg is one copy of a hedged call in flight.
+type leg struct {
+	p      *core.Pending
+	rep    *replica
+	cl     *core.Client
+	start  time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// settle awaits the leg with ctx, returns its client to the pool, and
+// accounts the outcome.
+func (c *Client) settle(l leg, ctx context.Context, dec func(*marshal.Dec)) error {
+	err := l.p.Await(ctx, dec)
+	l.rep.put(l.cl)
+	c.account(l.rep, l.start, err)
+	return err
+}
+
+// abandon cancels the leg's context and awaits it with that cancelled
+// context, which is what pushes the cancel notification (TypeCancel) onto
+// the wire if the call had not already finished.
+func (c *Client) abandon(l leg) {
+	l.cancel()
+	err := l.p.Await(l.ctx, nil)
+	l.rep.put(l.cl)
+	c.account(l.rep, l.start, err)
+}
+
+// hedged is the backup-request path: primary now, backup after the hedge
+// delay, first result wins, loser cancelled immediately.
+func (c *Client) hedged(ctx context.Context, reps []*replica, primary *replica, proc uint16, argSize int, enc func(*marshal.Enc), dec func(*marshal.Dec)) error {
+	ctx1, cancel1 := context.WithCancel(ctx)
+	defer cancel1()
+	cl1 := primary.get()
+	start1 := time.Now()
+	p1, err := cl1.Go(ctx1, proc, argSize, enc)
+	if err != nil {
+		primary.put(cl1)
+		c.account(primary, start1, err)
+		return err
+	}
+	c.issued.Add(1)
+	l1 := leg{p: p1, rep: primary, cl: cl1, start: start1, ctx: ctx1, cancel: cancel1}
+
+	timer := time.NewTimer(c.hedgeDelay(primary))
+	defer timer.Stop()
+	select {
+	case <-p1.Done():
+		return c.settle(l1, ctx, dec)
+	case <-ctx.Done():
+		c.abandon(l1)
+		return ctx.Err()
+	case <-timer.C:
+	}
+
+	backup := c.pick(reps, primary)
+	if backup == nil {
+		return c.settle(l1, ctx, dec)
+	}
+	ctx2, cancel2 := context.WithCancel(ctx)
+	defer cancel2()
+	cl2 := backup.get()
+	start2 := time.Now()
+	p2, err := cl2.Go(ctx2, proc, argSize, enc)
+	if err != nil {
+		backup.put(cl2)
+		c.account(backup, start2, err)
+		return c.settle(l1, ctx, dec)
+	}
+	c.issued.Add(1)
+	c.hedgesFired.Add(1)
+	l2 := leg{p: p2, rep: backup, cl: cl2, start: start2, ctx: ctx2, cancel: cancel2}
+
+	var win, lose leg
+	select {
+	case <-p1.Done():
+		win, lose = l1, l2
+	case <-p2.Done():
+		win, lose = l2, l1
+	case <-ctx.Done():
+		c.abandon(l1)
+		c.abandon(l2)
+		return ctx.Err()
+	}
+
+	werr := c.settle(win, ctx, dec)
+	if werr == nil {
+		if win.p == p2 {
+			c.hedgesWon.Add(1)
+		}
+		// Tell the loser's server the work is moot. The cancel packet only
+		// goes out if the loser had not already finished — abandoning a
+		// completed call is a no-op on the wire.
+		c.hedgesCancelled.Add(1)
+		c.abandon(lose)
+		return nil
+	}
+	// The winner finished first but with an error; the loser is still in
+	// flight and becomes the fallback.
+	lerr := c.settle(lose, ctx, dec)
+	if lerr == nil && lose.p == p2 {
+		c.hedgesWon.Add(1)
+	}
+	if lerr != nil {
+		return werr
+	}
+	return nil
+}
+
+// FanoutReply is one replica's outcome in a Fanout.
+type FanoutReply struct {
+	Addr string
+	Err  error
+}
+
+// FanoutResult reports how a Fanout went: Acks counts error-free replies,
+// Replies holds the per-replica outcomes gathered before the quorum was
+// reached (or the set was exhausted).
+type FanoutResult struct {
+	Acks    int
+	Sent    int
+	Replies []FanoutReply
+}
+
+// Fanout issues the call to every replica concurrently and returns as
+// soon as `need` replicas have replied without error (need ≤ 0 means a
+// majority). Stragglers are cancelled — again via the wire's cancel
+// notification — once the quorum is in. Fanout never hedges and never
+// retries, so a non-idempotent operation executes at most once per
+// replica; combined with idempotent apply on the server (the KV store's
+// versioned writes) this is the hedge-never-double-commits discipline.
+//
+// enc runs once per replica, concurrently; it must be safe to re-run
+// (pure functions over the arguments are — the marshal closures the stubs
+// generate qualify). dec, when non-nil, runs concurrently too, once per
+// successful reply, and is told which replica it is reading.
+func (c *Client) Fanout(ctx context.Context, proc uint16, argSize int, enc func(*marshal.Enc), dec func(addr string, d *marshal.Dec) error, need int) (*FanoutResult, error) {
+	c.fanouts.Add(1)
+	reps, err := c.resolve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if need <= 0 {
+		need = len(reps)/2 + 1
+	}
+	if need > len(reps) {
+		return nil, fmt.Errorf("%w: need %d acks from %d replicas", ErrNoQuorum, need, len(reps))
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the full set: goroutines outliving the quorum complete
+	// into the buffer and exit without a reader.
+	replies := make(chan FanoutReply, len(reps))
+	for _, r := range reps {
+		go func(r *replica) {
+			cl := r.get()
+			start := time.Now()
+			var derr error
+			err := cl.CallCtx(fctx, proc, argSize, enc, func(d *marshal.Dec) {
+				if dec != nil {
+					derr = dec(r.addr, d)
+				}
+			})
+			r.put(cl)
+			if err == nil {
+				err = derr
+			}
+			c.account(r, start, err)
+			replies <- FanoutReply{Addr: r.addr, Err: err}
+		}(r)
+	}
+
+	res := &FanoutResult{Sent: len(reps)}
+	var firstErr error
+	for i := 0; i < len(reps); i++ {
+		var rep FanoutReply
+		select {
+		case rep = <-replies:
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+		res.Replies = append(res.Replies, rep)
+		if rep.Err == nil {
+			res.Acks++
+			if res.Acks >= need {
+				return res, nil
+			}
+		} else if firstErr == nil && !errors.Is(rep.Err, context.Canceled) {
+			firstErr = rep.Err
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoQuorum
+	}
+	return res, fmt.Errorf("%w: %d/%d acks (need %d): %v", ErrNoQuorum, res.Acks, len(reps), need, firstErr)
+}

@@ -1,0 +1,105 @@
+package debughttp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"fireflyrpc/internal/cluster"
+)
+
+// clusterReg holds the cluster clients the surface reports on, alongside
+// the Conn registry. A cluster.Client's Stats is a lock-free snapshot, so
+// scraping it while hedged traffic is in flight costs the callers nothing
+// (pinned by TestClusterViewUnderLiveTraffic).
+var (
+	clusterMu  sync.Mutex
+	clusterReg = map[string]*cluster.Client{}
+)
+
+// RegisterCluster adds (or replaces) a named cluster client on the debug
+// surface: /debug/rpc/cluster and the fireflyrpc_cluster_* metrics.
+func RegisterCluster(name string, c *cluster.Client) {
+	clusterMu.Lock()
+	clusterReg[name] = c
+	clusterMu.Unlock()
+}
+
+// UnregisterCluster removes a named cluster client.
+func UnregisterCluster(name string) {
+	clusterMu.Lock()
+	delete(clusterReg, name)
+	clusterMu.Unlock()
+}
+
+func registeredClusters() ([]string, []*cluster.Client) {
+	clusterMu.Lock()
+	defer clusterMu.Unlock()
+	names := make([]string, 0, len(clusterReg))
+	for name := range clusterReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cs := make([]*cluster.Client, len(names))
+	for i, name := range names {
+		cs[i] = clusterReg[name]
+	}
+	return names, cs
+}
+
+// clusterSnapshot is the /debug/rpc/cluster document: every registered
+// balancer's logical/issued call counts, hedge outcomes, and per-replica
+// pick/win/ejection state with latency quantiles.
+func clusterSnapshot() map[string]cluster.Stats {
+	names, cs := registeredClusters()
+	out := make(map[string]cluster.Stats, len(names))
+	for i, name := range names {
+		out[name] = cs[i].Stats()
+	}
+	return out
+}
+
+// writeClusterMetrics renders the fireflyrpc_cluster_* families, called
+// from writeMetrics.
+func writeClusterMetrics(w io.Writer) {
+	names, cs := registeredClusters()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprint(w, "# TYPE fireflyrpc_cluster_calls_total counter\n")
+	for i, c := range cs {
+		s := c.Stats()
+		l := fmt.Sprintf(`cluster="%s"`, promEscape(names[i]))
+		fmt.Fprintf(w, "fireflyrpc_cluster_calls_total{%s,kind=\"logical\"} %d\n", l, s.Calls)
+		fmt.Fprintf(w, "fireflyrpc_cluster_calls_total{%s,kind=\"issued\"} %d\n", l, s.Issued)
+		fmt.Fprintf(w, "fireflyrpc_cluster_calls_total{%s,kind=\"fanout\"} %d\n", l, s.Fanouts)
+	}
+	fmt.Fprint(w, "# TYPE fireflyrpc_cluster_hedges_total counter\n")
+	for i, c := range cs {
+		s := c.Stats()
+		l := fmt.Sprintf(`cluster="%s"`, promEscape(names[i]))
+		fmt.Fprintf(w, "fireflyrpc_cluster_hedges_total{%s,event=\"fired\"} %d\n", l, s.HedgesFired)
+		fmt.Fprintf(w, "fireflyrpc_cluster_hedges_total{%s,event=\"won\"} %d\n", l, s.HedgesWon)
+		fmt.Fprintf(w, "fireflyrpc_cluster_hedges_total{%s,event=\"cancelled\"} %d\n", l, s.HedgesCancelled)
+	}
+	fmt.Fprint(w, "# TYPE fireflyrpc_cluster_replica_picks_total counter\n")
+	fmt.Fprint(w, "# TYPE fireflyrpc_cluster_replica_ejected gauge\n")
+	fmt.Fprint(w, "# TYPE fireflyrpc_cluster_replica_p95_seconds gauge\n")
+	for i, c := range cs {
+		s := c.Stats()
+		for _, r := range s.Replicas {
+			l := fmt.Sprintf(`cluster="%s",replica="%s"`, promEscape(names[i]), promEscape(r.Addr))
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_picks_total{%s} %d\n", l, r.Picks)
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_wins_total{%s} %d\n", l, r.Wins)
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_failures_total{%s} %d\n", l, r.Failures)
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_ejections_total{%s} %d\n", l, r.Ejections)
+			ej := 0
+			if r.Ejected {
+				ej = 1
+			}
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_ejected{%s} %d\n", l, ej)
+			fmt.Fprintf(w, "fireflyrpc_cluster_replica_p95_seconds{%s} %g\n", l, r.P95Us/1e6)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	/debug/rpc/trace  stage-trace accounting (empty unless tracing is on)
 //	/debug/rpc/trace/spans  assembled distributed-trace spans (add ?format=perfetto for a viewer-ready document)
 //	/debug/rpc/flight  per-Conn flight recorder: live anomaly ring + last auto-dump
+//	/debug/rpc/cluster  registered replica-set balancers: picks, hedges, ejections
 //	/debug/rpc/sim    registered simulation kernels: clock + per-resource stats
 //	/debug/rpc/metrics  Prometheus text format: counters, latency histograms, sim gauges
 //	/debug/vars       expvar (includes the "fireflyrpc" snapshot var)
@@ -196,6 +197,9 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/rpc/trace/spans", serveSpans)
 	mux.HandleFunc("/debug/rpc/flight", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, flightSnapshot())
+	})
+	mux.HandleFunc("/debug/rpc/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, clusterSnapshot())
 	})
 	mux.HandleFunc("/debug/rpc/sim", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, simSnapshot())

@@ -246,6 +246,8 @@ func writeMetrics(w io.Writer) {
 		}
 	}
 
+	writeClusterMetrics(w)
+
 	sims := simSnapshot()
 	simNames := make([]string, 0, len(sims))
 	for name := range sims {

@@ -96,6 +96,16 @@ func cellKey(r Result) string {
 	if r.Traced {
 		k += "@trace"
 	}
+	// Cluster cells (replica-set balancer in front of N servers) are a
+	// different call path entirely — and hedged cells deliberately issue
+	// extra wire calls — so each (replica count, hedged) combination gates
+	// only against itself.
+	if r.Replicas > 0 {
+		k += fmt.Sprintf("@cluster%d", r.Replicas)
+		if r.Hedged {
+			k += "+hedge"
+		}
+	}
 	return k
 }
 

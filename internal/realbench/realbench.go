@@ -32,19 +32,23 @@ const payloadBytes = 1440
 
 // Result is one benchmark case.
 type Result struct {
-	Bench       string  `json:"bench"`             // Null | MaxArg | MaxResult
-	Transport   string  `json:"transport"`         // mem | udp | tcp
-	Profile     string  `json:"profile,omitempty"` // faultnet profile name; empty = clean link
-	Batch       bool    `json:"batch,omitempty"`   // batched UDP datapath (sendmmsg/GSO)
-	Traced      bool    `json:"traced,omitempty"`  // stage tracing enabled on both Conns
-	Threads     int     `json:"threads"`
-	Outstanding int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
-	N           int     `json:"n"`                     // calls measured
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	CallsPerSec float64 `json:"calls_per_sec"`
-	MbitPerSec  float64 `json:"mbit_per_sec,omitempty"` // payload throughput
+	Bench         string  `json:"bench"`              // Null | MaxArg | MaxResult
+	Transport     string  `json:"transport"`          // mem | udp | tcp
+	Profile       string  `json:"profile,omitempty"`  // faultnet profile name; empty = clean link
+	Batch         bool    `json:"batch,omitempty"`    // batched UDP datapath (sendmmsg/GSO)
+	Traced        bool    `json:"traced,omitempty"`   // stage tracing enabled on both Conns
+	Replicas      int     `json:"replicas,omitempty"` // replica-set size for cluster cells; 0 = point-to-point
+	Hedged        bool    `json:"hedged,omitempty"`   // cluster cell ran with hedged requests enabled
+	Threads       int     `json:"threads"`
+	Outstanding   int     `json:"outstanding,omitempty"` // async calls in flight per thread; 0 = blocking
+	N             int     `json:"n"`                     // calls measured
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	CallsPerSec   float64 `json:"calls_per_sec"`
+	MbitPerSec    float64 `json:"mbit_per_sec,omitempty"`    // payload throughput
+	P99Us         float64 `json:"p99_us,omitempty"`          // tail latency (cluster cells)
+	IssuedPerCall float64 `json:"issued_per_call,omitempty"` // wire calls per logical call (cluster cells; >1 = hedging overhead)
 }
 
 // Suite is the full run, serialized to BENCH_realstack.json.

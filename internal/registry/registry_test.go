@@ -109,6 +109,114 @@ func TestDeregister(t *testing.T) {
 	}
 }
 
+// TestLookupAllMultiAddress is the replica-set story: three servers register
+// one name concurrently, none overwrites another, and each lease ages out
+// independently under a fake clock.
+func TestLookupAllMultiAddress(t *testing.T) {
+	dir, reg, _, _ := world(t)
+	now := time.Now()
+	dir.clock = func() time.Time { return now }
+
+	reg.Register("kv", "replica-a", 10*time.Second)
+	reg.Register("kv", "replica-b", 20*time.Second)
+	reg.Register("kv", "replica-c", 30*time.Second)
+
+	addrs, err := reg.LookupAll("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || addrs[0] != "replica-a" || addrs[1] != "replica-b" || addrs[2] != "replica-c" {
+		t.Fatalf("addrs = %v, want the sorted replica set", addrs)
+	}
+
+	// Lookup (singular) keeps working against a multi-address entry and
+	// returns the most recently refreshed lease.
+	one, err := reg.Lookup("kv")
+	if err != nil || one != "replica-c" {
+		t.Fatalf("Lookup = %q, %v", one, err)
+	}
+
+	now = now.Add(11 * time.Second) // a's lease runs out
+	addrs, err = reg.LookupAll("kv")
+	if err != nil || len(addrs) != 2 || addrs[0] != "replica-b" {
+		t.Fatalf("after a expires: addrs = %v err = %v", addrs, err)
+	}
+
+	now = now.Add(10 * time.Second) // b follows
+	addrs, err = reg.LookupAll("kv")
+	if err != nil || len(addrs) != 1 || addrs[0] != "replica-c" {
+		t.Fatalf("after b expires: addrs = %v err = %v", addrs, err)
+	}
+
+	now = now.Add(10 * time.Second) // and the name itself ages out
+	if _, err := reg.LookupAll("kv"); err != ErrNotFound {
+		t.Fatalf("expired name resolved: %v", err)
+	}
+	if _, err := reg.Lookup("kv"); err != ErrNotFound {
+		t.Fatalf("expired name resolved via Lookup: %v", err)
+	}
+}
+
+// TestRefreshOneReplicaKeepsOthers pins the fix for the old last-writer-wins
+// limitation: refreshing one replica's lease must not clobber its peers.
+func TestRefreshOneReplicaKeepsOthers(t *testing.T) {
+	dir, reg, _, _ := world(t)
+	now := time.Now()
+	dir.clock = func() time.Time { return now }
+
+	reg.Register("svc", "a", 10*time.Second)
+	reg.Register("svc", "b", 10*time.Second)
+	now = now.Add(8 * time.Second)
+	reg.Register("svc", "a", 10*time.Second) // refresh a only
+	now = now.Add(4 * time.Second)           // b's original lease is now dead
+
+	addrs, err := reg.LookupAll("svc")
+	if err != nil || len(addrs) != 1 || addrs[0] != "a" {
+		t.Fatalf("addrs = %v err = %v, want just the refreshed a", addrs, err)
+	}
+}
+
+func TestDeregisterAddr(t *testing.T) {
+	_, reg, _, _ := world(t)
+	reg.Register("svc", "a", time.Minute)
+	reg.Register("svc", "b", time.Minute)
+	if err := reg.DeregisterAddr("svc", "a"); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := reg.LookupAll("svc")
+	if err != nil || len(addrs) != 1 || addrs[0] != "b" {
+		t.Fatalf("addrs = %v err = %v", addrs, err)
+	}
+	if err := reg.DeregisterAddr("svc", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LookupAll("svc"); err != ErrNotFound {
+		t.Fatalf("emptied name still resolves: %v", err)
+	}
+}
+
+// TestLeaseRefreshLoop drives the background refresher: with a TTL far
+// shorter than the test, the address stays resolvable only because the loop
+// keeps re-registering it, and stop() deregisters it.
+func TestLeaseRefreshLoop(t *testing.T) {
+	_, reg, _, _ := world(t)
+	stop, err := reg.Lease("leased", "addr-1", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := reg.LookupAll("leased"); err != nil {
+			t.Fatalf("lease lapsed while the refresher ran: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stop()
+	if _, err := reg.LookupAll("leased"); err != ErrNotFound {
+		t.Fatalf("stop() did not deregister: %v", err)
+	}
+}
+
 // TestEndToEndBindViaDirectory is the full §3.1.1 story: a server registers
 // its exported interface, a caller looks it up and binds, then calls.
 func TestEndToEndBindViaDirectory(t *testing.T) {

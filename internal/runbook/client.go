@@ -33,6 +33,7 @@ type workloadRun struct {
 	failures    int64
 	overloads   int64
 	retransmits int64
+	hedges      int64
 }
 
 // call is one in-flight RPC owned by a workload.
@@ -51,7 +52,7 @@ type call struct {
 	closed        bool // a closed-loop slot: resolution launches a successor
 	done          bool
 
-	retrans, dlTimer *sim.Timer
+	retrans, dlTimer, hedge *sim.Timer
 }
 
 func newWorkloadRun(ex *exec, idx uint32, spec *WorkloadSpec) *workloadRun {
@@ -161,6 +162,9 @@ func (w *workloadRun) launch(closed bool) {
 	if !c.warmup {
 		w.started++
 	}
+	if h := w.spec.Hedge; h > 0 && len(w.targets) > 1 {
+		c.hedge = w.ex.k.After(sim.Duration(h), func() { w.onHedge(c) })
+	}
 	w.send(c)
 }
 
@@ -183,6 +187,54 @@ func (w *workloadRun) send(c *call) {
 	}, w.spec.ArgBytes)
 	w.client.sendTo(c.target, payload)
 	c.retrans = w.ex.k.After(c.rto, func() { w.onRTO(c) })
+}
+
+// onHedge fires when a call is still unanswered past the hedge delay: a
+// backup copy of the request goes to a different target. Whichever server
+// answers first completes the call (finish retires it, so the loser's reply
+// finds nothing); the duplicate issue means the server-side stamps can no
+// longer be attributed to one request, so the call leaves the stage
+// identity the same way a retransmitted call does. The primary's RTO stays
+// armed and keeps retransmitting to the primary only.
+func (w *workloadRun) onHedge(c *call) {
+	if c.done {
+		return
+	}
+	backup := w.pickDistinct(c.target)
+	if backup == nil {
+		return
+	}
+	c.retransmitted = true
+	if !c.warmup {
+		w.hedges++
+	}
+	var budget int64
+	if c.deadline != 0 {
+		budget = int64(c.deadline.Sub(w.ex.k.Now()))
+		if budget <= 0 {
+			budget = 1
+		}
+	}
+	payload := marshalFrame(rpcFrame{
+		kind:     kindReq,
+		callID:   c.id,
+		budgetNs: budget,
+		workload: w.idx,
+	}, w.spec.ArgBytes)
+	w.client.sendTo(backup, payload)
+}
+
+// pickDistinct returns a target other than skip, advancing the round-robin
+// cursor so consecutive hedges spread over the replica set.
+func (w *workloadRun) pickDistinct(skip *node) *node {
+	for i := 0; i < len(w.targets); i++ {
+		t := w.targets[w.rr%len(w.targets)]
+		w.rr++
+		if t != skip {
+			return t
+		}
+	}
+	return nil
 }
 
 // onRTO fires when a send went unanswered: back off and retransmit, or give
@@ -263,6 +315,9 @@ func (w *workloadRun) finish(c *call) {
 	if c.dlTimer != nil {
 		c.dlTimer.Cancel()
 	}
+	if c.hedge != nil {
+		c.hedge.Cancel()
+	}
 	delete(w.ex.calls, c.id)
 }
 
@@ -288,4 +343,5 @@ func (w *workloadRun) resetMetrics() {
 	w.failures = 0
 	w.overloads = 0
 	w.retransmits = 0
+	w.hedges = 0
 }

@@ -218,3 +218,74 @@ func TestRunbooksPinCanonicalScenarios(t *testing.T) {
 		}
 	}
 }
+
+// TestHedgeRescuesDeadReplica: with one target fully partitioned, hedged
+// calls complete via the backup replica while the unhedged control run
+// times out half its calls — the hedge, not the retransmission engine, is
+// what saves them (the RTO is set past every deadline). Hedged calls must
+// also leave the stage identity, since their reply can come from either
+// server.
+func TestHedgeRescuesDeadReplica(t *testing.T) {
+	body := `{
+		"name": "hedge_rescue",
+		"duration": "500ms",
+		"warmup": "50ms",
+		"rpc": { "rto": "200ms", "rto_max": "200ms", "max_retries": 3 },
+		"nodes": [
+			{"name": "c", "role": "client"},
+			{"name": "s1", "role": "server", "workers": 2, "service": "100us"},
+			{"name": "s2", "role": "server", "workers": 2, "service": "100us"}
+		],
+		"links": [
+			{"a": "c", "b": "s2", "a_to_b": {"drop": 1}, "b_to_a": {"drop": 1}}
+		],
+		"workloads": [{
+			"name": "w", "client": "c", "targets": ["s1", "s2"],
+			"mode": "closed", "outstanding": 2,
+			"timeout": "20ms", "hedge": "1ms"
+		}]
+	}`
+	spec, err := Parse([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := rep.Workloads[0]
+	if wr.Timeouts != 0 || wr.Failures != 0 {
+		t.Fatalf("hedged run should rescue every call: %+v", wr)
+	}
+	if wr.Hedges == 0 {
+		t.Fatalf("no hedges fired against a dead replica: %+v", wr)
+	}
+	if wr.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", wr)
+	}
+	// Round-robin alternates s1/s2, so roughly half the calls hedge.
+	if wr.Hedges < wr.Completed/3 {
+		t.Fatalf("hedges %d implausibly low for %d completed", wr.Hedges, wr.Completed)
+	}
+	// Hedged calls are excluded from the stage identity: it must cover
+	// only the direct (s1-primary) calls.
+	if rep.Identity.Calls >= wr.Completed {
+		t.Fatalf("identity covers %d calls, want fewer than %d completed (hedged calls must be excluded)",
+			rep.Identity.Calls, wr.Completed)
+	}
+
+	unhedged := *spec
+	unhedged.Workloads = []WorkloadSpec{spec.Workloads[0]}
+	unhedged.Workloads[0].Hedge = 0
+	ctrl, err := Execute(&unhedged, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := ctrl.Workloads[0]
+	if cw.Timeouts == 0 {
+		t.Fatalf("control run without hedging should time out its dead-replica calls: %+v", cw)
+	}
+	if cw.Hedges != 0 {
+		t.Fatalf("control run fired hedges: %+v", cw)
+	}
+}

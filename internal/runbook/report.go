@@ -36,6 +36,7 @@ type WorkloadReport struct {
 	Failures      int64         `json:"failures"`
 	Overloads     int64         `json:"overloads"`
 	Retransmits   int64         `json:"retransmits"`
+	Hedges        int64         `json:"hedges"`
 	InFlight      int64         `json:"in_flight"`
 	GoodputPerSec float64       `json:"goodput_per_sec"`
 	Latency       stats.Summary `json:"latency"`
@@ -105,6 +106,7 @@ func (ex *exec) buildReport(seed uint64) *Report {
 			Failures:    w.failures,
 			Overloads:   w.overloads,
 			Retransmits: w.retransmits,
+			Hedges:      w.hedges,
 		}
 		wr.InFlight = wr.Started - wr.Completed - wr.Timeouts - wr.Failures - wr.Overloads
 		if windowNs > 0 {
@@ -212,6 +214,8 @@ func (ex *exec) evalAsserts(rep *Report) []AssertionResult {
 		cb("max_overloads", wa.MaxOverloads, wr.Overloads, true)
 		cb("min_retransmits", wa.MinRetransmits, wr.Retransmits, false)
 		cb("max_retransmits", wa.MaxRetransmits, wr.Retransmits, true)
+		cb("min_hedges", wa.MinHedges, wr.Hedges, false)
+		cb("max_hedges", wa.MaxHedges, wr.Hedges, true)
 	}
 
 	for _, name := range sortedKeys(ex.spec.Assert.Nodes) {
@@ -283,9 +287,9 @@ func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "runbook %s  seed %d  duration %v  warmup %v  fabric %s\n",
 		r.Runbook, r.Seed, time.Duration(r.DurationNs), time.Duration(r.WarmupNs), r.Fabric)
 	for _, wr := range r.Workloads {
-		fmt.Fprintf(w, "  workload %-16s completed %d/%d (%.1f/s)  timeouts %d  failures %d  overloads %d  retransmits %d  in-flight %d\n",
+		fmt.Fprintf(w, "  workload %-16s completed %d/%d (%.1f/s)  timeouts %d  failures %d  overloads %d  retransmits %d  hedges %d  in-flight %d\n",
 			wr.Name, wr.Completed, wr.Started, wr.GoodputPerSec,
-			wr.Timeouts, wr.Failures, wr.Overloads, wr.Retransmits, wr.InFlight)
+			wr.Timeouts, wr.Failures, wr.Overloads, wr.Retransmits, wr.Hedges, wr.InFlight)
 		if wr.Latency.N > 0 {
 			fmt.Fprintf(w, "    latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  max %.0fµs\n",
 				wr.Latency.P50Us, wr.Latency.P95Us, wr.Latency.P99Us, wr.Latency.P999Us, wr.Latency.MaxUs)

@@ -186,6 +186,12 @@ type WorkloadSpec struct {
 	// wire for deadline admission). Zero means no deadline: calls ride the
 	// retransmission engine until MaxRetries.
 	Timeout Duration `json:"timeout,omitempty"`
+	// Hedge issues a backup copy of a still-unanswered call to a second
+	// target after this delay (tail-tolerant requests, as in the cluster
+	// layer). The first response wins; the hedged call is excluded from the
+	// stage identity since its reply may come from either server. Requires
+	// at least two targets. Zero disables hedging.
+	Hedge Duration `json:"hedge,omitempty"`
 	// OverloadBackoff delays a closed-loop caller after a wire-level
 	// rejection; default Timeout/2 (or 1ms when no timeout).
 	OverloadBackoff Duration `json:"overload_backoff,omitempty"`
@@ -231,6 +237,8 @@ type WorkloadAssert struct {
 	MaxOverloads     *int64   `json:"max_overloads,omitempty"`
 	MinRetransmits   *int64   `json:"min_retransmits,omitempty"`
 	MaxRetransmits   *int64   `json:"max_retransmits,omitempty"`
+	MinHedges        *int64   `json:"min_hedges,omitempty"`
+	MaxHedges        *int64   `json:"max_hedges,omitempty"`
 }
 
 // NodeAssert bounds one server node's admission behaviour.
@@ -432,8 +440,11 @@ func (s *Spec) Validate() error {
 		if w.ArgBytes < 0 || w.ArgBytes > MaxPayloadBytes || w.ResultBytes < 0 || w.ResultBytes > MaxPayloadBytes {
 			return fmt.Errorf("runbook: workload %q payload bytes must be in [0, %d]", w.Name, MaxPayloadBytes)
 		}
-		if w.Timeout < 0 || w.Think < 0 || w.OverloadBackoff < 0 || w.Start < 0 || w.Stop < 0 {
+		if w.Timeout < 0 || w.Think < 0 || w.OverloadBackoff < 0 || w.Start < 0 || w.Stop < 0 || w.Hedge < 0 {
 			return fmt.Errorf("runbook: workload %q has a negative duration", w.Name)
+		}
+		if w.Hedge > 0 && len(w.Targets) < 2 {
+			return fmt.Errorf("runbook: workload %q hedges but has fewer than two targets", w.Name)
 		}
 		if w.Stop != 0 && w.Stop <= w.Start {
 			return fmt.Errorf("runbook: workload %q stop must be after start", w.Name)
@@ -500,6 +511,7 @@ func (wa WorkloadAssert) validate(name string) error {
 		{"min_timeouts", wa.MinTimeouts}, {"max_failures", wa.MaxFailures},
 		{"min_failures", wa.MinFailures}, {"max_overloads", wa.MaxOverloads},
 		{"min_retransmits", wa.MinRetransmits}, {"max_retransmits", wa.MaxRetransmits},
+		{"min_hedges", wa.MinHedges}, {"max_hedges", wa.MaxHedges},
 	}
 	for _, c := range counts {
 		if c.v != nil && *c.v < 0 {
@@ -513,6 +525,7 @@ func (wa WorkloadAssert) validate(name string) error {
 		{"min_timeouts", "max_timeouts", wa.MinTimeouts, wa.MaxTimeouts},
 		{"min_failures", "max_failures", wa.MinFailures, wa.MaxFailures},
 		{"min_retransmits", "max_retransmits", wa.MinRetransmits, wa.MaxRetransmits},
+		{"min_hedges", "max_hedges", wa.MinHedges, wa.MaxHedges},
 	}
 	for _, p := range pairs {
 		if p.min != nil && p.max != nil && *p.min > *p.max {

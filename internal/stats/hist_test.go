@@ -155,3 +155,41 @@ func TestHistMergeShardedAndConcurrent(t *testing.T) {
 		t.Fatalf("summary: %+v", sum)
 	}
 }
+
+// TestQuickMatchesSnapshotQuantile pins Quick to the reference path: on a
+// quiescent histogram the two estimators must agree exactly.
+func TestQuickMatchesSnapshotQuantile(t *testing.T) {
+	h := new(Hist)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		n, est := h.Quick(q)
+		if n != snap.N {
+			t.Fatalf("Quick(%g) n = %d, snapshot N = %d", q, n, snap.N)
+		}
+		if want := snap.Quantile(q); est != want {
+			t.Fatalf("Quick(%g) = %v, Snapshot().Quantile = %v", q, est, want)
+		}
+	}
+	if n, est := new(Hist).Quick(0.95); n != 0 || est != 0 {
+		t.Fatalf("empty Quick = (%d, %v), want (0, 0)", n, est)
+	}
+}
+
+// TestQuickZeroAllocs pins the balancer hot path's allocation budget: a
+// power-of-two-choices pick reads two histograms per call, so Quick must
+// not allocate.
+func TestQuickZeroAllocs(t *testing.T) {
+	h := new(Hist)
+	for i := 0; i < 4096; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Quick(0.95)
+	})
+	if allocs != 0 {
+		t.Fatalf("Quick allocates %.1f objects per call, want 0", allocs)
+	}
+}

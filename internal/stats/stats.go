@@ -24,6 +24,14 @@ func (s *Sample) Add(d time.Duration) {
 	s.sorted = false
 }
 
+// Merge folds another sample's observations into s. Useful for combining
+// per-goroutine samples without sharing a lock on the hot path.
+func (s *Sample) Merge(o *Sample) {
+	s.vals = append(s.vals, o.vals...)
+	s.sum += o.sum
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.vals) }
 

@@ -176,7 +176,29 @@ case "$out" in
 *) fail "flight-recorder alloc failure did not print its step (got: $out)" ;;
 esac
 
-# 9. Unknown flags are rejected with a usage error.
+# 9. A failure in the cluster-hedging race step must propagate — the
+# replica-set layer's concurrency gate is part of the contract.
+cat >"$tmp/go" <<'EOF'
+#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*TestHedged*) exit 17 ;;
+	esac
+done
+exit 0
+EOF
+chmod +x "$tmp/go"
+set +e
+out=$(PATH="$tmp:$PATH" sh scripts/verify.sh -q 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "verify.sh swallowed a cluster-hedging failure"
+case "$out" in
+*"FAIL: race: cluster-hedging"*) ;;
+*) fail "cluster-hedging failure did not print its step (got: $out)" ;;
+esac
+
+# 10. Unknown flags are rejected with a usage error.
 set +e
 sh scripts/verify.sh --bogus >/dev/null 2>&1
 status=$?

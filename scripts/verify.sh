@@ -25,7 +25,11 @@
 # trace-context propagation path (negotiated prefix, inheritance, legacy
 # fallback, the two-hop chained-call join) and pin the flight recorder's
 # zero-allocation budget: recording an anomaly in steady state must not
-# allocate.
+# allocate. The cluster steps race the replica-set layer's concurrent
+# machinery — P2C picks against live latency histograms, hedged requests
+# with cross-server cancellation, quorum fan-out with straggler cancel,
+# the /debug/rpc/cluster view under live traffic — and the registry's
+# lease bookkeeping (expiry, refresh loops, multi-address entries).
 #
 # Usage: verify.sh [-q]
 #   -q  quiet: only failures (with the failing step's output) and the final
@@ -89,6 +93,8 @@ run "alloc budget: flight recorder" go test -run 'TestFlightRecorderAllocBudget'
 run "tcp transport: conformance + proto" go test -count=1 -run 'TestTCP|TestConformance' ./internal/transport
 run "transport conformance: sim + faultnet" go test -count=1 -run 'TestConformance|TestProtoOver' ./internal/simnet ./internal/faultnet
 run "batch force-disabled: transport + proto" env FIREFLYRPC_NOBATCH=1 go test -count=1 ./internal/transport ./internal/proto ./internal/faultnet
+run "race: cluster-hedging" go test -race -run 'TestHedged|TestHedge|TestP2C|TestEjection|TestBudgetPropagatesThroughCluster|TestFanout|TestKV|TestStore|TestClusterViewUnderLiveTraffic' ./internal/cluster ./internal/kvstore ./internal/debughttp
+run "race: registry-leases" go test -race ./internal/registry
 run "cross-build: darwin" env GOOS=darwin go build ./...
 run "cross-build: linux/arm64" env GOOS=linux GOARCH=arm64 go build ./...
 
